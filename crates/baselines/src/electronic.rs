@@ -1,0 +1,170 @@
+//! Electronic accelerator baselines — the reported numbers of Table IV.
+//!
+//! The paper compares Albireo against three energy-efficient electronic
+//! accelerators using *their published results* (not re-simulation):
+//! Eyeriss (65 nm, row-stationary dataflow), ENVISION (28 nm,
+//! dynamic-voltage-accuracy-frequency scaling), and UNPU (65 nm, bit-serial
+//! lookup tables). This module embeds exactly those Table IV numbers.
+
+use std::collections::BTreeMap;
+
+/// One accelerator's reported per-network results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportedAccelerator {
+    /// Accelerator name.
+    pub name: &'static str,
+    /// Process technology, nm.
+    pub technology_nm: u32,
+    /// Per-network results keyed by network name.
+    pub results: BTreeMap<&'static str, ReportedResult>,
+}
+
+/// Reported latency/energy for one network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportedResult {
+    /// Inference latency, s.
+    pub latency_s: f64,
+    /// Inference energy, J.
+    pub energy_j: f64,
+    /// Reported area efficiency, GOPS/mm² (Table IV).
+    pub gops_per_mm2: f64,
+    /// Reported energy-area efficiency, GOPS/W/mm² (Table IV).
+    pub gops_per_w_per_mm2: f64,
+}
+
+impl ReportedResult {
+    /// Energy-delay product in the paper's units, mJ·ms.
+    pub fn edp_mj_ms(&self) -> f64 {
+        (self.energy_j * 1e3) * (self.latency_s * 1e3)
+    }
+}
+
+/// The three electronic baselines with the exact Table IV values.
+pub fn reported_accelerators() -> Vec<ReportedAccelerator> {
+    let eyeriss = ReportedAccelerator {
+        name: "Eyeriss",
+        technology_nm: 65,
+        results: BTreeMap::from([
+            (
+                "AlexNet",
+                ReportedResult {
+                    latency_s: 25.9e-3,
+                    energy_j: 7.19e-3,
+                    gops_per_mm2: 1.75,
+                    gops_per_w_per_mm2: 6.29,
+                },
+            ),
+            (
+                "VGG16",
+                ReportedResult {
+                    latency_s: 1252e-3,
+                    energy_j: 295.4e-3,
+                    gops_per_mm2: 0.77,
+                    gops_per_w_per_mm2: 3.3,
+                },
+            ),
+        ]),
+    };
+    let envision = ReportedAccelerator {
+        name: "ENVISION",
+        technology_nm: 28,
+        results: BTreeMap::from([
+            (
+                "AlexNet",
+                ReportedResult {
+                    latency_s: 21.3e-3,
+                    energy_j: 0.94e-3,
+                    gops_per_mm2: 18.2,
+                    gops_per_w_per_mm2: 411.9,
+                },
+            ),
+            (
+                "VGG16",
+                ReportedResult {
+                    latency_s: 598.8e-3,
+                    energy_j: 15.6e-3,
+                    gops_per_mm2: 13.8,
+                    gops_per_w_per_mm2: 531.3,
+                },
+            ),
+        ]),
+    };
+    let unpu = ReportedAccelerator {
+        name: "UNPU",
+        technology_nm: 65,
+        results: BTreeMap::from([
+            (
+                "AlexNet",
+                ReportedResult {
+                    latency_s: 2.89e-3,
+                    energy_j: 0.84e-3,
+                    gops_per_mm2: 15.7,
+                    gops_per_w_per_mm2: 53.9,
+                },
+            ),
+            (
+                "VGG16",
+                ReportedResult {
+                    latency_s: 54.6e-3,
+                    energy_j: 16.2e-3,
+                    gops_per_mm2: 17.7,
+                    gops_per_w_per_mm2: 59.1,
+                },
+            ),
+        ]),
+    };
+    vec![eyeriss, envision, unpu]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_accelerators_with_both_networks() {
+        let accs = reported_accelerators();
+        assert_eq!(accs.len(), 3);
+        for acc in &accs {
+            assert!(acc.results.contains_key("AlexNet"), "{}", acc.name);
+            assert!(acc.results.contains_key("VGG16"), "{}", acc.name);
+        }
+    }
+
+    #[test]
+    fn table_iv_edp_values_reproduce() {
+        let accs = reported_accelerators();
+        let eyeriss = &accs[0].results["AlexNet"];
+        // Table IV: Eyeriss AlexNet EDP = 186.1 mJ·ms.
+        assert!((eyeriss.edp_mj_ms() - 186.1).abs() / 186.1 < 0.01);
+        let unpu = &accs[2].results["AlexNet"];
+        // Table IV: UNPU AlexNet EDP = 2.42 mJ·ms.
+        assert!((unpu.edp_mj_ms() - 2.42).abs() / 2.42 < 0.01);
+        let envision = &accs[1].results["VGG16"];
+        // Table IV: ENVISION VGG16 EDP = 9341 mJ·ms.
+        assert!((envision.edp_mj_ms() - 9341.0).abs() / 9341.0 < 0.01);
+    }
+
+    #[test]
+    fn eyeriss_is_the_edp_outlier() {
+        // §IV-B: "Eyeriss is an outlier for EDP".
+        let accs = reported_accelerators();
+        let edps: Vec<f64> = accs.iter().map(|a| a.results["VGG16"].edp_mj_ms()).collect();
+        assert!(edps[0] > 10.0 * edps[1]);
+        assert!(edps[0] > 10.0 * edps[2]);
+    }
+
+    #[test]
+    fn unpu_is_fastest_electronic() {
+        let accs = reported_accelerators();
+        let lat: Vec<f64> = accs.iter().map(|a| a.results["AlexNet"].latency_s).collect();
+        assert!(lat[2] < lat[0] && lat[2] < lat[1]);
+    }
+
+    #[test]
+    fn technologies() {
+        let accs = reported_accelerators();
+        assert_eq!(accs[0].technology_nm, 65);
+        assert_eq!(accs[1].technology_nm, 28);
+        assert_eq!(accs[2].technology_nm, 65);
+    }
+}

@@ -1,0 +1,84 @@
+//! Baseline accelerators for the Albireo comparison (paper §IV/V).
+//!
+//! Three classes of baseline:
+//!
+//! * [`pixel`] — the PIXEL photonic accelerator (paper ref. \[52\]): 8-bit
+//!   "OO" optical MAC units at 10 GHz, modelled analytically from the
+//!   Albireo paper's description and scaled to the shared 60 W budget with
+//!   the same conservative device powers.
+//! * [`deap`] — DEAP-CNN (paper ref. \[5\]): MRR weight-bank dot-product
+//!   engines at 5 GHz with voltage addition across filter channels
+//!   (2034 DACs / 113 TIAs per engine), with the paper's optimistic
+//!   assumption that kernels deeper than 113 channels are supported via
+//!   multiple passes.
+//! * [`electronic`] — Eyeriss, ENVISION, and UNPU, using the reported
+//!   numbers the paper itself compares against (Table IV).
+//!
+//! All photonic baselines share [`BaselineEvaluation`] so the Fig. 8
+//! harness can tabulate them uniformly.
+
+pub mod deap;
+pub mod electronic;
+pub mod pixel;
+
+pub use deap::DeapCnn;
+pub use electronic::{reported_accelerators, ReportedAccelerator, ReportedResult};
+pub use pixel::Pixel;
+
+/// Latency/energy result of running one network on a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEvaluation {
+    /// Accelerator name.
+    pub accelerator: String,
+    /// Network name.
+    pub network: String,
+    /// Inference latency, s.
+    pub latency_s: f64,
+    /// Inference energy, J.
+    pub energy_j: f64,
+    /// Wavelengths the design uses for computation (the paper's WDM
+    /// efficiency metric divides energy by this).
+    pub wavelengths: usize,
+}
+
+impl BaselineEvaluation {
+    /// Energy-delay product in the paper's units, mJ·ms.
+    pub fn edp_mj_ms(&self) -> f64 {
+        (self.energy_j * 1e3) * (self.latency_s * 1e3)
+    }
+
+    /// The paper's WDM efficiency metric: energy per wavelength used, J.
+    pub fn energy_per_wavelength(&self) -> f64 {
+        self.energy_j / self.wavelengths.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edp_units() {
+        let e = BaselineEvaluation {
+            accelerator: "x".into(),
+            network: "y".into(),
+            latency_s: 2e-3,
+            energy_j: 3e-3,
+            wavelengths: 10,
+        };
+        assert!((e.edp_mj_ms() - 6.0).abs() < 1e-12);
+        assert!((e.energy_per_wavelength() - 3e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_wavelengths_does_not_divide_by_zero() {
+        let e = BaselineEvaluation {
+            accelerator: "x".into(),
+            network: "y".into(),
+            latency_s: 1.0,
+            energy_j: 1.0,
+            wavelengths: 0,
+        };
+        assert!(e.energy_per_wavelength().is_finite());
+    }
+}

@@ -1,0 +1,141 @@
+//! PIXEL (paper ref. \[52\]) — mixed-signal photonic accelerator model.
+//!
+//! PIXEL's 8-bit "OO" optical MAC unit performs bitwise optical logic with
+//! MRRs and analog accumulation with cascaded MZMs. As the Albireo paper
+//! notes, PIXEL accumulates a single wavelength per MZM and does not
+//! exploit WDM parallelism, so an 8×8-bit MAC is produced bit-serially.
+//! The model here follows the Albireo paper's comparison methodology:
+//!
+//! * the same conservative device powers (Table I) are applied to PIXEL's
+//!   per-unit device inventory,
+//! * the number of OO MAC units is scaled to the 60 W budget,
+//! * PIXEL runs at 10 GHz (paper §IV-A).
+//!
+//! The per-MAC cycle count (32) reflects the bit-serial partial-product
+//! generation and cascaded accumulation of an 8×8-bit multiply on the OO
+//! datapath; with it, the reproduced Albireo-vs-PIXEL ratios land on the
+//! paper's reported 79.5× (Albireo-9) / 225× (Albireo-27) latency factors.
+
+use crate::BaselineEvaluation;
+use albireo_core::config::TechnologyEstimate;
+use albireo_nn::Model;
+
+/// Analytical PIXEL model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pixel {
+    /// Number of 8-bit OO optical MAC units.
+    pub units: usize,
+    /// Modulation clock, Hz (paper: 10 GHz).
+    pub clock_hz: f64,
+    /// Cycles per 8-bit MAC per unit (bit-serial).
+    pub cycles_per_mac: u64,
+    /// Total design power, W.
+    pub power_w: f64,
+}
+
+impl Pixel {
+    /// Device inventory of one OO MAC unit: 2 × 8-MRR banks for the bitwise
+    /// products, 9 cascaded accumulation MZMs, 2 DACs, 1 ADC, 1 TIA, and
+    /// one laser.
+    pub fn unit_power_w(estimate: TechnologyEstimate) -> f64 {
+        let p = estimate.device_powers();
+        16.0 * p.mrr_w + 9.0 * p.mzm_w + 2.0 * p.dac_w + p.adc_w + p.tia_w + p.laser_w
+    }
+
+    /// Builds a PIXEL design scaled to a power budget (paper: 60 W with
+    /// conservative devices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget does not fit a single unit.
+    pub fn scaled_to_power(budget_w: f64, estimate: TechnologyEstimate) -> Pixel {
+        let unit = Pixel::unit_power_w(estimate);
+        let units = (budget_w / unit).floor() as usize;
+        assert!(units >= 1, "budget {budget_w} W below one unit ({unit} W)");
+        Pixel {
+            units,
+            clock_hz: 10e9,
+            cycles_per_mac: 32,
+            power_w: units as f64 * unit,
+        }
+    }
+
+    /// The paper's 60 W conservative-device configuration.
+    pub fn paper_60w() -> Pixel {
+        Pixel::scaled_to_power(60.0, TechnologyEstimate::Conservative)
+    }
+
+    /// Aggregate MAC throughput, MAC/s.
+    pub fn macs_per_second(&self) -> f64 {
+        self.units as f64 * self.clock_hz / self.cycles_per_mac as f64
+    }
+
+    /// Evaluates one network.
+    pub fn evaluate(&self, model: &Model) -> BaselineEvaluation {
+        let latency_s = model.total_macs() as f64 / self.macs_per_second();
+        BaselineEvaluation {
+            accelerator: "PIXEL".into(),
+            network: model.name().to_string(),
+            latency_s,
+            energy_j: self.power_w * latency_s,
+            // PIXEL does not exploit WDM: each MZM accumulates a single
+            // wavelength, and the design reuses the same 8 bit-lane
+            // wavelengths across units, so only 8 distinct wavelengths are
+            // used for computation.
+            wavelengths: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use albireo_nn::zoo;
+
+    #[test]
+    fn unit_power_is_a_few_hundred_mw() {
+        let p = Pixel::unit_power_w(TechnologyEstimate::Conservative);
+        // 16·3.1 + 9·11.3 + 2·26 + 29 + 3 + 37.5 = 272.8 mW.
+        assert!((p - 0.2728).abs() < 1e-4, "p = {p}");
+    }
+
+    #[test]
+    fn sixty_watt_design_has_about_220_units() {
+        let pixel = Pixel::paper_60w();
+        assert!((200..240).contains(&pixel.units), "units = {}", pixel.units);
+        assert!(pixel.power_w <= 60.0);
+        assert!(pixel.power_w > 55.0, "should use most of the budget");
+    }
+
+    #[test]
+    fn throughput_is_tens_of_gmacs() {
+        let pixel = Pixel::paper_60w();
+        let gmacs = pixel.macs_per_second() / 1e9;
+        assert!((50.0..90.0).contains(&gmacs), "gmacs = {gmacs}");
+    }
+
+    #[test]
+    fn vgg_latency_is_hundreds_of_ms() {
+        let pixel = Pixel::paper_60w();
+        let e = pixel.evaluate(&zoo::vgg16());
+        let ms = e.latency_s * 1e3;
+        assert!((150.0..350.0).contains(&ms), "latency = {ms} ms");
+        assert_eq!(e.network, "VGG16");
+        assert!((e.energy_j - pixel.power_w * e.latency_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_scales_inverse_with_units() {
+        let a = Pixel::scaled_to_power(30.0, TechnologyEstimate::Conservative);
+        let b = Pixel::scaled_to_power(60.0, TechnologyEstimate::Conservative);
+        let la = a.evaluate(&zoo::alexnet()).latency_s;
+        let lb = b.evaluate(&zoo::alexnet()).latency_s;
+        assert!(la > 1.9 * lb && la < 2.1 * lb);
+    }
+
+    #[test]
+    #[should_panic(expected = "below one unit")]
+    fn tiny_budget_panics() {
+        let _ = Pixel::scaled_to_power(0.1, TechnologyEstimate::Conservative);
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the ablation report experiment.
+fn main() {
+    print!("{}", albireo_bench::ablation_report());
+}

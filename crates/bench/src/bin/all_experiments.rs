@@ -1,0 +1,4 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+fn main() {
+    print!("{}", albireo_bench::all_experiments());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the allocation study experiment.
+fn main() {
+    print!("{}", albireo_bench::allocation_study());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the dataflow alternatives experiment.
+fn main() {
+    print!("{}", albireo_bench::dataflow_alternatives());
+}

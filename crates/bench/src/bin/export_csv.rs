@@ -1,0 +1,10 @@
+//! Writes machine-readable CSV series for every figure to ./results.
+fn main() -> std::io::Result<()> {
+    let dir = std::path::Path::new("results");
+    let files = albireo_bench::export_csv(dir)?;
+    println!("wrote {} files:", files.len());
+    for f in files {
+        println!("  {}", f.display());
+    }
+    Ok(())
+}

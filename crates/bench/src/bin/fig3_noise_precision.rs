@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig3 noise precision experiment.
+fn main() {
+    print!("{}", albireo_bench::fig3_noise_precision());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig4a spectrum experiment.
+fn main() {
+    print!("{}", albireo_bench::fig4a_spectrum());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig4b temporal experiment.
+fn main() {
+    print!("{}", albireo_bench::fig4b_temporal());
+}

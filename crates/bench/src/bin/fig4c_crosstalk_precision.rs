@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig4c crosstalk precision experiment.
+fn main() {
+    print!("{}", albireo_bench::fig4c_crosstalk_precision());
+}

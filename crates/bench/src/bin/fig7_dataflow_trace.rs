@@ -1,0 +1,4 @@
+//! Regenerates the fig7 dataflow trace experiment.
+fn main() {
+    print!("{}", albireo_bench::fig7_dataflow_trace());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig8 photonic comparison experiment.
+fn main() {
+    print!("{}", albireo_bench::fig8_photonic_comparison());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig9 area breakdown experiment.
+fn main() {
+    print!("{}", albireo_bench::fig9_area_breakdown());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the inference fidelity experiment.
+fn main() {
+    print!("{}", albireo_bench::inference_fidelity());
+}

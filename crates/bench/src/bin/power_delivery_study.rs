@@ -1,0 +1,4 @@
+//! Regenerates the power delivery study experiment.
+fn main() {
+    print!("{}", albireo_bench::power_delivery_study());
+}

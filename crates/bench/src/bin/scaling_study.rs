@@ -1,0 +1,4 @@
+//! Regenerates the scaling study experiment.
+fn main() {
+    print!("{}", albireo_bench::scaling_study());
+}

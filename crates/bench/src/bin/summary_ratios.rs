@@ -1,0 +1,4 @@
+//! Regenerates the paper's summary ratios experiment.
+fn main() {
+    print!("{}", albireo_bench::summary_ratios());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 device powers experiment.
+fn main() {
+    print!("{}", albireo_bench::table1_device_powers());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 optical params experiment.
+fn main() {
+    print!("{}", albireo_bench::table2_optical_params());
+}

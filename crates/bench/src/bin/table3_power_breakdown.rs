@@ -1,0 +1,4 @@
+//! Regenerates the paper's table3 power breakdown experiment.
+fn main() {
+    print!("{}", albireo_bench::table3_power_breakdown());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table4 electronic comparison experiment.
+fn main() {
+    print!("{}", albireo_bench::table4_electronic_comparison());
+}

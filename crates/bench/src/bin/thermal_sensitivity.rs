@@ -1,0 +1,4 @@
+//! Regenerates the thermal sensitivity experiment.
+fn main() {
+    print!("{}", albireo_bench::thermal_sensitivity());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the timing closure experiment.
+fn main() {
+    print!("{}", albireo_bench::timing_closure());
+}

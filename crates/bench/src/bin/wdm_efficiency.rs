@@ -1,0 +1,4 @@
+//! Regenerates the paper's wdm efficiency experiment.
+fn main() {
+    print!("{}", albireo_bench::wdm_efficiency());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the weight distribution study experiment.
+fn main() {
+    print!("{}", albireo_bench::weight_distribution_study());
+}

@@ -1,0 +1,15 @@
+//! Experiment-regeneration harness: one function per table/figure of the
+//! paper's evaluation.
+//!
+//! Each function returns the formatted experiment output as a `String`; the
+//! `src/bin/*` binaries print them, the integration tests assert on their
+//! contents, and EXPERIMENTS.md records the paper-vs-measured diff. Run
+//! everything with:
+//!
+//! ```text
+//! cargo run -p albireo-bench --bin all_experiments
+//! ```
+
+pub mod experiments;
+
+pub use experiments::*;

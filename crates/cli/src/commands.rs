@@ -1,0 +1,630 @@
+//! CLI subcommand implementations. Each command returns its output as a
+//! `String` so the dispatch layer stays testable.
+
+use crate::args::{ArgError, Args};
+use albireo_core::ablation::{sweep_nd, sweep_ng, sweep_nu};
+use albireo_core::area::AreaBreakdown;
+use albireo_core::config::{ChipConfig, TechnologyEstimate};
+use albireo_core::energy::NetworkEvaluation;
+use albireo_core::power::PowerBreakdown;
+use albireo_core::report::{format_joules, format_seconds, format_table, format_watts};
+use albireo_core::trace::{summarize, trace_kernel};
+use albireo_nn::{zoo, Model};
+use albireo_photonics::mrr::Microring;
+use albireo_photonics::precision::PrecisionModel;
+use albireo_photonics::OpticalParams;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments.
+    Args(ArgError),
+    /// Unknown subcommand or entity name.
+    Unknown(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Unknown(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> CliError {
+        CliError::Args(e)
+    }
+}
+
+/// The top-level usage text.
+pub const USAGE: &str = "\
+albireo — silicon-photonic CNN accelerator simulator (ISCA 2021 reproduction)
+
+USAGE:
+    albireo <command> [options]
+
+COMMANDS:
+    networks                          list the benchmark networks
+    evaluate <network>                run a network on the chip model
+        --estimate C|M|A  --ng N  [--no-stride-penalty]  [--per-layer N]
+    power      [--ng N] [--estimate C|M|A]    Table III power breakdown
+    area       [--ng N]                       Fig. 9 area breakdown
+    precision  [--k2 X] [--wavelengths N] [--laser-mw P]   Figs. 3/4 analysis
+    trace      [--rows R] [--cols C] [--channels Z]        Fig. 7 dataflow
+    sweep      --param ng|nd|nu --values A,B,C [--network NAME]
+    compare    [--network NAME]               photonic + electronic baselines
+    faults     [--dead-ring R,C,O] [--dead-channel C] [--stuck-mzm R,C,W]
+    experiment <name>|all                     regenerate a paper experiment
+    help                                      show this message
+";
+
+fn parse_network(name: &str) -> Result<Model, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "alexnet" => Ok(zoo::alexnet()),
+        "vgg16" | "vgg" => Ok(zoo::vgg16()),
+        "resnet18" | "resnet" => Ok(zoo::resnet18()),
+        "mobilenet" => Ok(zoo::mobilenet()),
+        "vgg19" => Ok(zoo::vgg19()),
+        "resnet34" => Ok(zoo::resnet34()),
+        "mobilenet-0.5" | "mobilenet_half" => Ok(zoo::mobilenet_half()),
+        "tiny" => Ok(zoo::tiny()),
+        other => Err(CliError::Unknown(format!(
+            "unknown network `{other}` (try: alexnet, vgg16, resnet18, mobilenet, \
+             vgg19, resnet34, mobilenet-0.5, tiny)"
+        ))),
+    }
+}
+
+fn parse_estimate(name: &str) -> Result<TechnologyEstimate, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "c" | "conservative" => Ok(TechnologyEstimate::Conservative),
+        "m" | "moderate" => Ok(TechnologyEstimate::Moderate),
+        "a" | "aggressive" => Ok(TechnologyEstimate::Aggressive),
+        other => Err(CliError::Unknown(format!(
+            "unknown estimate `{other}` (try: conservative, moderate, aggressive)"
+        ))),
+    }
+}
+
+fn chip_from(args: &Args) -> Result<ChipConfig, CliError> {
+    let ng = args.get_parsed_or("ng", 9usize, "a positive integer")?;
+    if ng == 0 {
+        return Err(CliError::Unknown("--ng must be at least 1".into()));
+    }
+    let mut chip = ChipConfig::with_ng(ng);
+    if args.flag("no-stride-penalty") {
+        chip.model_stride_penalty = false;
+    }
+    Ok(chip)
+}
+
+/// `albireo networks`
+pub fn networks() -> String {
+    let rows: Vec<Vec<String>> = zoo::all_benchmarks()
+        .iter()
+        .map(|m| {
+            vec![
+                m.name().to_string(),
+                m.layers().len().to_string(),
+                format!("{:.2}", m.total_macs() as f64 / 1e9),
+                format!("{:.1}", m.total_params() as f64 / 1e6),
+                m.input_shape().to_string(),
+            ]
+        })
+        .collect();
+    format_table(
+        &["network", "layers", "GMACs", "Mparams", "input"],
+        &rows,
+    )
+}
+
+/// `albireo evaluate <network> [...]`
+pub fn evaluate(args: &Args) -> Result<String, CliError> {
+    let name = args
+        .positionals()
+        .first()
+        .ok_or_else(|| CliError::Unknown("evaluate needs a network name".into()))?;
+    let model = parse_network(name)?;
+    let estimate = parse_estimate(args.get_or("estimate", "conservative"))?;
+    let chip = chip_from(args)?;
+    let eval = NetworkEvaluation::evaluate(&chip, estimate, &model);
+    let mut out = format!(
+        "{} on Albireo-{} (Ng={}):\n  latency {}  energy {}  EDP {:.3} mJ·ms\n  power {}  {:.0} GOPS  {:.1} GOPS/mm² ({:.0} active)  utilization {:.1}%\n",
+        eval.network,
+        estimate.suffix(),
+        chip.ng,
+        format_seconds(eval.latency_s),
+        format_joules(eval.energy_j),
+        eval.edp_mj_ms(),
+        format_watts(eval.power_w),
+        eval.gops(),
+        eval.gops_per_mm2(),
+        eval.gops_per_mm2_active(),
+        eval.mean_utilization() * 100.0,
+    );
+    let show = args.get_parsed_or("per-layer", 0usize, "a count")?;
+    if show > 0 {
+        let mut layers: Vec<_> = eval.per_layer.iter().filter(|l| l.cycles > 0).collect();
+        layers.sort_by_key(|l| std::cmp::Reverse(l.cycles));
+        let rows: Vec<Vec<String>> = layers
+            .iter()
+            .take(show)
+            .map(|l| {
+                vec![
+                    l.name.clone(),
+                    l.cycles.to_string(),
+                    format_seconds(l.latency_s),
+                    format!("{:.1}%", l.utilization * 100.0),
+                ]
+            })
+            .collect();
+        out.push_str(&format_table(
+            &["layer", "cycles", "latency", "utilization"],
+            &rows,
+        ));
+    }
+    Ok(out)
+}
+
+/// `albireo power [...]`
+pub fn power(args: &Args) -> Result<String, CliError> {
+    let chip = chip_from(args)?;
+    let estimate = parse_estimate(args.get_or("estimate", "conservative"))?;
+    let b = PowerBreakdown::for_chip(&chip, estimate);
+    let rows: Vec<Vec<String>> = b
+        .rows()
+        .into_iter()
+        .map(|(name, w, portion)| {
+            vec![
+                name.to_string(),
+                format_watts(w),
+                format!("{:.1}%", portion * 100.0),
+            ]
+        })
+        .collect();
+    Ok(format!(
+        "{}\nTotal: {}\n",
+        format_table(&["device", "power", "portion"], &rows),
+        format_watts(b.total_w())
+    ))
+}
+
+/// `albireo area [...]`
+pub fn area(args: &Args) -> Result<String, CliError> {
+    let chip = chip_from(args)?;
+    let a = AreaBreakdown::for_chip(&chip);
+    let rows: Vec<Vec<String>> = a
+        .rows()
+        .into_iter()
+        .map(|(name, mm2, portion)| {
+            vec![
+                name.to_string(),
+                format!("{mm2:.3} mm²"),
+                format!("{:.1}%", portion * 100.0),
+            ]
+        })
+        .collect();
+    Ok(format!(
+        "{}\nTotal: {:.1} mm² (active {:.1} mm²)\n",
+        format_table(&["component", "area", "portion"], &rows),
+        a.total_mm2(),
+        a.active_mm2()
+    ))
+}
+
+/// `albireo precision [...]`
+pub fn precision(args: &Args) -> Result<String, CliError> {
+    let k2 = args.get_parsed_or("k2", 0.03f64, "a coupling coefficient in (0,1)")?;
+    if !(0.0..1.0).contains(&k2) || k2 == 0.0 {
+        return Err(CliError::Unknown(format!("--k2 must be in (0,1), got {k2}")));
+    }
+    let n = args.get_parsed_or("wavelengths", 21usize, "a wavelength count")?;
+    if n == 0 {
+        return Err(CliError::Unknown("--wavelengths must be at least 1".into()));
+    }
+    let laser_mw = args.get_parsed_or("laser-mw", 2.0f64, "a power in mW")?;
+    let params = OpticalParams::paper();
+    let ring = Microring::with_k2(&params, k2);
+    let model = PrecisionModel::paper();
+    let noise_bits = model.noise_limited_bits(n, laser_mw * 1e-3);
+    let xtalk = model.crosstalk_limited_levels(&ring, n);
+    let combined = model.combined_levels(&ring, n, laser_mw * 1e-3);
+    Ok(format!(
+        "ring: k²={k2}, FSR {:.2} nm, FWHM {:.3} nm, finesse {:.0}, bandwidth {:.1} GHz\n\
+         at {n} wavelengths, {laser_mw} mW/channel at the PD:\n\
+           noise-limited:     {:.2} bits\n\
+           crosstalk-limited: {:.2} bits ({:.2} with negative rail)\n\
+           combined:          {:.2} bits ({:.2} with negative rail)\n",
+        ring.fsr() * 1e9,
+        ring.fwhm() * 1e9,
+        ring.finesse(),
+        ring.bandwidth_hz() / 1e9,
+        noise_bits,
+        xtalk.log2(),
+        PrecisionModel::with_negative_rail(xtalk).log2(),
+        combined.log2(),
+        PrecisionModel::with_negative_rail(combined).log2(),
+    ))
+}
+
+/// `albireo trace [...]`
+pub fn trace(args: &Args) -> Result<String, CliError> {
+    let rows = args.get_parsed_or("rows", 1usize, "a row count")?;
+    let cols = args.get_parsed_or("cols", 12usize, "a column count")?;
+    let channels = args.get_parsed_or("channels", 9usize, "a channel count")?;
+    if rows == 0 || cols == 0 || channels == 0 {
+        return Err(CliError::Unknown("trace dimensions must be positive".into()));
+    }
+    let chip = chip_from(args)?;
+    let cycles = trace_kernel(&chip, 0, rows, cols, channels);
+    let mut out = String::new();
+    for c in cycles.iter().take(24) {
+        out.push_str(&format!("{c}\n"));
+    }
+    if cycles.len() > 24 {
+        out.push_str(&format!("... ({} more cycles)\n", cycles.len() - 24));
+    }
+    let s = summarize(&cycles);
+    out.push_str(&format!(
+        "{} cycles, {} outputs, {} partial updates, {} writebacks\n",
+        s.cycles, s.outputs_written, s.partial_updates, s.writebacks
+    ));
+    Ok(out)
+}
+
+/// `albireo sweep --param ... --values ...`
+pub fn sweep(args: &Args) -> Result<String, CliError> {
+    let param = args
+        .get("param")
+        .ok_or(ArgError::MissingOption("param".into()))?;
+    let values: Vec<usize> = args
+        .get_list("values", "comma-separated integers")?
+        .ok_or(ArgError::MissingOption("values".into()))?;
+    let network = parse_network(args.get_or("network", "vgg16"))?;
+    let estimate = parse_estimate(args.get_or("estimate", "conservative"))?;
+    let points = match param {
+        "ng" => sweep_ng(&values, estimate, &network),
+        "nd" => sweep_nd(&values, estimate, &network),
+        "nu" => sweep_nu(&values, estimate, &network),
+        other => {
+            return Err(CliError::Unknown(format!(
+                "unknown sweep parameter `{other}` (try: ng, nd, nu)"
+            )))
+        }
+    };
+    let rows: Vec<Vec<String>> = points
+        .into_iter()
+        .map(|p| {
+            vec![
+                p.label,
+                format!("{:.2}", p.power_w),
+                format!("{:.0}", p.area_mm2),
+                format_seconds(p.latency_s),
+                format!("{:.2}", p.edp_mj_ms),
+                format!("{:.2}", p.precision_bits),
+            ]
+        })
+        .collect();
+    Ok(format_table(
+        &["design", "power (W)", "area (mm²)", "latency", "EDP (mJ·ms)", "bits"],
+        &rows,
+    ))
+}
+
+/// `albireo compare [...]`
+pub fn compare(args: &Args) -> Result<String, CliError> {
+    let network = parse_network(args.get_or("network", "vgg16"))?;
+    let pixel = albireo_baselines::Pixel::paper_60w().evaluate(&network);
+    let deap = albireo_baselines::DeapCnn::paper_60w().evaluate(&network);
+    let a27 = NetworkEvaluation::evaluate(
+        &ChipConfig::albireo_27(),
+        TechnologyEstimate::Conservative,
+        &network,
+    );
+    let mut rows = vec![
+        vec![
+            "PIXEL (60 W)".to_string(),
+            format_seconds(pixel.latency_s),
+            format_joules(pixel.energy_j),
+            format!("{:.3}", pixel.edp_mj_ms()),
+        ],
+        vec![
+            "DEAP-CNN (60 W)".to_string(),
+            format_seconds(deap.latency_s),
+            format_joules(deap.energy_j),
+            format!("{:.3}", deap.edp_mj_ms()),
+        ],
+        vec![
+            "Albireo-27 (58.9 W)".to_string(),
+            format_seconds(a27.latency_s),
+            format_joules(a27.energy_j),
+            format!("{:.3}", a27.edp_mj_ms()),
+        ],
+    ];
+    for acc in albireo_baselines::reported_accelerators() {
+        if let Some(r) = acc.results.get(network.name()) {
+            rows.push(vec![
+                format!("{} ({} nm, reported)", acc.name, acc.technology_nm),
+                format_seconds(r.latency_s),
+                format_joules(r.energy_j),
+                format!("{:.3}", r.edp_mj_ms()),
+            ]);
+        }
+    }
+    Ok(format!(
+        "{}:\n{}",
+        network.name(),
+        format_table(&["accelerator", "latency", "energy", "EDP (mJ·ms)"], &rows)
+    ))
+}
+
+/// `albireo faults [...]` — inject hardware faults into the analog engine
+/// and report the error impact on a reference convolution.
+pub fn faults(args: &Args) -> Result<String, CliError> {
+    use albireo_core::analog::{AnalogEngine, AnalogSimConfig, Fault, FaultSet};
+    use albireo_tensor::conv::{conv2d, ConvSpec};
+    use albireo_tensor::{Tensor3, Tensor4};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut set = FaultSet::new();
+    if let Some(parts) = args.get_list::<usize>("dead-ring", "R,C,O integers")? {
+        if parts.len() != 3 {
+            return Err(CliError::Unknown("--dead-ring needs R,C,O".into()));
+        }
+        set.push(Fault::DeadRing {
+            row: parts[0],
+            col: parts[1],
+            output: parts[2],
+        });
+    }
+    if let Some(c) = args.get_parsed_or("dead-channel", usize::MAX, "a column index").ok().filter(|&c| c != usize::MAX) {
+        set.push(Fault::DeadChannel { column: c });
+    }
+    if let Some(raw) = args.get("stuck-mzm") {
+        let parts: Vec<&str> = raw.split(',').collect();
+        if parts.len() != 3 {
+            return Err(CliError::Unknown("--stuck-mzm needs R,C,W".into()));
+        }
+        let row = parts[0].trim().parse().map_err(|_| CliError::Unknown("bad R".into()))?;
+        let col = parts[1].trim().parse().map_err(|_| CliError::Unknown("bad C".into()))?;
+        let weight = parts[2].trim().parse().map_err(|_| CliError::Unknown("bad W".into()))?;
+        set.push(Fault::StuckMzm { row, col, weight });
+    }
+
+    let chip = chip_from(args)?;
+    let mut rng = StdRng::seed_from_u64(1550);
+    let input = Tensor3::random_uniform(3, 12, 12, 0.0, 1.0, &mut rng);
+    let kernels = Tensor4::random_gaussian(2, 3, 3, 3, 0.3, &mut rng);
+    let spec = ConvSpec::unit();
+    let reference = conv2d(&input, &kernels, &spec);
+    let fs = input.max_abs() * kernels.max_abs() * 27.0;
+
+    let healthy = {
+        let mut e = AnalogEngine::new(&chip, AnalogSimConfig::default());
+        e.conv2d(&input, &kernels, &spec).max_abs_diff(&reference) / fs
+    };
+    let faulty = {
+        let mut e = AnalogEngine::new(&chip, AnalogSimConfig::default());
+        let n = set.len();
+        e.inject_faults(set);
+        let err = e.conv2d(&input, &kernels, &spec).max_abs_diff(&reference) / fs;
+        (err, n)
+    };
+    Ok(format!(
+        "reference 3x3x3 convolution, {} fault(s) injected:\n  healthy error: {:.3e} of full scale ({:.1} effective bits)\n  faulty  error: {:.3e} of full scale ({:.1} effective bits)\n  degradation:   {:.1}x\n",
+        faulty.1,
+        healthy,
+        -healthy.log2(),
+        faulty.0,
+        -faulty.0.log2(),
+        faulty.0 / healthy,
+    ))
+}
+
+/// `albireo experiment <name>|all`
+pub fn experiment(args: &Args) -> Result<String, CliError> {
+    let name = args
+        .positionals()
+        .first()
+        .map(String::as_str)
+        .unwrap_or("all");
+    let out = match name {
+        "all" => albireo_bench::all_experiments(),
+        "fig3" => albireo_bench::fig3_noise_precision(),
+        "fig4a" => albireo_bench::fig4a_spectrum(),
+        "fig4b" => albireo_bench::fig4b_temporal(),
+        "fig4c" => albireo_bench::fig4c_crosstalk_precision(),
+        "fig7" => albireo_bench::fig7_dataflow_trace(),
+        "fig8" => albireo_bench::fig8_photonic_comparison(),
+        "fig9" => albireo_bench::fig9_area_breakdown(),
+        "table1" => albireo_bench::table1_device_powers(),
+        "table2" => albireo_bench::table2_optical_params(),
+        "table3" => albireo_bench::table3_power_breakdown(),
+        "table4" => albireo_bench::table4_electronic_comparison(),
+        "wdm" => albireo_bench::wdm_efficiency(),
+        "summary" => albireo_bench::summary_ratios(),
+        "ablations" => albireo_bench::ablation_report(),
+        "thermal" => albireo_bench::thermal_sensitivity(),
+        "timing" => albireo_bench::timing_closure(),
+        "power-delivery" => albireo_bench::power_delivery_study(),
+        "weights" => albireo_bench::weight_distribution_study(),
+        "scaling" => albireo_bench::scaling_study(),
+        "fidelity" => albireo_bench::inference_fidelity(),
+        "dataflow" => albireo_bench::dataflow_alternatives(),
+        "allocation" => albireo_bench::allocation_study(),
+        other => {
+            return Err(CliError::Unknown(format!(
+                "unknown experiment `{other}` (try: all, fig3, fig4a, fig4b, fig4c, fig7, fig8, \
+                 fig9, table1..table4, wdm, summary, ablations, thermal, timing, \
+                 power-delivery, weights, scaling, fidelity, dataflow, allocation)"
+            )))
+        }
+    };
+    Ok(out)
+}
+
+/// Dispatches a subcommand, returning its printable output.
+pub fn dispatch(command: &str, args: &Args) -> Result<String, CliError> {
+    match command {
+        "networks" => Ok(networks()),
+        "evaluate" => evaluate(args),
+        "power" => power(args),
+        "area" => area(args),
+        "precision" => precision(args),
+        "trace" => trace(args),
+        "sweep" => sweep(args),
+        "compare" => compare(args),
+        "faults" => faults(args),
+        "experiment" => experiment(args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Unknown(format!(
+            "unknown command `{other}`; run `albireo help`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(list.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn networks_lists_all_four() {
+        let out = networks();
+        for name in ["AlexNet", "VGG16", "ResNet18", "MobileNet"] {
+            assert!(out.contains(name));
+        }
+    }
+
+    #[test]
+    fn evaluate_happy_path() {
+        let out = evaluate(&args(&["vgg16", "--estimate", "m", "--ng", "27"])).unwrap();
+        assert!(out.contains("VGG16"));
+        assert!(out.contains("Albireo-M"));
+        assert!(out.contains("Ng=27"));
+    }
+
+    #[test]
+    fn evaluate_per_layer_listing() {
+        let out = evaluate(&args(&["alexnet", "--per-layer", "3"])).unwrap();
+        assert!(out.contains("layer"));
+        assert!(out.lines().count() > 5);
+    }
+
+    #[test]
+    fn evaluate_unknown_network() {
+        let err = evaluate(&args(&["lenet"])).unwrap_err();
+        assert!(err.to_string().contains("lenet"));
+    }
+
+    #[test]
+    fn power_reports_total() {
+        let out = power(&args(&["--estimate", "conservative"])).unwrap();
+        assert!(out.contains("22.7"), "{out}");
+    }
+
+    #[test]
+    fn area_reports_total() {
+        let out = area(&args(&[])).unwrap();
+        assert!(out.contains("125.1"), "{out}");
+    }
+
+    #[test]
+    fn precision_defaults_to_paper_point() {
+        let out = precision(&args(&[])).unwrap();
+        assert!(out.contains("k²=0.03"));
+        assert!(out.contains("crosstalk-limited"));
+    }
+
+    #[test]
+    fn precision_rejects_bad_k2() {
+        assert!(precision(&args(&["--k2", "2.0"])).is_err());
+        assert!(precision(&args(&["--wavelengths", "0"])).is_err());
+    }
+
+    #[test]
+    fn trace_shows_writebacks() {
+        let out = trace(&args(&["--rows", "1", "--cols", "5", "--channels", "9"])).unwrap();
+        assert!(out.contains("write"));
+        assert!(out.contains("3 cycles"));
+    }
+
+    #[test]
+    fn sweep_requires_param_and_values() {
+        assert!(sweep(&args(&["--values", "3,9"])).is_err());
+        assert!(sweep(&args(&["--param", "ng"])).is_err());
+        let out = sweep(&args(&["--param", "ng", "--values", "3,9"])).unwrap();
+        assert!(out.contains("Ng=3"));
+        assert!(out.contains("Ng=9"));
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_param() {
+        let err = sweep(&args(&["--param", "nz", "--values", "1"])).unwrap_err();
+        assert!(err.to_string().contains("nz"));
+    }
+
+    #[test]
+    fn compare_includes_all_baselines() {
+        let out = compare(&args(&["--network", "alexnet"])).unwrap();
+        for name in ["PIXEL", "DEAP-CNN", "Albireo-27", "Eyeriss", "ENVISION", "UNPU"] {
+            assert!(out.contains(name), "missing {name} in {out}");
+        }
+    }
+
+    #[test]
+    fn experiment_dispatch() {
+        let out = experiment(&args(&["fig9"])).unwrap();
+        assert!(out.contains("area breakdown"));
+        assert!(experiment(&args(&["nonsense"])).is_err());
+    }
+
+    #[test]
+    fn dispatch_routes_and_rejects() {
+        assert!(dispatch("networks", &args(&[])).is_ok());
+        assert!(dispatch("help", &args(&[])).unwrap().contains("USAGE"));
+        assert!(dispatch("frobnicate", &args(&[])).is_err());
+    }
+
+    #[test]
+    fn faults_command_reports_degradation() {
+        let healthy = faults(&args(&[])).unwrap();
+        assert!(healthy.contains("0 fault(s)"));
+        let broken = faults(&args(&["--dead-channel", "1"])).unwrap();
+        assert!(broken.contains("1 fault(s)"));
+        assert!(broken.contains("degradation"));
+    }
+
+    #[test]
+    fn faults_command_validates_triples() {
+        assert!(faults(&args(&["--dead-ring", "1,2"])).is_err());
+        assert!(faults(&args(&["--stuck-mzm", "1,2"])).is_err());
+        assert!(faults(&args(&["--dead-ring", "1,2,3"])).is_ok());
+        assert!(faults(&args(&["--stuck-mzm", "0,0,0.5"])).is_ok());
+    }
+
+    #[test]
+    fn extension_networks_evaluate() {
+        for name in ["vgg19", "resnet34", "mobilenet-0.5", "tiny"] {
+            let out = evaluate(&args(&[name])).unwrap();
+            assert!(out.contains("latency"), "{name}: {out}");
+        }
+    }
+
+    #[test]
+    fn stride_penalty_flag_changes_result() {
+        let with = evaluate(&args(&["alexnet"])).unwrap();
+        let without = evaluate(&args(&["alexnet", "--no-stride-penalty"])).unwrap();
+        assert_ne!(with, without);
+    }
+}

@@ -1,0 +1,38 @@
+//! `albireo` — the command-line front end of the Albireo silicon-photonic
+//! CNN accelerator simulator.
+//!
+//! ```text
+//! albireo evaluate vgg16 --estimate conservative --ng 9
+//! albireo sweep --param ng --values 3,9,27
+//! albireo experiment table4
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let mut raw = std::env::args().skip(1);
+    let command = match raw.next() {
+        Some(c) => c,
+        None => {
+            print!("{}", commands::USAGE);
+            return;
+        }
+    };
+    let parsed = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match commands::dispatch(&command, &parsed) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

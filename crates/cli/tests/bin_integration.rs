@@ -1,0 +1,90 @@
+//! End-to-end tests of the `albireo` binary itself (spawned as a real
+//! process, exercising argument parsing, exit codes, and output).
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_albireo"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let (stdout, _, ok) = run(&[]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _, ok) = run(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("COMMANDS"));
+}
+
+#[test]
+fn evaluate_outputs_metrics() {
+    let (stdout, _, ok) = run(&["evaluate", "alexnet", "--estimate", "c"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("AlexNet"));
+    assert!(stdout.contains("latency"));
+    assert!(stdout.contains("EDP"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("frobnicate"));
+}
+
+#[test]
+fn unknown_network_fails_cleanly() {
+    let (_, stderr, ok) = run(&["evaluate", "lenet"]);
+    assert!(!ok);
+    assert!(stderr.contains("lenet"));
+}
+
+#[test]
+fn missing_option_value_is_a_parse_error() {
+    let (_, stderr, ok) = run(&["evaluate", "vgg16", "--ng"]);
+    assert!(!ok);
+    assert!(stderr.contains("requires a value"));
+}
+
+#[test]
+fn power_matches_table_iii() {
+    let (stdout, _, ok) = run(&["power"]);
+    assert!(ok);
+    assert!(stdout.contains("22.7"), "{stdout}");
+}
+
+#[test]
+fn sweep_end_to_end() {
+    let (stdout, _, ok) = run(&["sweep", "--param", "ng", "--values", "9,27", "--network", "alexnet"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("Ng=9"));
+    assert!(stdout.contains("Ng=27"));
+}
+
+#[test]
+fn experiment_fig9_end_to_end() {
+    let (stdout, _, ok) = run(&["experiment", "fig9"]);
+    assert!(ok);
+    assert!(stdout.contains("AWG"));
+    assert!(stdout.contains("124") || stdout.contains("125"));
+}
+
+#[test]
+fn precision_end_to_end() {
+    let (stdout, _, ok) = run(&["precision", "--k2", "0.03", "--wavelengths", "20"]);
+    assert!(ok);
+    assert!(stdout.contains("crosstalk-limited"));
+}

@@ -1,0 +1,221 @@
+//! Ablation studies of the Albireo design choices (the per-design-point
+//! sensitivity analysis DESIGN.md calls out for `Ng`, `Nd`, `Nu`, the
+//! stride model, and the depth-first dataflow).
+
+use crate::config::{ChipConfig, PlcuConfig, TechnologyEstimate};
+use crate::energy::NetworkEvaluation;
+use crate::power::PowerBreakdown;
+use crate::{area::AreaBreakdown, sched::total_cycles};
+use albireo_nn::stats::workload_stats;
+use albireo_nn::Model;
+use albireo_photonics::mrr::Microring;
+use albireo_photonics::precision::PrecisionModel;
+use albireo_photonics::OpticalParams;
+
+/// One design point of an architecture sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Human-readable label (e.g. `Ng=9`).
+    pub label: String,
+    /// The configuration.
+    pub chip: ChipConfig,
+    /// Chip power, W.
+    pub power_w: f64,
+    /// Chip area, mm².
+    pub area_mm2: f64,
+    /// Network latency, s.
+    pub latency_s: f64,
+    /// Network EDP, mJ·ms.
+    pub edp_mj_ms: f64,
+    /// Crosstalk-limited precision of the PLCU's wavelength count, bits
+    /// (negative rail included).
+    pub precision_bits: f64,
+}
+
+fn design_point(label: String, chip: ChipConfig, estimate: TechnologyEstimate, model: &Model) -> DesignPoint {
+    let eval = NetworkEvaluation::evaluate(&chip, estimate, model);
+    let precision = plcu_precision_bits(&chip);
+    DesignPoint {
+        label,
+        chip,
+        power_w: PowerBreakdown::for_chip(&chip, estimate).total_w(),
+        area_mm2: AreaBreakdown::for_chip(&chip).total_mm2(),
+        latency_s: eval.latency_s,
+        edp_mj_ms: eval.edp_mj_ms(),
+        precision_bits: precision,
+    }
+}
+
+/// Crosstalk-limited precision (bits, negative rail included) for a chip's
+/// per-PLCU wavelength count.
+pub fn plcu_precision_bits(chip: &ChipConfig) -> f64 {
+    let ring = Microring::from_params(&OpticalParams::paper());
+    let model = PrecisionModel::paper();
+    let levels = model.crosstalk_limited_levels(&ring, chip.wavelengths_per_plcu());
+    PrecisionModel::with_negative_rail(levels).log2()
+}
+
+/// Sweeps the PLCG count (`Ng`), the chip-level parallelism knob.
+pub fn sweep_ng(values: &[usize], estimate: TechnologyEstimate, model: &Model) -> Vec<DesignPoint> {
+    values
+        .iter()
+        .map(|&ng| design_point(format!("Ng={ng}"), ChipConfig::with_ng(ng), estimate, model))
+        .collect()
+}
+
+/// Sweeps the PLCU output-column count (`Nd`), which trades receptive-field
+/// parallelism against wavelength count and hence precision.
+pub fn sweep_nd(values: &[usize], estimate: TechnologyEstimate, model: &Model) -> Vec<DesignPoint> {
+    values
+        .iter()
+        .map(|&nd| {
+            let mut chip = ChipConfig::albireo_9();
+            chip.plcu = PlcuConfig { nm: chip.plcu.nm, nd };
+            design_point(format!("Nd={nd}"), chip, estimate, model)
+        })
+        .collect()
+}
+
+/// Sweeps the PLCUs-per-group count (`Nu`); larger `Nu` needs a wider
+/// distribution network than the paper's 64 wavelengths.
+pub fn sweep_nu(values: &[usize], estimate: TechnologyEstimate, model: &Model) -> Vec<DesignPoint> {
+    values
+        .iter()
+        .map(|&nu| {
+            let mut chip = ChipConfig::albireo_9();
+            chip.nu = nu;
+            design_point(format!("Nu={nu}"), chip, estimate, model)
+        })
+        .collect()
+}
+
+/// Stride-penalty ablation: cycle counts with and without modelling the
+/// reduced receptive-field parallelism of strided convolutions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrideAblation {
+    /// Cycles with the penalty modelled (default).
+    pub with_penalty: u64,
+    /// Cycles with full `Nd` parallelism assumed at any stride.
+    pub without_penalty: u64,
+}
+
+impl StrideAblation {
+    /// Relative slowdown introduced by the penalty.
+    pub fn slowdown(&self) -> f64 {
+        self.with_penalty as f64 / self.without_penalty as f64
+    }
+}
+
+/// Runs the stride ablation for one network.
+pub fn stride_ablation(model: &Model) -> StrideAblation {
+    let mut chip = ChipConfig::albireo_9();
+    chip.model_stride_penalty = true;
+    let with_penalty = total_cycles(&chip, model);
+    chip.model_stride_penalty = false;
+    let without_penalty = total_cycles(&chip, model);
+    StrideAblation {
+        with_penalty,
+        without_penalty,
+    }
+}
+
+/// Depth-first dataflow ablation: memory traffic with Albireo's stationary
+/// accumulation vs a dataflow that spills partial sums.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataflowAblation {
+    /// Bytes moved with depth-first aggregation.
+    pub depth_first_bytes: u64,
+    /// Bytes moved when partials spill to memory.
+    pub spilling_bytes: u64,
+    /// Extra memory energy of the spilling dataflow, J (at the global
+    /// buffer's per-byte access energy).
+    pub extra_energy_j: f64,
+}
+
+/// Runs the dataflow ablation for one network.
+pub fn dataflow_ablation(model: &Model, chip: &ChipConfig) -> DataflowAblation {
+    let stats = workload_stats(model, chip.nu);
+    let mem = crate::memory::MemoryModel::paper();
+    DataflowAblation {
+        depth_first_bytes: stats.traffic_bytes,
+        spilling_bytes: stats.traffic_bytes + stats.avoided_partial_bytes,
+        extra_energy_j: mem.buffer_access_energy_j(stats.avoided_partial_bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use albireo_nn::zoo;
+
+    #[test]
+    fn ng_sweep_trades_power_for_latency() {
+        let points = sweep_ng(&[3, 9, 27], TechnologyEstimate::Conservative, &zoo::vgg16());
+        assert_eq!(points.len(), 3);
+        for pair in points.windows(2) {
+            assert!(pair[1].power_w > pair[0].power_w);
+            assert!(pair[1].area_mm2 > pair[0].area_mm2);
+            assert!(pair[1].latency_s < pair[0].latency_s);
+        }
+    }
+
+    #[test]
+    fn ng_sweep_edp_improves_with_scale_on_vgg() {
+        // Latency falls ~linearly while power rises sub-linearly (the
+        // laser/modulator bank is shared), so EDP keeps improving.
+        let points = sweep_ng(&[3, 9, 27], TechnologyEstimate::Conservative, &zoo::vgg16());
+        for pair in points.windows(2) {
+            assert!(pair[1].edp_mj_ms < pair[0].edp_mj_ms);
+        }
+    }
+
+    #[test]
+    fn nd_sweep_trades_precision_for_latency() {
+        let points = sweep_nd(&[3, 5, 7], TechnologyEstimate::Conservative, &zoo::vgg16());
+        for pair in points.windows(2) {
+            assert!(pair[1].latency_s < pair[0].latency_s);
+            assert!(pair[1].precision_bits < pair[0].precision_bits);
+        }
+        // The paper's Nd = 5 point keeps ~7 bits.
+        let nd5 = &points[1];
+        assert!((6.5..7.2).contains(&nd5.precision_bits), "{}", nd5.precision_bits);
+    }
+
+    #[test]
+    fn nu_sweep_hits_wavelength_wall() {
+        let points = sweep_nu(&[2, 3, 4], TechnologyEstimate::Conservative, &zoo::vgg16());
+        // Nu = 3 is the largest fitting 64 distribution wavelengths.
+        assert!(points[1].chip.wavelengths_per_plcg() <= 64);
+        assert!(points[2].chip.wavelengths_per_plcg() > 64);
+        assert!(points[2].latency_s < points[1].latency_s);
+    }
+
+    #[test]
+    fn stride_ablation_only_affects_strided_networks() {
+        // VGG16 is stride-1 everywhere: no penalty.
+        let vgg = stride_ablation(&zoo::vgg16());
+        assert_eq!(vgg.with_penalty, vgg.without_penalty);
+        assert!((vgg.slowdown() - 1.0).abs() < 1e-12);
+        // AlexNet's stride-4 conv1 and ResNet's stride-2 convs pay.
+        let alex = stride_ablation(&zoo::alexnet());
+        assert!(alex.slowdown() > 1.05, "{}", alex.slowdown());
+        let resnet = stride_ablation(&zoo::resnet18());
+        assert!(resnet.slowdown() > 1.0);
+    }
+
+    #[test]
+    fn dataflow_ablation_quantifies_depth_first_benefit() {
+        let chip = ChipConfig::albireo_9();
+        let a = dataflow_ablation(&zoo::vgg16(), &chip);
+        assert!(a.spilling_bytes > a.depth_first_bytes);
+        // VGG16 avoids hundreds of MB of partial traffic.
+        assert!(a.spilling_bytes - a.depth_first_bytes > 100_000_000);
+        assert!(a.extra_energy_j > 0.0);
+    }
+
+    #[test]
+    fn precision_helper_matches_paper_point() {
+        let bits = plcu_precision_bits(&ChipConfig::albireo_9());
+        assert!((6.5..7.2).contains(&bits), "{bits}");
+    }
+}

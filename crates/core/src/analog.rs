@@ -1,0 +1,1183 @@
+//! Functional analog simulation of the Albireo photonic datapath.
+//!
+//! Where [`crate::sched`] and [`crate::energy`] model *performance*, this
+//! module models *function*: it pushes real tensors through the physical
+//! signal chain —
+//!
+//! 1. inputs normalized to optical powers and modulated onto the PLCU's
+//!    wavelengths,
+//! 2. star-coupler multicast of each kernel row's `Nd + Wx − 1` channels,
+//! 3. MZM multiplication (every wavelength on a waveguide scaled by the
+//!    same kernel weight, Eq. 2),
+//! 4. MRR switching onto the positive/negative rails with inter-channel
+//!    crosstalk leakage (the dominant precision limit, §II-C2) and
+//!    off-state leakage,
+//! 5. balanced photodetection (Eq. 4) with RIN/shot/thermal noise
+//!    sampling (Eq. 5/6),
+//! 6. TIA + ADC quantization and digital depth-first accumulation over
+//!    `⌈Wz/Nu⌉` cycles (Algorithm 2).
+//!
+//! The result is validated against the digital golden model in
+//! `albireo-tensor` within the precision bound predicted by
+//! `albireo-photonics::precision`.
+
+use crate::config::ChipConfig;
+use albireo_photonics::link::LinkBudget;
+use albireo_photonics::mrr::Microring;
+use albireo_photonics::noise::NoiseParams;
+use albireo_photonics::photodiode::BalancedPd;
+use albireo_photonics::precision::PrecisionModel;
+use albireo_tensor::conv::ConvSpec;
+use albireo_tensor::{output_extent, Tensor3, Tensor4};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the analog simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalogSimConfig {
+    /// Per-wavelength laser power, W (paper Fig. 3 anchor: 2 mW).
+    pub laser_power_w: f64,
+    /// ADC resolution, bits (paper: 8-bit converters).
+    pub adc_bits: u32,
+    /// Sample receiver noise (RIN/shot/thermal).
+    pub enable_noise: bool,
+    /// Model MRR inter-channel and off-state crosstalk.
+    pub enable_crosstalk: bool,
+    /// Wavelength-to-channel allocation strategy (see
+    /// [`ChannelAllocation`]).
+    pub allocation: ChannelAllocation,
+    /// Digitally pre-compensate the deterministic crosstalk leakage: the
+    /// controller knows what it transmitted, so it can subtract the
+    /// predicted inter-channel interference from each detected partial —
+    /// an architectural extension beyond the paper (its §II-C treats
+    /// crosstalk as an uncorrected precision limit).
+    pub crosstalk_compensation: bool,
+    /// RNG seed for noise sampling (the simulation is deterministic per
+    /// seed).
+    pub seed: u64,
+}
+
+impl Default for AnalogSimConfig {
+    fn default() -> AnalogSimConfig {
+        AnalogSimConfig {
+            laser_power_w: 2e-3,
+            adc_bits: 8,
+            enable_noise: true,
+            enable_crosstalk: true,
+            allocation: ChannelAllocation::Contiguous,
+            crosstalk_compensation: false,
+            seed: 0xA1B1_2E00,
+        }
+    }
+}
+
+/// How the PLCU's wavelengths are assigned to multicast columns.
+///
+/// The paper's Fig. 5 assigns each kernel row a *contiguous* block of
+/// `Nd + Wx − 1` channels, so a ring's nearest spectral neighbours are the
+/// row's own data channels. Interleaving the rows across the FSR (row `r`
+/// takes slots `r, r + Wy, r + 2·Wy, …`) multiplies each ring's
+/// nearest-neighbour detuning by `Wy`, cutting intra-row crosstalk — an
+/// allocation optimization beyond the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChannelAllocation {
+    /// Each row's channels occupy adjacent wavelength slots (the paper's
+    /// layout).
+    #[default]
+    Contiguous,
+    /// Rows are interleaved: adjacent slots belong to different rows, so
+    /// same-row channels sit `Wy` slots apart.
+    RowInterleaved,
+}
+
+/// A hardware fault injected into the analog datapath, for reliability
+/// studies. Faults apply uniformly to every PLCU of the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// A switching ring stuck off: the crossing at (kernel row, kernel
+    /// column, output column) never drops its signal onto its rail.
+    DeadRing {
+        /// Kernel row of the crossing.
+        row: usize,
+        /// Kernel column of the crossing.
+        col: usize,
+        /// Output column of the crossing.
+        output: usize,
+    },
+    /// A weight MZM stuck at a fixed (signed, normalized) transmission.
+    StuckMzm {
+        /// Kernel row of the modulator.
+        row: usize,
+        /// Kernel column of the modulator.
+        col: usize,
+        /// The stuck weight in `[-1, 1]`.
+        weight: f64,
+    },
+    /// A dead laser/modulator: the multicast column carries no power.
+    DeadChannel {
+        /// Multicast column index (`0..Nd + Wx − 1`).
+        column: usize,
+    },
+}
+
+/// A set of injected faults.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSet {
+    faults: Vec<Fault>,
+}
+
+impl FaultSet {
+    /// An empty (healthy) fault set.
+    pub fn new() -> FaultSet {
+        FaultSet::default()
+    }
+
+    /// Adds a fault.
+    pub fn push(&mut self, fault: Fault) -> &mut FaultSet {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Whether no faults are present.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    fn ring_dead(&self, row: usize, col: usize, output: usize) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f, Fault::DeadRing { row: r, col: c, output: o }
+                if *r == row && *c == col && *o == output)
+        })
+    }
+
+    fn mzm_override(&self, row: usize, col: usize) -> Option<f64> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::StuckMzm { row: r, col: c, weight } if *r == row && *c == col => Some(*weight),
+            _ => None,
+        })
+    }
+
+    fn channel_dead(&self, column: usize) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::DeadChannel { column: c } if *c == column))
+    }
+}
+
+impl AnalogSimConfig {
+    /// An ideal configuration (no noise, no crosstalk, fine ADC) — useful
+    /// for isolating quantization effects in tests.
+    pub fn ideal() -> AnalogSimConfig {
+        AnalogSimConfig {
+            enable_noise: false,
+            enable_crosstalk: false,
+            adc_bits: 16,
+            ..AnalogSimConfig::default()
+        }
+    }
+}
+
+/// The analog PLCG/chip simulation engine.
+#[derive(Debug, Clone)]
+pub struct AnalogEngine {
+    chip: ChipConfig,
+    cfg: AnalogSimConfig,
+    ring: Microring,
+    pd: BalancedPd,
+    noise: NoiseParams,
+    /// Per-wavelength optical power arriving at the photodiodes, W.
+    p_channel: f64,
+    /// Drop-port gain of an on-resonance switching ring (calibrated out of
+    /// the output scale).
+    main_gain: f64,
+    /// Drop-port leakage of an off-state (detuned) ring.
+    off_leakage: f64,
+    /// Injected hardware faults.
+    faults: FaultSet,
+    rng: StdRng,
+}
+
+impl AnalogEngine {
+    /// Builds an engine for a chip configuration.
+    pub fn new(chip: &ChipConfig, cfg: AnalogSimConfig) -> AnalogEngine {
+        let params = chip.optical_params();
+        let ring = Microring::from_params(&params);
+        let link = LinkBudget::albireo_chip(&params, chip.ng, chip.kernel_x, chip.plcu.nd, 10);
+        let p_channel = link.output_power(cfg.laser_power_w);
+        AnalogEngine {
+            chip: *chip,
+            cfg,
+            ring,
+            pd: BalancedPd::from_params(&params),
+            noise: NoiseParams::paper(),
+            p_channel,
+            main_gain: ring.drop_peak(),
+            off_leakage: ring.drop_transmission(ring.fsr() / 2.0),
+            faults: FaultSet::new(),
+            rng: StdRng::seed_from_u64(cfg.seed),
+        }
+    }
+
+    /// Injects a set of hardware faults (replacing any previous set).
+    pub fn inject_faults(&mut self, faults: FaultSet) {
+        self.faults = faults;
+    }
+
+    /// Removes all injected faults.
+    pub fn clear_faults(&mut self) {
+        self.faults = FaultSet::new();
+    }
+
+    /// The currently injected faults.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// The per-wavelength power reaching the photodiodes, W.
+    pub fn channel_power_w(&self) -> f64 {
+        self.p_channel
+    }
+
+    /// The precision (bits) the photonic subsystem is predicted to support
+    /// for this configuration, from the combined noise + crosstalk model.
+    pub fn expected_bits(&self) -> f64 {
+        let model = PrecisionModel::paper();
+        let n = self.chip.wavelengths_per_plcu();
+        let levels = model.combined_levels(&self.ring, n, self.p_channel);
+        PrecisionModel::with_negative_rail(levels).log2()
+    }
+
+    /// Crosstalk (drop transmission) from a channel `offset` wavelength
+    /// slots away, with all `wavelengths_per_plcu` channels uniformly
+    /// spaced in one FSR.
+    fn crosstalk(&self, offset: isize, enabled: bool) -> f64 {
+        if offset == 0 {
+            return self.main_gain;
+        }
+        if !enabled {
+            return 0.0;
+        }
+        let n = self.chip.wavelengths_per_plcu() as f64;
+        let spacing = self.ring.fsr() / n;
+        let slots = match self.cfg.allocation {
+            ChannelAllocation::Contiguous => offset as f64,
+            // Same-row channels are Wy slots apart under interleaving.
+            ChannelAllocation::RowInterleaved => (offset * self.chip.kernel_y as isize) as f64,
+        };
+        self.ring
+            .drop_at_phase(self.ring.phase_detuning(slots * spacing))
+    }
+
+    /// Simulates one PLCU cycle: one kernel channel applied to `nd_eff`
+    /// overlapping receptive fields.
+    ///
+    /// `rows[r][c]` is the normalized (∈ [0,1]) input element of kernel row
+    /// `r`, multicast column `c` (`c < nd_eff + wx − 1`); `weights[r][k]` is
+    /// the *signed, normalized* kernel weight of row `r`, column `k`.
+    ///
+    /// Returns per-output-column `(positive_rail_w, negative_rail_w)`.
+    fn plcu_rails(
+        &self,
+        rows: &[Vec<f64>],
+        weights: &[Vec<f64>],
+        nd_eff: usize,
+        with_crosstalk: bool,
+    ) -> Vec<(f64, f64)> {
+        let mut rails = vec![(0.0, 0.0); nd_eff];
+        for (r, wrow) in weights.iter().enumerate() {
+            let arow = &rows[r];
+            for (k, w_programmed) in wrow.iter().enumerate() {
+                let w = self
+                    .faults
+                    .mzm_override(r, k)
+                    .unwrap_or(*w_programmed);
+                if w == 0.0 {
+                    continue;
+                }
+                let mag = w.abs().min(1.0);
+                for (d, rail) in rails.iter_mut().enumerate() {
+                    if self.faults.ring_dead(r, k, d) {
+                        continue;
+                    }
+                    let target = d + k;
+                    // Main term plus crosstalk from the row's other
+                    // channels, all scaled by the shared MZM weight.
+                    let mut dropped = 0.0;
+                    for (c, &a) in arow.iter().enumerate() {
+                        if self.faults.channel_dead(c) {
+                            continue;
+                        }
+                        let t = self.crosstalk(c as isize - target as isize, with_crosstalk);
+                        if t != 0.0 {
+                            dropped += t * a;
+                        }
+                    }
+                    let p_dropped = dropped * mag * self.p_channel;
+                    // The matching-sign ring drops onto its rail; the
+                    // opposite-rail ring is detuned but leaks a little.
+                    let leak = if with_crosstalk && !self.faults.channel_dead(target) {
+                        arow.get(target).copied().unwrap_or(0.0)
+                            * mag
+                            * self.off_leakage
+                            * self.p_channel
+                    } else {
+                        0.0
+                    };
+                    if w > 0.0 {
+                        rail.0 += p_dropped;
+                        rail.1 += leak;
+                    } else {
+                        rail.1 += p_dropped;
+                        rail.0 += leak;
+                    }
+                }
+            }
+        }
+        rails
+    }
+
+    /// Converts rail powers to a balanced, noise-sampled, ADC-quantized
+    /// *normalized* dot-product value.
+    fn detect(&mut self, p_pos: f64, p_neg: f64, full_scale_terms: usize) -> f64 {
+        let r = self.pd.positive().responsivity();
+        let mut current = self.pd.output_current_total(p_pos, p_neg);
+        if self.cfg.enable_noise {
+            let n = self.chip.wavelengths_per_plcu();
+            let sigma = self.noise.total_sigma(r * (p_pos + p_neg), n);
+            current += sigma * sample_standard_normal(&mut self.rng);
+        }
+        // ADC over ±full scale.
+        let i_fs = r * self.p_channel * self.main_gain * full_scale_terms as f64;
+        let max_code = (1i64 << (self.cfg.adc_bits - 1)) - 1;
+        let code = ((current / i_fs) * max_code as f64).round() as i64;
+        let code = code.clamp(-max_code, max_code);
+        // Back to the normalized dot-product domain.
+        code as f64 / max_code as f64 * full_scale_terms as f64
+    }
+
+    /// Computes a signed dot product `a · w` through the analog datapath
+    /// using the FC mapping (one PD column, `Nm·Nu` terms per cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input is negative (optical powers cannot be) or the
+    /// lengths differ.
+    pub fn dot(&mut self, a: &[f64], w: &[f64]) -> f64 {
+        assert_eq!(a.len(), w.len(), "dot operands must have equal length");
+        assert!(
+            a.iter().all(|&v| v >= 0.0),
+            "optical inputs must be non-negative"
+        );
+        let a_max = a.iter().fold(0.0_f64, |m, v| m.max(*v));
+        let w_max = w.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        if a_max == 0.0 || w_max == 0.0 {
+            return 0.0;
+        }
+        let chunk = self.chip.plcu.nm * self.chip.nu;
+        let mut acc = 0.0;
+        for (ac, wc) in a.chunks(chunk).zip(w.chunks(chunk)) {
+            // Each term gets its own wavelength/MZM: model as a 1-column
+            // PLCU row per term (no receptive-field sharing in FC, §III-C).
+            let mut p_pos = 0.0;
+            let mut p_neg = 0.0;
+            for (&ai, &wi) in ac.iter().zip(wc.iter()) {
+                let a_norm = ai / a_max;
+                let w_norm = wi / w_max;
+                let p = a_norm * w_norm.abs() * self.main_gain * self.p_channel;
+                if w_norm >= 0.0 {
+                    p_pos += p;
+                    p_neg += a_norm
+                        * w_norm.abs()
+                        * if self.cfg.enable_crosstalk {
+                            self.off_leakage
+                        } else {
+                            0.0
+                        }
+                        * self.p_channel;
+                } else {
+                    p_neg += p;
+                    p_pos += a_norm
+                        * w_norm.abs()
+                        * if self.cfg.enable_crosstalk {
+                            self.off_leakage
+                        } else {
+                            0.0
+                        }
+                        * self.p_channel;
+                }
+            }
+            acc += self.detect(p_pos, p_neg, chunk);
+        }
+        acc * a_max * w_max
+    }
+
+    /// Runs a full convolution through the analog datapath, following the
+    /// Algorithm 2 partitioning (kernels across PLCGs, `Nd` receptive
+    /// fields per PLCU, `Nu`-channel groups aggregated depth-first in the
+    /// digital domain). No activation is applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel has more than `Nm` weights per channel, if the
+    /// kernel depth mismatches the input, or if any input element is
+    /// negative.
+    pub fn conv2d(&mut self, input: &Tensor3, kernels: &Tensor4, spec: &ConvSpec) -> Tensor3 {
+        let (az, ay, ax) = input.dims();
+        let (wm, wz, wy, wx) = kernels.dims();
+        assert_eq!(wz, az, "kernel depth {wz} must equal input depth {az}");
+        assert!(
+            wy * wx <= self.chip.plcu.nm,
+            "kernel {wy}x{wx} exceeds the PLCU's {} MZMs; decompose it first",
+            self.chip.plcu.nm
+        );
+        assert!(
+            input.iter().all(|&v| v >= 0.0),
+            "optical inputs must be non-negative"
+        );
+        let by = output_extent(ay, wy, spec.padding, spec.stride);
+        let bx = output_extent(ax, wx, spec.padding, spec.stride);
+        let a_max = input.max_abs();
+        let w_max = kernels.max_abs();
+        let mut out = Tensor3::zeros(wm, by, bx);
+        if a_max == 0.0 || w_max == 0.0 {
+            return out;
+        }
+        // Overlapping receptive fields (the multicast pattern) exist only
+        // at stride 1; otherwise columns are processed one at a time.
+        let nd_eff = if spec.stride == 1 { self.chip.plcu.nd } else { 1 };
+        let nu = self.chip.nu;
+        let pad = spec.padding as isize;
+        let scale = a_max * w_max;
+        let full_scale_terms = self.chip.plcu.nm * nu;
+
+        for m in 0..wm {
+            // Pre-normalize this kernel's weights per channel row.
+            for yb in 0..by {
+                let ya = yb as isize * spec.stride as isize - pad;
+                let mut xb = 0;
+                while xb < bx {
+                    let cols = nd_eff.min(bx - xb);
+                    let xa = xb as isize * spec.stride as isize - pad;
+                    let row_len = cols + wx - 1;
+                    let mut totals = vec![0.0; cols];
+                    let compensate =
+                        self.cfg.crosstalk_compensation && self.cfg.enable_crosstalk;
+                    // Depth-first aggregation over Nu-channel groups.
+                    let mut z0 = 0;
+                    while z0 < az {
+                        let group = nu.min(az - z0);
+                        let mut p_pos = vec![0.0; cols];
+                        let mut p_neg = vec![0.0; cols];
+                        // Predicted crosstalk excess (signed rail power)
+                        // for digital pre-compensation.
+                        let mut excess = vec![0.0; cols];
+                        for u in 0..group {
+                            let z = z0 + u;
+                            let rows: Vec<Vec<f64>> = (0..wy)
+                                .map(|r| {
+                                    (0..row_len)
+                                        .map(|c| {
+                                            input.get_padded(
+                                                z,
+                                                ya + r as isize,
+                                                xa + c as isize,
+                                            ) / a_max
+                                        })
+                                        .collect()
+                                })
+                                .collect();
+                            let weights: Vec<Vec<f64>> = (0..wy)
+                                .map(|r| {
+                                    (0..wx).map(|k| kernels[(m, z, r, k)] / w_max).collect()
+                                })
+                                .collect();
+                            let rails =
+                                self.plcu_rails(&rows, &weights, cols, self.cfg.enable_crosstalk);
+                            if compensate {
+                                let ideal = self.plcu_rails(&rows, &weights, cols, false);
+                                for (d, ((p, n), (pi, ni))) in
+                                    rails.iter().zip(ideal.iter()).enumerate()
+                                {
+                                    excess[d] += (p - n) - (pi - ni);
+                                }
+                            }
+                            for (d, (p, n)) in rails.into_iter().enumerate() {
+                                // Currents from corresponding PDs across the
+                                // group's PLCUs add in the analog domain.
+                                p_pos[d] += p;
+                                p_neg[d] += n;
+                            }
+                        }
+                        for d in 0..cols {
+                            let mut detected =
+                                self.detect(p_pos[d], p_neg[d], full_scale_terms);
+                            if compensate {
+                                // Subtract the predicted interference in the
+                                // normalized dot-product domain.
+                                detected -= excess[d] / (self.p_channel * self.main_gain);
+                            }
+                            totals[d] += detected;
+                        }
+                        z0 += group;
+                    }
+                    for (d, t) in totals.into_iter().enumerate() {
+                        out.set(m, yb, xb + d, t * scale);
+                    }
+                    xb += cols;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl AnalogEngine {
+    /// Convolution for kernels of any size: kernels whose `Wy·Wx` exceeds
+    /// the PLCU's `Nm` MZMs are decomposed into row bands of at most
+    /// `⌊Nm/Wx⌋` kernel rows, each applied in its own pass with the
+    /// partial outputs accumulated digitally — the extra cycles the paper
+    /// describes for kernels that "will not completely fit in the PLCU's
+    /// MZMs" (§III-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel is wider than `Nm` (a row must fit), on depth
+    /// mismatch, or on negative inputs.
+    pub fn conv2d_large(
+        &mut self,
+        input: &Tensor3,
+        kernels: &Tensor4,
+        spec: &ConvSpec,
+    ) -> Tensor3 {
+        let (wm, wz, wy, wx) = kernels.dims();
+        let nm = self.chip.plcu.nm;
+        if wy * wx <= nm {
+            return self.conv2d(input, kernels, spec);
+        }
+        // Tile the kernel into masked sub-kernels with at most Nm non-zero
+        // weights each: full-width row bands when a row fits the MZMs,
+        // single-row column chunks otherwise. The sum over tiles equals
+        // the full convolution by linearity.
+        let (rows_per_pass, cols_per_pass) = if wx <= nm {
+            ((nm / wx).max(1), wx)
+        } else {
+            (1, nm)
+        };
+        let mut out: Option<Tensor3> = None;
+        let mut r0 = 0;
+        while r0 < wy {
+            let band = rows_per_pass.min(wy - r0);
+            let mut c0 = 0;
+            while c0 < wx {
+                let chunk = cols_per_pass.min(wx - c0);
+                let mut masked = Tensor4::zeros(wm, wz, wy, wx);
+                for m in 0..wm {
+                    for z in 0..wz {
+                        for r in r0..r0 + band {
+                            for k in c0..c0 + chunk {
+                                masked.set(m, z, r, k, kernels[(m, z, r, k)]);
+                            }
+                        }
+                    }
+                }
+                let partial = self.conv2d_unchecked(input, &masked, spec);
+                out = Some(match out {
+                    None => partial,
+                    Some(mut acc) => {
+                        for (a, p) in acc.as_mut_slice().iter_mut().zip(partial.as_slice()) {
+                            *a += p;
+                        }
+                        acc
+                    }
+                });
+                c0 += chunk;
+            }
+            r0 += band;
+        }
+        out.expect("at least one pass")
+    }
+
+    /// `conv2d` without the `Wy·Wx ≤ Nm` capacity assertion (used by the
+    /// decomposition, which guarantees at most `Nm` *non-zero* weights per
+    /// channel).
+    fn conv2d_unchecked(
+        &mut self,
+        input: &Tensor3,
+        kernels: &Tensor4,
+        spec: &ConvSpec,
+    ) -> Tensor3 {
+        let nm = self.chip.plcu.nm;
+        let (_, _, wy, wx) = kernels.dims();
+        // Temporarily widen the capacity so the shared path accepts the
+        // masked kernel; the physical constraint (non-zero weights ≤ Nm)
+        // is upheld by construction.
+        let original = self.chip.plcu.nm;
+        self.chip.plcu.nm = (wy * wx).max(nm);
+        let out = self.conv2d(input, kernels, spec);
+        self.chip.plcu.nm = original;
+        out
+    }
+
+    /// Grouped convolution through the analog datapath (AlexNet's two-group
+    /// layers): each group is an independent convolution over its channel
+    /// slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel counts are not divisible by `groups`.
+    pub fn conv2d_grouped(
+        &mut self,
+        input: &Tensor3,
+        kernels: &Tensor4,
+        spec: &ConvSpec,
+        groups: usize,
+    ) -> Tensor3 {
+        assert!(groups > 0, "groups must be positive");
+        let (az, ay, ax) = input.dims();
+        let (wm, wz, wy, wx) = kernels.dims();
+        assert_eq!(az % groups, 0, "input depth not divisible by groups");
+        assert_eq!(wm % groups, 0, "kernel count not divisible by groups");
+        assert_eq!(wz, az / groups, "kernel depth must be input depth / groups");
+        if groups == 1 {
+            return self.conv2d_large(input, kernels, spec);
+        }
+        let ch_per_group = az / groups;
+        let kn_per_group = wm / groups;
+        let by = output_extent(ay, wy, spec.padding, spec.stride);
+        let bx = output_extent(ax, wx, spec.padding, spec.stride);
+        let mut out = Tensor3::zeros(wm, by, bx);
+        for g in 0..groups {
+            let mut sub = Tensor3::zeros(ch_per_group, ay, ax);
+            for z in 0..ch_per_group {
+                for y in 0..ay {
+                    for x in 0..ax {
+                        sub.set(z, y, x, input[(g * ch_per_group + z, y, x)]);
+                    }
+                }
+            }
+            let mut subk = Tensor4::zeros(kn_per_group, wz, wy, wx);
+            for m in 0..kn_per_group {
+                for z in 0..wz {
+                    for y in 0..wy {
+                        for x in 0..wx {
+                            subk.set(m, z, y, x, kernels[(g * kn_per_group + m, z, y, x)]);
+                        }
+                    }
+                }
+            }
+            let part = self.conv2d_large(&sub, &subk, spec);
+            for m in 0..kn_per_group {
+                for y in 0..by {
+                    for x in 0..bx {
+                        out.set(g * kn_per_group + m, y, x, part[(m, y, x)]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Box-Muller standard-normal sample.
+fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random::<f64>();
+        let u2: f64 = rng.random::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use albireo_tensor::conv::conv2d;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine(cfg: AnalogSimConfig) -> AnalogEngine {
+        AnalogEngine::new(&ChipConfig::albireo_9(), cfg)
+    }
+
+    fn random_case(seed: u64, z: usize, n: usize) -> (Tensor3, Tensor4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = Tensor3::random_uniform(z, n, n, 0.0, 1.0, &mut rng);
+        let kernels = Tensor4::random_gaussian(4, z, 3, 3, 0.3, &mut rng);
+        (input, kernels)
+    }
+
+    #[test]
+    fn ideal_conv_matches_reference_closely() {
+        let (input, kernels) = random_case(1, 3, 8);
+        let spec = ConvSpec::unit();
+        let reference = conv2d(&input, &kernels, &spec);
+        let mut eng = engine(AnalogSimConfig::ideal());
+        let analog = eng.conv2d(&input, &kernels, &spec);
+        let full_scale = input.max_abs() * kernels.max_abs() * 27.0;
+        let err = analog.max_abs_diff(&reference) / full_scale;
+        // Only 16-bit ADC quantization remains: error well below 0.1%.
+        assert!(err < 1e-3, "relative error {err}");
+    }
+
+    #[test]
+    fn realistic_conv_matches_within_predicted_precision() {
+        let (input, kernels) = random_case(2, 6, 8);
+        let spec = ConvSpec::unit();
+        let reference = conv2d(&input, &kernels, &spec);
+        let mut eng = engine(AnalogSimConfig::default());
+        let bits = eng.expected_bits();
+        assert!(bits > 5.0, "predicted bits = {bits}");
+        let analog = eng.conv2d(&input, &kernels, &spec);
+        // Error budget: the predicted precision per detected partial,
+        // accumulated over ⌈Wz/Nu⌉ = 2 cycles, against the per-cycle full
+        // scale.
+        let full_scale = input.max_abs() * kernels.max_abs() * 27.0;
+        let cycles = 2.0;
+        let budget = cycles * full_scale / 2f64.powf(bits - 1.0);
+        let err = analog.max_abs_diff(&reference);
+        assert!(
+            err < budget,
+            "error {err} exceeds budget {budget} (bits = {bits})"
+        );
+    }
+
+    #[test]
+    fn noise_only_errors_are_small() {
+        let (input, kernels) = random_case(3, 3, 6);
+        let spec = ConvSpec::unit();
+        let reference = conv2d(&input, &kernels, &spec);
+        let cfg = AnalogSimConfig {
+            enable_crosstalk: false,
+            adc_bits: 12,
+            ..AnalogSimConfig::default()
+        };
+        let mut eng = engine(cfg);
+        let analog = eng.conv2d(&input, &kernels, &spec);
+        let full_scale = input.max_abs() * kernels.max_abs() * 27.0;
+        let err = analog.max_abs_diff(&reference) / full_scale;
+        assert!(err < 0.02, "relative error {err}");
+    }
+
+    #[test]
+    fn crosstalk_biases_are_bounded() {
+        let (input, kernels) = random_case(4, 3, 6);
+        let spec = ConvSpec::unit();
+        let reference = conv2d(&input, &kernels, &spec);
+        let cfg = AnalogSimConfig {
+            enable_noise: false,
+            adc_bits: 16,
+            ..AnalogSimConfig::default()
+        };
+        let mut eng = engine(cfg);
+        let analog = eng.conv2d(&input, &kernels, &spec);
+        let full_scale = input.max_abs() * kernels.max_abs() * 27.0;
+        let err = analog.max_abs_diff(&reference) / full_scale;
+        // Worst-case aggregate crosstalk for 21 λ at k² = 0.03 is a few
+        // percent of full scale.
+        assert!(err < 0.05, "relative error {err}");
+        assert!(err > 0.0, "crosstalk should perturb the result");
+    }
+
+    #[test]
+    fn simulation_is_deterministic_per_seed() {
+        let (input, kernels) = random_case(5, 3, 6);
+        let spec = ConvSpec::unit();
+        let a = engine(AnalogSimConfig::default()).conv2d(&input, &kernels, &spec);
+        let b = engine(AnalogSimConfig::default()).conv2d(&input, &kernels, &spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ_with_noise() {
+        let (input, kernels) = random_case(6, 3, 6);
+        let spec = ConvSpec::unit();
+        let a = engine(AnalogSimConfig::default()).conv2d(&input, &kernels, &spec);
+        let cfg2 = AnalogSimConfig {
+            seed: 99,
+            ..AnalogSimConfig::default()
+        };
+        let b = engine(cfg2).conv2d(&input, &kernels, &spec);
+        assert!(a.max_abs_diff(&b) > 0.0);
+    }
+
+    #[test]
+    fn strided_conv_supported() {
+        let (input, kernels) = random_case(7, 3, 9);
+        let spec = ConvSpec::new(2, 0);
+        let reference = conv2d(&input, &kernels, &spec);
+        let mut eng = engine(AnalogSimConfig::ideal());
+        let analog = eng.conv2d(&input, &kernels, &spec);
+        assert_eq!(analog.dims(), reference.dims());
+        let full_scale = input.max_abs() * kernels.max_abs() * 27.0;
+        assert!(analog.max_abs_diff(&reference) / full_scale < 1e-3);
+    }
+
+    #[test]
+    fn fc_dot_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a: Vec<f64> = (0..100).map(|_| rng.random::<f64>()).collect();
+        let w: Vec<f64> = (0..100).map(|_| rng.random::<f64>() - 0.5).collect();
+        let reference: f64 = a.iter().zip(w.iter()).map(|(x, y)| x * y).sum();
+        let mut eng = engine(AnalogSimConfig::ideal());
+        let analog = eng.dot(&a, &w);
+        let a_max = a.iter().cloned().fold(0.0_f64, f64::max);
+        let w_max = w.iter().map(|v| v.abs()).fold(0.0_f64, f64::max);
+        let full_scale = a_max * w_max * 27.0;
+        assert!(
+            (analog - reference).abs() / full_scale < 1e-3,
+            "analog {analog} vs reference {reference}"
+        );
+    }
+
+    #[test]
+    fn zero_inputs_give_zero_output() {
+        let input = Tensor3::zeros(3, 6, 6);
+        let kernels = Tensor4::filled(2, 3, 3, 3, 0.5);
+        let mut eng = engine(AnalogSimConfig::default());
+        let out = eng.conv2d(&input, &kernels, &ConvSpec::unit());
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_inputs_rejected() {
+        let input = Tensor3::filled(1, 4, 4, -1.0);
+        let kernels = Tensor4::filled(1, 1, 3, 3, 0.5);
+        let mut eng = engine(AnalogSimConfig::default());
+        let _ = eng.conv2d(&input, &kernels, &ConvSpec::unit());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the PLCU")]
+    fn oversized_kernel_rejected() {
+        let input = Tensor3::filled(1, 8, 8, 1.0);
+        let kernels = Tensor4::filled(1, 1, 5, 5, 0.5);
+        let mut eng = engine(AnalogSimConfig::default());
+        let _ = eng.conv2d(&input, &kernels, &ConvSpec::unit());
+    }
+
+    #[test]
+    fn channel_power_is_microwatt_scale() {
+        let eng = engine(AnalogSimConfig::default());
+        let p = eng.channel_power_w();
+        assert!(p > 1e-7 && p < 1e-3, "p = {p}");
+    }
+
+    #[test]
+    fn expected_bits_reasonable() {
+        let eng = engine(AnalogSimConfig::default());
+        let bits = eng.expected_bits();
+        // §II-C2: 7 bits is the design's worst-case target.
+        assert!((5.0..10.0).contains(&bits), "bits = {bits}");
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use albireo_tensor::conv::conv2d;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn case(seed: u64) -> (Tensor3, Tensor4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = Tensor3::random_uniform(3, 8, 8, 0.0, 1.0, &mut rng);
+        let kernels = Tensor4::random_gaussian(2, 3, 3, 3, 0.3, &mut rng);
+        (input, kernels)
+    }
+
+    fn engine(cfg: AnalogSimConfig) -> AnalogEngine {
+        AnalogEngine::new(&ChipConfig::albireo_9(), cfg)
+    }
+
+    #[test]
+    fn crosstalk_compensation_recovers_precision() {
+        let (input, kernels) = case(101);
+        let spec = ConvSpec::unit();
+        let reference = conv2d(&input, &kernels, &spec);
+        let fs = input.max_abs() * kernels.max_abs() * 27.0;
+        let base_cfg = AnalogSimConfig {
+            enable_noise: false,
+            adc_bits: 16,
+            ..AnalogSimConfig::default()
+        };
+        let uncompensated = engine(base_cfg).conv2d(&input, &kernels, &spec);
+        let comp_cfg = AnalogSimConfig {
+            crosstalk_compensation: true,
+            ..base_cfg
+        };
+        let compensated = engine(comp_cfg).conv2d(&input, &kernels, &spec);
+        let err_raw = uncompensated.max_abs_diff(&reference) / fs;
+        let err_comp = compensated.max_abs_diff(&reference) / fs;
+        assert!(
+            err_comp < err_raw / 10.0,
+            "compensation should cut error >10x: {err_raw} -> {err_comp}"
+        );
+    }
+
+    #[test]
+    fn compensation_still_helps_under_noise() {
+        let (input, kernels) = case(102);
+        let spec = ConvSpec::unit();
+        let reference = conv2d(&input, &kernels, &spec);
+        let fs = input.max_abs() * kernels.max_abs() * 27.0;
+        let raw = engine(AnalogSimConfig::default()).conv2d(&input, &kernels, &spec);
+        let comp_cfg = AnalogSimConfig {
+            crosstalk_compensation: true,
+            ..AnalogSimConfig::default()
+        };
+        let comp = engine(comp_cfg).conv2d(&input, &kernels, &spec);
+        let err_raw = raw.max_abs_diff(&reference) / fs;
+        let err_comp = comp.max_abs_diff(&reference) / fs;
+        assert!(err_comp < err_raw, "{err_comp} vs {err_raw}");
+    }
+
+    #[test]
+    fn dead_ring_degrades_one_output_column_family() {
+        let (input, kernels) = case(103);
+        let spec = ConvSpec::unit();
+        let mut healthy = engine(AnalogSimConfig::ideal());
+        let clean = healthy.conv2d(&input, &kernels, &spec);
+        let mut faulty = engine(AnalogSimConfig::ideal());
+        let mut faults = FaultSet::new();
+        faults.push(Fault::DeadRing { row: 1, col: 1, output: 2 });
+        faulty.inject_faults(faults);
+        let broken = faulty.conv2d(&input, &kernels, &spec);
+        assert!(broken.max_abs_diff(&clean) > 0.0, "fault must be visible");
+        // Only output columns congruent to 2 mod Nd are affected.
+        let (_, by, bx) = clean.dims();
+        for m in 0..2 {
+            for y in 0..by {
+                for x in 0..bx {
+                    let diff = (clean[(m, y, x)] - broken[(m, y, x)]).abs();
+                    if x % 5 != 2 {
+                        assert!(diff < 1e-9, "column {x} should be clean, diff {diff}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_mzm_biases_everything_it_touches() {
+        let (input, kernels) = case(104);
+        let spec = ConvSpec::unit();
+        let clean = engine(AnalogSimConfig::ideal()).conv2d(&input, &kernels, &spec);
+        let mut faulty = engine(AnalogSimConfig::ideal());
+        let mut faults = FaultSet::new();
+        faults.push(Fault::StuckMzm { row: 0, col: 0, weight: 1.0 });
+        faulty.inject_faults(faults);
+        let broken = faulty.conv2d(&input, &kernels, &spec);
+        assert!(broken.max_abs_diff(&clean) > 1e-3);
+    }
+
+    #[test]
+    fn dead_channel_loses_signal() {
+        let (input, kernels) = case(105);
+        let spec = ConvSpec::unit();
+        let clean = engine(AnalogSimConfig::ideal()).conv2d(&input, &kernels, &spec);
+        let mut faulty = engine(AnalogSimConfig::ideal());
+        let mut faults = FaultSet::new();
+        faults.push(Fault::DeadChannel { column: 0 });
+        faulty.inject_faults(faults);
+        let broken = faulty.conv2d(&input, &kernels, &spec);
+        assert!(broken.max_abs_diff(&clean) > 1e-3);
+    }
+
+    #[test]
+    fn clear_faults_restores_health() {
+        let (input, kernels) = case(106);
+        let spec = ConvSpec::unit();
+        let mut eng = engine(AnalogSimConfig::ideal());
+        let clean = eng.conv2d(&input, &kernels, &spec);
+        let mut faults = FaultSet::new();
+        faults.push(Fault::DeadChannel { column: 1 });
+        eng.inject_faults(faults);
+        assert_eq!(eng.faults().len(), 1);
+        eng.clear_faults();
+        assert!(eng.faults().is_empty());
+        let recovered = eng.conv2d(&input, &kernels, &spec);
+        assert!(recovered.max_abs_diff(&clean) < 1e-12);
+    }
+
+    #[test]
+    fn more_faults_more_error() {
+        let (input, kernels) = case(107);
+        let spec = ConvSpec::unit();
+        let clean = engine(AnalogSimConfig::ideal()).conv2d(&input, &kernels, &spec);
+        let mut errs = Vec::new();
+        for n_faults in [1usize, 3, 6] {
+            let mut eng = engine(AnalogSimConfig::ideal());
+            let mut faults = FaultSet::new();
+            for i in 0..n_faults {
+                faults.push(Fault::DeadRing { row: i % 3, col: i % 3, output: i % 5 });
+            }
+            eng.inject_faults(faults);
+            let broken = eng.conv2d(&input, &kernels, &spec);
+            errs.push(broken.max_abs_diff(&clean));
+        }
+        assert!(errs[0] <= errs[1] && errs[1] <= errs[2], "{errs:?}");
+    }
+}
+
+#[cfg(test)]
+mod decomposition_tests {
+    use super::*;
+    use albireo_tensor::conv::{conv2d, conv2d_grouped};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine() -> AnalogEngine {
+        AnalogEngine::new(&ChipConfig::albireo_9(), AnalogSimConfig::ideal())
+    }
+
+    #[test]
+    fn five_by_five_kernel_decomposes_correctly() {
+        let mut rng = StdRng::seed_from_u64(201);
+        let input = Tensor3::random_uniform(2, 10, 10, 0.0, 1.0, &mut rng);
+        let kernels = Tensor4::random_gaussian(2, 2, 5, 5, 0.3, &mut rng);
+        let spec = ConvSpec::unit();
+        let reference = conv2d(&input, &kernels, &spec);
+        let analog = engine().conv2d_large(&input, &kernels, &spec);
+        let fs = input.max_abs() * kernels.max_abs() * 27.0;
+        let err = analog.max_abs_diff(&reference) / fs;
+        // 3 passes of 16-bit quantization: still well under 0.5%.
+        assert!(err < 5e-3, "relative error {err}");
+    }
+
+    #[test]
+    fn small_kernels_take_the_direct_path() {
+        let mut rng = StdRng::seed_from_u64(202);
+        let input = Tensor3::random_uniform(1, 8, 8, 0.0, 1.0, &mut rng);
+        let kernels = Tensor4::random_gaussian(1, 1, 3, 3, 0.3, &mut rng);
+        let spec = ConvSpec::unit();
+        let direct = engine().conv2d(&input, &kernels, &spec);
+        let via_large = engine().conv2d_large(&input, &kernels, &spec);
+        assert_eq!(direct, via_large);
+    }
+
+    #[test]
+    fn alexnet_conv1_shape_11x11_stride_4() {
+        let mut rng = StdRng::seed_from_u64(203);
+        let input = Tensor3::random_uniform(3, 19, 19, 0.0, 1.0, &mut rng);
+        let kernels = Tensor4::random_gaussian(2, 3, 11, 11, 0.1, &mut rng);
+        let spec = ConvSpec::new(4, 0);
+        let reference = conv2d(&input, &kernels, &spec);
+        let analog = engine().conv2d_large(&input, &kernels, &spec);
+        assert_eq!(analog.dims(), reference.dims());
+        let fs = input.max_abs() * kernels.max_abs() * 27.0;
+        assert!(analog.max_abs_diff(&reference) / fs < 2e-2);
+    }
+
+    #[test]
+    fn grouped_analog_matches_grouped_reference() {
+        let mut rng = StdRng::seed_from_u64(204);
+        let input = Tensor3::random_uniform(4, 8, 8, 0.0, 1.0, &mut rng);
+        let kernels = Tensor4::random_gaussian(4, 2, 3, 3, 0.3, &mut rng);
+        let spec = ConvSpec::unit();
+        let reference = conv2d_grouped(&input, &kernels, &spec, 2);
+        let analog = engine().conv2d_grouped(&input, &kernels, &spec, 2);
+        let fs = input.max_abs() * kernels.max_abs() * 27.0;
+        assert!(analog.max_abs_diff(&reference) / fs < 1e-3);
+    }
+
+    #[test]
+    fn one_group_equals_direct() {
+        let mut rng = StdRng::seed_from_u64(205);
+        let input = Tensor3::random_uniform(2, 6, 6, 0.0, 1.0, &mut rng);
+        let kernels = Tensor4::random_gaussian(2, 2, 3, 3, 0.3, &mut rng);
+        let spec = ConvSpec::unit();
+        let a = engine().conv2d_grouped(&input, &kernels, &spec, 1);
+        let b = engine().conv2d(&input, &kernels, &spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wide_single_row_kernel_decomposes_by_columns() {
+        let mut rng = StdRng::seed_from_u64(206);
+        let input = Tensor3::random_uniform(1, 4, 16, 0.0, 1.0, &mut rng);
+        let kernels = Tensor4::random_gaussian(1, 1, 1, 11, 0.3, &mut rng);
+        let spec = ConvSpec::unit();
+        let reference = conv2d(&input, &kernels, &spec);
+        let analog = engine().conv2d_large(&input, &kernels, &spec);
+        let fs = input.max_abs() * kernels.max_abs() * 27.0;
+        assert!(analog.max_abs_diff(&reference) / fs < 5e-3);
+    }
+
+    #[test]
+    fn capacity_restored_after_unchecked_pass() {
+        let mut eng = engine();
+        let input = Tensor3::filled(1, 8, 8, 1.0);
+        let kernels = Tensor4::filled(1, 1, 5, 5, 0.5);
+        let _ = eng.conv2d_large(&input, &kernels, &ConvSpec::unit());
+        assert_eq!(eng.chip.plcu.nm, 9, "nm must be restored");
+    }
+}
+
+#[cfg(test)]
+mod allocation_tests {
+    use super::*;
+    use albireo_tensor::conv::conv2d;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn interleaved_allocation_reduces_crosstalk_error() {
+        let chip = ChipConfig::albireo_9();
+        let mut rng = StdRng::seed_from_u64(301);
+        let input = Tensor3::random_uniform(3, 10, 10, 0.0, 1.0, &mut rng);
+        let kernels = Tensor4::random_gaussian(2, 3, 3, 3, 0.3, &mut rng);
+        let spec = ConvSpec::unit();
+        let reference = conv2d(&input, &kernels, &spec);
+        let fs = input.max_abs() * kernels.max_abs() * 27.0;
+        let run = |allocation: ChannelAllocation| {
+            let cfg = AnalogSimConfig {
+                enable_noise: false,
+                adc_bits: 16,
+                allocation,
+                ..AnalogSimConfig::default()
+            };
+            let mut e = AnalogEngine::new(&chip, cfg);
+            e.conv2d(&input, &kernels, &spec).max_abs_diff(&reference) / fs
+        };
+        let contiguous = run(ChannelAllocation::Contiguous);
+        let interleaved = run(ChannelAllocation::RowInterleaved);
+        assert!(
+            interleaved < contiguous / 3.0,
+            "interleaving should cut crosstalk >3x: {contiguous} -> {interleaved}"
+        );
+    }
+
+    #[test]
+    fn allocation_is_irrelevant_without_crosstalk() {
+        let chip = ChipConfig::albireo_9();
+        let mut rng = StdRng::seed_from_u64(302);
+        let input = Tensor3::random_uniform(2, 6, 6, 0.0, 1.0, &mut rng);
+        let kernels = Tensor4::random_gaussian(1, 2, 3, 3, 0.3, &mut rng);
+        let spec = ConvSpec::unit();
+        let mut a = AnalogEngine::new(
+            &chip,
+            AnalogSimConfig {
+                allocation: ChannelAllocation::Contiguous,
+                ..AnalogSimConfig::ideal()
+            },
+        );
+        let mut b = AnalogEngine::new(
+            &chip,
+            AnalogSimConfig {
+                allocation: ChannelAllocation::RowInterleaved,
+                ..AnalogSimConfig::ideal()
+            },
+        );
+        assert_eq!(
+            a.conv2d(&input, &kernels, &spec),
+            b.conv2d(&input, &kernels, &spec)
+        );
+    }
+}

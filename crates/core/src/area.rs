@@ -1,0 +1,159 @@
+//! Chip area breakdown — paper Fig. 9 and the 124.6 mm² total.
+//!
+//! Areas come from Table II footprints × the device inventory. As the paper
+//! observes, the passive distribution dominates: AWGs ≈ 72% and star
+//! couplers ≈ 17% of the chip. Table IV's "active area only" metrics
+//! exclude exactly this passive distribution (AWGs, star couplers, and the
+//! broadcast Y-branches).
+
+use crate::config::ChipConfig;
+use crate::inventory::DeviceInventory;
+use crate::memory::MemoryModel;
+use albireo_photonics::OpticalParams;
+
+/// Per-component area totals for one Albireo configuration, m².
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// Arrayed waveguide gratings.
+    pub awg_m2: f64,
+    /// Star couplers.
+    pub star_coupler_m2: f64,
+    /// Modulators (weight MZMs + input modulators, both MZM-class devices
+    /// for footprint purposes, matching Fig. 9's 3.7% MZM share).
+    pub mzm_m2: f64,
+    /// Switching MRRs.
+    pub mrr_m2: f64,
+    /// Lasers.
+    pub laser_m2: f64,
+    /// Photodiodes.
+    pub photodiode_m2: f64,
+    /// Broadcast-tree Y-branches.
+    pub ybranch_m2: f64,
+    /// SRAM (global buffer + kernel caches).
+    pub memory_m2: f64,
+}
+
+impl AreaBreakdown {
+    /// Computes the breakdown for a chip configuration.
+    pub fn for_chip(chip: &ChipConfig) -> AreaBreakdown {
+        let inv = DeviceInventory::for_chip(chip);
+        let p = OpticalParams::paper();
+        let mem = MemoryModel::paper();
+        AreaBreakdown {
+            awg_m2: inv.awgs as f64 * p.awg.area_m2,
+            star_coupler_m2: inv.star_couplers as f64 * p.star_coupler.area_m2,
+            mzm_m2: inv.modulators() as f64 * p.mzm.area_m2,
+            mrr_m2: inv.switching_mrrs as f64 * p.mrr.area_m2,
+            laser_m2: inv.lasers as f64 * p.laser.area_m2,
+            photodiode_m2: inv.photodiodes as f64 * p.photodiode.area_m2,
+            ybranch_m2: inv.ybranches as f64 * p.ybranch.area_m2,
+            memory_m2: mem.area_m2(chip),
+        }
+    }
+
+    /// Total chip area, m².
+    pub fn total_m2(&self) -> f64 {
+        self.awg_m2
+            + self.star_coupler_m2
+            + self.mzm_m2
+            + self.mrr_m2
+            + self.laser_m2
+            + self.photodiode_m2
+            + self.ybranch_m2
+            + self.memory_m2
+    }
+
+    /// Active area (total minus the passive distribution: AWGs, star
+    /// couplers, Y-branches), m² — the basis of Table IV's "active area
+    /// only" rows.
+    pub fn active_m2(&self) -> f64 {
+        self.total_m2() - self.awg_m2 - self.star_coupler_m2 - self.ybranch_m2
+    }
+
+    /// Total chip area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.total_m2() * 1e6
+    }
+
+    /// Active area in mm².
+    pub fn active_mm2(&self) -> f64 {
+        self.active_m2() * 1e6
+    }
+
+    /// Rows as `(label, mm², portion)` sorted in Fig. 9's dominance order.
+    pub fn rows(&self) -> Vec<(&'static str, f64, f64)> {
+        let total = self.total_m2();
+        [
+            ("AWG", self.awg_m2),
+            ("Star coupler", self.star_coupler_m2),
+            ("Laser", self.laser_m2),
+            ("MZM", self.mzm_m2),
+            ("MRR", self.mrr_m2),
+            ("Photodiode", self.photodiode_m2),
+            ("SRAM", self.memory_m2),
+            ("Y-branch", self.ybranch_m2),
+        ]
+        .into_iter()
+        .map(|(name, a)| (name, a * 1e6, a / total))
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_matches_paper_124_6_mm2() {
+        let a = AreaBreakdown::for_chip(&ChipConfig::albireo_9());
+        let total = a.total_mm2();
+        assert!((total - 124.6).abs() / 124.6 < 0.01, "total = {total} mm²");
+    }
+
+    #[test]
+    fn awg_share_is_72_percent() {
+        let a = AreaBreakdown::for_chip(&ChipConfig::albireo_9());
+        let share = a.awg_m2 / a.total_m2();
+        assert!((0.70..0.74).contains(&share), "share = {share}");
+        // A single AWG is 8% of the chip (§IV-B).
+        let single = 10e-6 / a.total_m2();
+        assert!((0.075..0.085).contains(&single), "single = {single}");
+    }
+
+    #[test]
+    fn star_coupler_share_is_17_percent() {
+        let a = AreaBreakdown::for_chip(&ChipConfig::albireo_9());
+        let share = a.star_coupler_m2 / a.total_m2();
+        assert!((0.16..0.18).contains(&share), "share = {share}");
+    }
+
+    #[test]
+    fn mzm_share_is_3_7_percent() {
+        let a = AreaBreakdown::for_chip(&ChipConfig::albireo_9());
+        let share = a.mzm_m2 / a.total_m2();
+        assert!((0.034..0.040).contains(&share), "share = {share}");
+    }
+
+    #[test]
+    fn active_area_is_about_14_mm2() {
+        // Table IV: GOPS/mm² total vs active differ by ≈ 8.8× for Albireo,
+        // implying ≈ 14 mm² of active area.
+        let a = AreaBreakdown::for_chip(&ChipConfig::albireo_9());
+        let active = a.active_mm2();
+        assert!((12.0..16.0).contains(&active), "active = {active} mm²");
+    }
+
+    #[test]
+    fn rows_sum_to_total() {
+        let a = AreaBreakdown::for_chip(&ChipConfig::albireo_9());
+        let sum: f64 = a.rows().iter().map(|r| r.1).sum();
+        assert!((sum - a.total_mm2()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn area_scales_with_groups() {
+        let a9 = AreaBreakdown::for_chip(&ChipConfig::albireo_9()).total_m2();
+        let a27 = AreaBreakdown::for_chip(&ChipConfig::albireo_27()).total_m2();
+        assert!(a27 > 2.5 * a9 && a27 < 3.1 * a9);
+    }
+}

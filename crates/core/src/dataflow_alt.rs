@@ -1,0 +1,177 @@
+//! Dataflow alternatives: depth-first (the paper's choice) vs
+//! weight-stationary position-first.
+//!
+//! Albireo's depth-first order (Algorithm 2) re-programs every weight MZM
+//! and every input modulator *each cycle* (the next cycle applies the next
+//! channel group), but never spills a partial sum. The obvious alternative
+//! — weight-stationary, position-first — holds one channel group's weights
+//! in the MZMs while sweeping all output positions, making the weight DACs
+//! nearly static, at the price of spilling `⌈Wz/Nu⌉ − 1` partials per
+//! output element to memory.
+//!
+//! Since DACs are the dominant power consumer (35–64% of Table III), this
+//! module quantifies the trade the paper fixes silently: per-update
+//! converter energy vs per-byte memory energy.
+
+use crate::config::{ChipConfig, TechnologyEstimate};
+use crate::memory::MemoryModel;
+use crate::sched::layer_cycles;
+use albireo_nn::layer::LayerKind;
+use albireo_nn::Model;
+
+/// Converter/update and memory traffic totals for one dataflow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataflowCost {
+    /// Weight-DAC update operations.
+    pub weight_dac_updates: u64,
+    /// Input-modulator DAC update operations.
+    pub input_dac_updates: u64,
+    /// Partial-sum bytes spilled to and reloaded from the global buffer.
+    pub partial_bytes: u64,
+    /// Total dynamic energy, J.
+    pub energy_j: f64,
+}
+
+/// Energy of one DAC update at an estimate: its power divided by its
+/// sampling rate (e.g. 26 mW / 5 GS/s = 5.2 pJ per update, conservative).
+pub fn dac_update_energy_j(estimate: TechnologyEstimate) -> f64 {
+    let p = estimate.device_powers();
+    p.dac_w / p.sample_rate_hz
+}
+
+/// Costs of both dataflows for a whole network.
+///
+/// Depth-first: every cycle updates all weight MZM DACs of the active
+/// groups (`Nm·Nu` per group per cycle) and all input modulators (one per
+/// wavelength), with zero partial traffic. Weight-stationary: weights load
+/// once per (kernel batch × channel group), inputs still update every
+/// cycle, and each output element spills/reloads one 8-bit partial per
+/// channel group beyond the first.
+pub fn compare_dataflows(
+    chip: &ChipConfig,
+    estimate: TechnologyEstimate,
+    model: &Model,
+) -> (DataflowCost, DataflowCost) {
+    let mem = MemoryModel::paper();
+    let e_dac = dac_update_energy_j(estimate);
+    let weights_per_group = (chip.plcu.nm * chip.nu) as u64;
+    let wavelengths = chip.wavelengths_per_plcg() as u64;
+
+    let mut df = DataflowCost {
+        weight_dac_updates: 0,
+        input_dac_updates: 0,
+        partial_bytes: 0,
+        energy_j: 0.0,
+    };
+    let mut ws = df;
+
+    for layer in model.layers() {
+        let cycles = layer_cycles(chip, layer);
+        if cycles == 0 {
+            continue;
+        }
+        let active_groups = chip.ng as u64;
+        // Depth-first: everything updates every cycle.
+        df.weight_dac_updates += cycles * weights_per_group * active_groups;
+        df.input_dac_updates += cycles * wavelengths;
+
+        // Weight-stationary: weights load once per (kernel batch, channel
+        // group); inputs still stream.
+        let (kernel_batches, channel_groups) = match layer.kind {
+            LayerKind::Conv { kernels, groups, .. } => (
+                (kernels as u64).div_ceil(chip.ng as u64),
+                ((layer.input.z / groups) as u64).div_ceil(chip.nu as u64),
+            ),
+            LayerKind::Depthwise { .. } => (
+                (layer.input.z as u64).div_ceil((chip.nu * chip.ng) as u64),
+                1,
+            ),
+            LayerKind::Pointwise { kernels } => (
+                (kernels as u64).div_ceil(chip.ng as u64),
+                (layer.input.z as u64).div_ceil((chip.plcu.nm * chip.nu) as u64),
+            ),
+            LayerKind::FullyConnected { outputs } => (
+                (outputs as u64).div_ceil(chip.ng as u64),
+                (layer.input.elements() as u64).div_ceil((chip.plcu.nm * chip.nu) as u64),
+            ),
+            _ => (0, 0),
+        };
+        ws.weight_dac_updates +=
+            kernel_batches * channel_groups * weights_per_group * active_groups;
+        ws.input_dac_updates += cycles * wavelengths;
+        // Spill + reload one byte per output per intermediate group.
+        let outputs = layer.output.elements() as u64;
+        ws.partial_bytes += 2 * outputs * channel_groups.saturating_sub(1);
+    }
+
+    df.energy_j = (df.weight_dac_updates + df.input_dac_updates) as f64 * e_dac
+        + mem.buffer_access_energy_j(df.partial_bytes);
+    ws.energy_j = (ws.weight_dac_updates + ws.input_dac_updates) as f64 * e_dac
+        + mem.buffer_access_energy_j(ws.partial_bytes);
+    (df, ws)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use albireo_nn::zoo;
+
+    #[test]
+    fn dac_update_energy_is_picojoule_scale() {
+        let e = dac_update_energy_j(TechnologyEstimate::Conservative);
+        assert!((e - 5.2e-12).abs() < 1e-15, "e = {e}");
+        assert!(dac_update_energy_j(TechnologyEstimate::Aggressive) < e);
+    }
+
+    #[test]
+    fn weight_stationary_saves_weight_updates_but_spills() {
+        let chip = ChipConfig::albireo_9();
+        let (df, ws) = compare_dataflows(&chip, TechnologyEstimate::Conservative, &zoo::vgg16());
+        // FC layers see new weights every cycle under either dataflow, so
+        // the network-level saving is ~25x rather than the pure-conv ~100x.
+        assert!(ws.weight_dac_updates < df.weight_dac_updates / 10);
+        assert_eq!(df.partial_bytes, 0, "depth-first never spills");
+        assert!(ws.partial_bytes > 100_000_000);
+        assert_eq!(df.input_dac_updates, ws.input_dac_updates);
+    }
+
+    #[test]
+    fn weight_stationary_wins_on_dynamic_energy_with_these_devices() {
+        // The quantitative surprise: at 5.2 pJ/update vs 0.2 pJ/byte,
+        // weight-stationary's spills cost far less than depth-first's
+        // constant weight reprogramming — the depth-first choice is
+        // justified by the *converter power already being budgeted for
+        // streaming* (Table III runs every DAC at full rate) and by
+        // avoiding memory-bandwidth pressure, not by dynamic energy alone.
+        let chip = ChipConfig::albireo_9();
+        let (df, ws) = compare_dataflows(&chip, TechnologyEstimate::Conservative, &zoo::vgg16());
+        assert!(ws.energy_j < df.energy_j, "{} vs {}", ws.energy_j, df.energy_j);
+    }
+
+    #[test]
+    fn depth_first_dynamic_energy_matches_dac_power_budget() {
+        // Sanity: depth-first's per-cycle update energy integrated over
+        // the run equals the Table III DAC power × latency (within the
+        // ceil-induced activity differences).
+        let chip = ChipConfig::albireo_9();
+        let model = zoo::vgg16();
+        let (df, _) = compare_dataflows(&chip, TechnologyEstimate::Conservative, &model);
+        let cycles = crate::sched::total_cycles(&chip, &model) as f64;
+        let latency = cycles / 5e9;
+        let table_iii_dac_energy = 7.96 * latency;
+        let ratio = df.energy_j / table_iii_dac_energy;
+        assert!((0.5..1.5).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn pooling_layers_contribute_nothing() {
+        let chip = ChipConfig::albireo_9();
+        let mut b = albireo_nn::Model::builder("pool-only", albireo_nn::VolumeShape::new(4, 8, 8));
+        b.push("conv", albireo_nn::LayerKind::conv(4, 3, 1, 1)).unwrap();
+        b.push("pool", albireo_nn::LayerKind::MaxPool { window: 2, stride: 2 })
+            .unwrap();
+        let model = b.build().unwrap();
+        let (df, _) = compare_dataflows(&chip, TechnologyEstimate::Conservative, &model);
+        assert!(df.weight_dac_updates > 0);
+    }
+}

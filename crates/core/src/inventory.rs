@@ -1,0 +1,122 @@
+//! Device-count derivation for an Albireo chip configuration.
+//!
+//! The counts below reproduce every number the paper quotes for the 9-PLCG
+//! design: 306 DACs and 45 TIAs (§V), the 63-wavelength laser/modulator
+//! bank, the 2430 switching MRRs behind Table III's MRR power row, and the
+//! 81 star couplers / 9 AWGs behind Fig. 9's area breakdown.
+
+use crate::config::ChipConfig;
+
+/// Complete device inventory of an Albireo chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceInventory {
+    /// Switching MRRs in the PLCU crossbars (`2·Nm·Nd·Nu·Ng`).
+    pub switching_mrrs: usize,
+    /// Weight MZMs in the PLCUs (`Nm·Nu·Ng`).
+    pub weight_mzms: usize,
+    /// Signal-generation modulators in the input bank (one per
+    /// wavelength). The paper groups these with the MZMs for power/area
+    /// accounting (its "MZI" rows), and this inventory follows suit via
+    /// [`DeviceInventory::modulators`].
+    pub input_modulators: usize,
+    /// Laser sources (one per wavelength).
+    pub lasers: usize,
+    /// Digital-to-analog converters: one per weight MZM plus one per input
+    /// modulator.
+    pub dacs: usize,
+    /// Analog-to-digital converters: `Nd` per PLCG aggregation unit.
+    pub adcs: usize,
+    /// Transimpedance amplifiers: `Nd` per PLCG aggregation unit.
+    pub tias: usize,
+    /// Photodiodes: `2·Nd` per PLCU (balanced pairs).
+    pub photodiodes: usize,
+    /// Star couplers: `Wy` per PLCU (one per kernel row).
+    pub star_couplers: usize,
+    /// Arrayed waveguide gratings: one per PLCG.
+    pub awgs: usize,
+    /// Y-branches in the broadcast tree (`Ng − 1` splits).
+    pub ybranches: usize,
+    /// Per-PLCG kernel caches.
+    pub plcg_caches: usize,
+    /// Global SRAM buffers.
+    pub global_buffers: usize,
+}
+
+impl DeviceInventory {
+    /// Derives the inventory from a chip configuration.
+    pub fn for_chip(chip: &ChipConfig) -> DeviceInventory {
+        let per_group_mzms = chip.plcu.nm * chip.nu;
+        let wavelengths = chip.wavelengths_per_plcg();
+        DeviceInventory {
+            switching_mrrs: chip.plcu.switching_mrrs() * chip.nu * chip.ng,
+            weight_mzms: per_group_mzms * chip.ng,
+            input_modulators: wavelengths,
+            lasers: wavelengths,
+            dacs: per_group_mzms * chip.ng + wavelengths,
+            adcs: chip.plcu.nd * chip.ng,
+            tias: chip.plcu.nd * chip.ng,
+            photodiodes: chip.plcu.photodiodes() * chip.nu * chip.ng,
+            star_couplers: chip.kernel_y * chip.nu * chip.ng,
+            awgs: chip.ng,
+            ybranches: chip.ng.saturating_sub(1),
+            plcg_caches: chip.ng,
+            global_buffers: 1,
+        }
+    }
+
+    /// All modulator devices (weight MZMs + input modulators): the
+    /// population of the paper's "MZI" power/area rows.
+    pub fn modulators(&self) -> usize {
+        self.weight_mzms + self.input_modulators
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn albireo_9_counts_match_paper() {
+        let inv = DeviceInventory::for_chip(&ChipConfig::albireo_9());
+        // §V: "Albireo uses only 306 DACs" / "only 45 TIAs".
+        assert_eq!(inv.dacs, 306);
+        assert_eq!(inv.tias, 45);
+        assert_eq!(inv.adcs, 45);
+        // 63 wavelengths ⇒ 63 lasers and 63 input modulators.
+        assert_eq!(inv.lasers, 63);
+        assert_eq!(inv.input_modulators, 63);
+        // 90 switching rings per PLCU × 3 × 9.
+        assert_eq!(inv.switching_mrrs, 2430);
+        // 9 MZMs per PLCU × 3 × 9 (+63 modulators ⇒ 306 "MZI" devices).
+        assert_eq!(inv.weight_mzms, 243);
+        assert_eq!(inv.modulators(), 306);
+        // Passive distribution: one AWG per group, 3 star couplers per PLCU.
+        assert_eq!(inv.awgs, 9);
+        assert_eq!(inv.star_couplers, 81);
+        // 10 PDs per PLCU × 3 × 9.
+        assert_eq!(inv.photodiodes, 270);
+        assert_eq!(inv.plcg_caches, 9);
+        assert_eq!(inv.global_buffers, 1);
+    }
+
+    #[test]
+    fn albireo_27_scales_groups_not_wavelengths() {
+        let inv = DeviceInventory::for_chip(&ChipConfig::albireo_27());
+        assert_eq!(inv.lasers, 63, "input bank is shared by all groups");
+        assert_eq!(inv.switching_mrrs, 3 * 2430);
+        assert_eq!(inv.weight_mzms, 3 * 243);
+        assert_eq!(inv.dacs, 729 + 63);
+        assert_eq!(inv.tias, 135);
+        assert_eq!(inv.awgs, 27);
+        assert_eq!(inv.star_couplers, 243);
+    }
+
+    #[test]
+    fn ybranch_tree_size() {
+        assert_eq!(DeviceInventory::for_chip(&ChipConfig::albireo_9()).ybranches, 8);
+        assert_eq!(
+            DeviceInventory::for_chip(&ChipConfig::with_ng(1)).ybranches,
+            0
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Chip power breakdown — paper Table III.
+
+use crate::config::{ChipConfig, TechnologyEstimate};
+use crate::inventory::DeviceInventory;
+use crate::memory::MemoryModel;
+
+/// Per-device-class power totals for one Albireo configuration and
+/// technology estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// Switching-MRR power, W (Table III "MRR" row).
+    pub mrr_w: f64,
+    /// Modulator power (weight MZMs + input modulators), W (Table III
+    /// "MZI" row).
+    pub mzi_w: f64,
+    /// Laser power, W.
+    pub laser_w: f64,
+    /// TIA power, W.
+    pub tia_w: f64,
+    /// DAC power, W.
+    pub dac_w: f64,
+    /// ADC power, W.
+    pub adc_w: f64,
+    /// Memory (caches + global buffer) static power, W.
+    pub cache_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Computes the breakdown for a chip under an estimate.
+    pub fn for_chip(chip: &ChipConfig, estimate: TechnologyEstimate) -> PowerBreakdown {
+        let inv = DeviceInventory::for_chip(chip);
+        let p = estimate.device_powers();
+        let mem = MemoryModel::paper();
+        PowerBreakdown {
+            mrr_w: inv.switching_mrrs as f64 * p.mrr_w,
+            mzi_w: inv.modulators() as f64 * p.mzm_w,
+            laser_w: inv.lasers as f64 * p.laser_w,
+            tia_w: inv.tias as f64 * p.tia_w,
+            dac_w: inv.dacs as f64 * p.dac_w,
+            adc_w: inv.adcs as f64 * p.adc_w,
+            cache_w: mem.static_power_w(chip),
+        }
+    }
+
+    /// Total chip power, W.
+    pub fn total_w(&self) -> f64 {
+        self.mrr_w + self.mzi_w + self.laser_w + self.tia_w + self.dac_w + self.adc_w + self.cache_w
+    }
+
+    /// Rows as `(label, watts, portion)` in the paper's Table III order.
+    pub fn rows(&self) -> Vec<(&'static str, f64, f64)> {
+        let total = self.total_w();
+        [
+            ("MRR", self.mrr_w),
+            ("MZI", self.mzi_w),
+            ("Laser", self.laser_w),
+            ("TIA", self.tia_w),
+            ("DAC", self.dac_w),
+            ("ADC", self.adc_w),
+            ("Cache", self.cache_w),
+        ]
+        .into_iter()
+        .map(|(name, w)| (name, w, w / total))
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(actual: f64, expected: f64, rel: f64) -> bool {
+        (actual - expected).abs() / expected < rel
+    }
+
+    #[test]
+    fn albireo_c_matches_table_iii() {
+        let b = PowerBreakdown::for_chip(&ChipConfig::albireo_9(), TechnologyEstimate::Conservative);
+        assert!(close(b.mrr_w, 7.52, 0.01), "mrr = {}", b.mrr_w);
+        assert!(close(b.mzi_w, 3.45, 0.01), "mzi = {}", b.mzi_w);
+        assert!(close(b.laser_w, 2.36, 0.01), "laser = {}", b.laser_w);
+        assert!(close(b.tia_w, 0.135, 0.05), "tia = {}", b.tia_w);
+        assert!(close(b.dac_w, 7.93, 0.01), "dac = {}", b.dac_w);
+        assert!(close(b.adc_w, 1.31, 0.01), "adc = {}", b.adc_w);
+        assert!(close(b.cache_w, 0.03, 0.05), "cache = {}", b.cache_w);
+        assert!(close(b.total_w(), 22.7, 0.01), "total = {}", b.total_w());
+    }
+
+    #[test]
+    fn albireo_m_matches_table_iii() {
+        let b = PowerBreakdown::for_chip(&ChipConfig::albireo_9(), TechnologyEstimate::Moderate);
+        assert!(close(b.mrr_w, 0.94, 0.02), "mrr = {}", b.mrr_w);
+        assert!(close(b.mzi_w, 0.43, 0.02), "mzi = {}", b.mzi_w);
+        assert!(close(b.laser_w, 0.09, 0.05), "laser = {}", b.laser_w);
+        assert!(close(b.dac_w, 3.98, 0.01), "dac = {}", b.dac_w);
+        assert!(close(b.adc_w, 0.65, 0.01), "adc = {}", b.adc_w);
+        assert!(close(b.total_w(), 6.19, 0.01), "total = {}", b.total_w());
+    }
+
+    #[test]
+    fn albireo_a_matches_table_iii() {
+        let b = PowerBreakdown::for_chip(&ChipConfig::albireo_9(), TechnologyEstimate::Aggressive);
+        assert!(close(b.mrr_w, 0.38, 0.02), "mrr = {}", b.mrr_w);
+        assert!(close(b.mzi_w, 0.17, 0.02), "mzi = {}", b.mzi_w);
+        assert!(close(b.laser_w, 0.12, 0.02), "laser = {}", b.laser_w);
+        assert!(close(b.dac_w, 0.80, 0.01), "dac = {}", b.dac_w);
+        assert!(close(b.adc_w, 0.13, 0.02), "adc = {}", b.adc_w);
+        assert!(close(b.total_w(), 1.64, 0.02), "total = {}", b.total_w());
+    }
+
+    #[test]
+    fn albireo_27_is_about_59_watts() {
+        // §IV-A: "a 60 W version of Albireo, which is scaled up to 27 PLCGs"
+        // (58.8 W in §IV-B).
+        let b = PowerBreakdown::for_chip(&ChipConfig::albireo_27(), TechnologyEstimate::Conservative);
+        assert!(close(b.total_w(), 58.8, 0.01), "total = {}", b.total_w());
+        assert!(b.total_w() < 60.0, "fits the 60 W budget");
+    }
+
+    #[test]
+    fn dac_dominates_moderate_estimate() {
+        // Table III: DAC portion is 64.3% for Albireo-M.
+        let b = PowerBreakdown::for_chip(&ChipConfig::albireo_9(), TechnologyEstimate::Moderate);
+        let dac_portion = b.dac_w / b.total_w();
+        assert!((0.60..0.68).contains(&dac_portion), "portion = {dac_portion}");
+    }
+
+    #[test]
+    fn rows_sum_to_total() {
+        let b = PowerBreakdown::for_chip(&ChipConfig::albireo_9(), TechnologyEstimate::Conservative);
+        let sum: f64 = b.rows().iter().map(|r| r.1).sum();
+        assert!((sum - b.total_w()).abs() < 1e-12);
+        let portions: f64 = b.rows().iter().map(|r| r.2).sum();
+        assert!((portions - 1.0).abs() < 1e-12);
+        assert_eq!(b.rows().len(), 7);
+    }
+}

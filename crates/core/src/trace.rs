@@ -1,0 +1,227 @@
+//! Cycle-level dataflow tracing — the Fig. 7 reproduction.
+//!
+//! Figure 7 of the paper illustrates the depth-first dataflow inside one
+//! PLCG: in each cycle, the `Nu` PLCUs hold the next `Nu` kernel channels,
+//! the signal-generation bank modulates the matching
+//! `Nu × Wy × (Nd + Wx − 1)` input field, and the `Nd` detected partials
+//! are registered and accumulated until all `⌈Wz/Nu⌉` channel groups have
+//! been applied, at which point the `Nd` output activations complete.
+//!
+//! This module generates that schedule as structured events so tests can
+//! verify Algorithm 2's semantics and the bench harness can print the
+//! trace.
+
+use crate::config::ChipConfig;
+use std::fmt;
+
+/// One cycle of PLCG activity for one kernel position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCycle {
+    /// Global cycle index within the trace.
+    pub cycle: u64,
+    /// Kernel (PLCG assignment) being applied.
+    pub kernel: usize,
+    /// Output row being produced.
+    pub out_y: usize,
+    /// First output column of the `Nd` block.
+    pub out_x0: usize,
+    /// Number of concurrent output columns in this block.
+    pub columns: usize,
+    /// First kernel channel applied this cycle.
+    pub channel0: usize,
+    /// Channels applied this cycle (≤ `Nu`).
+    pub channels: usize,
+    /// Whether this cycle completes the dot products (last channel group),
+    /// triggering activation + writeback.
+    pub completes_outputs: bool,
+}
+
+impl fmt::Display for TraceCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {:>6}: kernel {:>3} out ({:>3}, {:>3}..{:<3}) channels {:>3}..{:<3}{}",
+            self.cycle,
+            self.kernel,
+            self.out_y,
+            self.out_x0,
+            self.out_x0 + self.columns,
+            self.channel0,
+            self.channel0 + self.channels,
+            if self.completes_outputs { "  -> write" } else { "" }
+        )
+    }
+}
+
+/// Traces the PLCG schedule for one kernel over an output plane of
+/// `out_y × out_x` with `channels` kernel channels (Algorithm 2's inner
+/// loops; `Ng` kernels run these cycles in parallel on their own PLCGs).
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn trace_kernel(
+    chip: &ChipConfig,
+    kernel: usize,
+    out_y: usize,
+    out_x: usize,
+    channels: usize,
+) -> Vec<TraceCycle> {
+    assert!(out_y > 0 && out_x > 0 && channels > 0, "empty trace");
+    let nd = chip.plcu.nd;
+    let nu = chip.nu;
+    let mut cycles = Vec::new();
+    let mut cycle = 0u64;
+    for y in 0..out_y {
+        let mut x0 = 0;
+        while x0 < out_x {
+            let columns = nd.min(out_x - x0);
+            let mut c0 = 0;
+            while c0 < channels {
+                let group = nu.min(channels - c0);
+                cycles.push(TraceCycle {
+                    cycle,
+                    kernel,
+                    out_y: y,
+                    out_x0: x0,
+                    columns,
+                    channel0: c0,
+                    channels: group,
+                    completes_outputs: c0 + group >= channels,
+                });
+                cycle += 1;
+                c0 += group;
+            }
+            x0 += columns;
+        }
+    }
+    cycles
+}
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Output elements written.
+    pub outputs_written: u64,
+    /// Partial-sum register updates (the writes that stay on chip instead
+    /// of spilling to memory).
+    pub partial_updates: u64,
+    /// Memory writebacks (one per completed output block).
+    pub writebacks: u64,
+}
+
+/// Summarizes a trace.
+pub fn summarize(trace: &[TraceCycle]) -> TraceSummary {
+    let cycles = trace.len() as u64;
+    let mut outputs = 0u64;
+    let mut partials = 0u64;
+    let mut writebacks = 0u64;
+    for t in trace {
+        if t.completes_outputs {
+            outputs += t.columns as u64;
+            writebacks += 1;
+        } else {
+            partials += t.columns as u64;
+        }
+    }
+    TraceSummary {
+        cycles,
+        outputs_written: outputs,
+        partial_updates: partials,
+        writebacks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip() -> ChipConfig {
+        ChipConfig::albireo_9()
+    }
+
+    #[test]
+    fn fig7_shape_nine_channels() {
+        // Fig. 7's running example: Wz = 9 channels, Nu = 3 ⇒ 3 cycles per
+        // output block, the third completing the dot product.
+        let trace = trace_kernel(&chip(), 0, 1, 5, 9);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].channel0, 0);
+        assert_eq!(trace[1].channel0, 3);
+        assert_eq!(trace[2].channel0, 6);
+        assert!(!trace[0].completes_outputs);
+        assert!(!trace[1].completes_outputs);
+        assert!(trace[2].completes_outputs);
+    }
+
+    #[test]
+    fn cycle_count_matches_scheduler_formula() {
+        // ⌈Bx/Nd⌉·By·⌈Wz/Nu⌉ for a 3×3 kernel that fits the PLCU.
+        let c = chip();
+        let trace = trace_kernel(&c, 0, 14, 14, 64);
+        let expected = 14u64 * 14usize.div_ceil(5) as u64 * 64usize.div_ceil(3) as u64;
+        assert_eq!(trace.len() as u64, expected);
+    }
+
+    #[test]
+    fn every_output_written_exactly_once() {
+        let c = chip();
+        let trace = trace_kernel(&c, 0, 4, 13, 7);
+        let summary = summarize(&trace);
+        assert_eq!(summary.outputs_written, 4 * 13);
+        // 7 channels = 3 groups; 2 partial updates per block.
+        assert_eq!(summary.writebacks, 4 * 13usize.div_ceil(5) as u64);
+    }
+
+    #[test]
+    fn depth_first_no_partial_writebacks() {
+        // The defining property (paper §III-B): partials never leave the
+        // chip; only completed activations are written.
+        let trace = trace_kernel(&chip(), 0, 8, 8, 96);
+        for t in &trace {
+            if !t.completes_outputs {
+                // A partial cycle must be followed (within its block) by
+                // the completing cycle before the kernel moves.
+                assert!(t.channel0 + t.channels < 96);
+            }
+        }
+        let summary = summarize(&trace);
+        assert!(summary.partial_updates > 0);
+        assert_eq!(summary.outputs_written, 64);
+    }
+
+    #[test]
+    fn blocks_advance_in_column_major_nd_steps() {
+        let trace = trace_kernel(&chip(), 2, 2, 12, 3);
+        // 12 columns in Nd=5 steps: blocks of 5, 5, 2 per row.
+        let xs: Vec<(usize, usize)> = trace.iter().map(|t| (t.out_x0, t.columns)).collect();
+        assert_eq!(xs[0], (0, 5));
+        assert_eq!(xs[1], (5, 5));
+        assert_eq!(xs[2], (10, 2));
+        assert_eq!(trace[3].out_y, 1);
+    }
+
+    #[test]
+    fn cycles_are_sequential() {
+        let trace = trace_kernel(&chip(), 0, 3, 7, 10);
+        for (i, t) in trace.iter().enumerate() {
+            assert_eq!(t.cycle, i as u64);
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let trace = trace_kernel(&chip(), 1, 1, 5, 6);
+        let line = trace[1].to_string();
+        assert!(line.contains("kernel"));
+        assert!(line.contains("write"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_rejected() {
+        let _ = trace_kernel(&chip(), 0, 0, 5, 3);
+    }
+}

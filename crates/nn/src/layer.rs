@@ -1,0 +1,321 @@
+//! Layer descriptors with shape and cost accounting.
+
+use std::fmt;
+
+/// The shape of an activation volume, `(depth, height, width)` in the
+/// paper's `A[z][y][x]` convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VolumeShape {
+    /// Channel count `Az`.
+    pub z: usize,
+    /// Height `Ay`.
+    pub y: usize,
+    /// Width `Ax`.
+    pub x: usize,
+}
+
+impl VolumeShape {
+    /// Builds a shape.
+    pub fn new(z: usize, y: usize, x: usize) -> VolumeShape {
+        VolumeShape { z, y, x }
+    }
+
+    /// Total number of elements.
+    pub fn elements(&self) -> usize {
+        self.z * self.y * self.x
+    }
+}
+
+impl fmt::Display for VolumeShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.z, self.y, self.x)
+    }
+}
+
+/// The operator a layer applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerKind {
+    /// Standard (optionally grouped) convolution.
+    Conv {
+        /// Number of kernels `Wm` (= output channels).
+        kernels: usize,
+        /// Kernel height `Wy`.
+        kernel_y: usize,
+        /// Kernel width `Wx`.
+        kernel_x: usize,
+        /// Stride `S`.
+        stride: usize,
+        /// Zero padding `P`.
+        padding: usize,
+        /// Channel groups (1 = dense; AlexNet uses 2).
+        groups: usize,
+    },
+    /// Depthwise convolution: one single-channel kernel per input channel.
+    Depthwise {
+        /// Kernel extent (square).
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        padding: usize,
+    },
+    /// Pointwise (1×1) convolution.
+    Pointwise {
+        /// Number of kernels (= output channels).
+        kernels: usize,
+    },
+    /// Fully-connected layer over the flattened input.
+    FullyConnected {
+        /// Number of outputs.
+        outputs: usize,
+    },
+    /// Max pooling with a square window.
+    MaxPool {
+        /// Window extent.
+        window: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Average pooling with a square window.
+    AvgPool {
+        /// Window extent.
+        window: usize,
+        /// Stride.
+        stride: usize,
+    },
+}
+
+impl LayerKind {
+    /// Shorthand for a square dense convolution.
+    pub fn conv(kernels: usize, kernel: usize, stride: usize, padding: usize) -> LayerKind {
+        LayerKind::Conv {
+            kernels,
+            kernel_y: kernel,
+            kernel_x: kernel,
+            stride,
+            padding,
+            groups: 1,
+        }
+    }
+
+    /// Shorthand for a square grouped convolution.
+    pub fn conv_grouped(
+        kernels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        groups: usize,
+    ) -> LayerKind {
+        LayerKind::Conv {
+            kernels,
+            kernel_y: kernel,
+            kernel_x: kernel,
+            stride,
+            padding,
+            groups,
+        }
+    }
+
+    /// Whether this layer performs MACs (pooling layers do not).
+    pub fn is_compute(&self) -> bool {
+        !matches!(self, LayerKind::MaxPool { .. } | LayerKind::AvgPool { .. })
+    }
+}
+
+/// A named layer: the unit the zoo builds networks from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layer {
+    /// Layer name (e.g. `conv2_1`).
+    pub name: String,
+    /// Operator.
+    pub kind: LayerKind,
+}
+
+impl Layer {
+    /// Builds a named layer.
+    pub fn new(name: impl Into<String>, kind: LayerKind) -> Layer {
+        Layer {
+            name: name.into(),
+            kind,
+        }
+    }
+}
+
+/// A layer bound to concrete input/output shapes within a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerInstance {
+    /// Layer name.
+    pub name: String,
+    /// Operator.
+    pub kind: LayerKind,
+    /// Input volume shape.
+    pub input: VolumeShape,
+    /// Output volume shape.
+    pub output: VolumeShape,
+    /// Whether the layer is a residual branch (contributes work but does not
+    /// advance the trunk shape).
+    pub is_branch: bool,
+}
+
+impl LayerInstance {
+    /// Multiply-accumulate operations this layer performs.
+    pub fn macs(&self) -> u64 {
+        let out_spatial = (self.output.y * self.output.x) as u64;
+        match self.kind {
+            LayerKind::Conv {
+                kernels,
+                kernel_y,
+                kernel_x,
+                groups,
+                ..
+            } => {
+                out_spatial
+                    * kernels as u64
+                    * kernel_y as u64
+                    * kernel_x as u64
+                    * (self.input.z / groups) as u64
+            }
+            LayerKind::Depthwise { kernel, .. } => {
+                out_spatial * self.input.z as u64 * (kernel * kernel) as u64
+            }
+            LayerKind::Pointwise { kernels } => {
+                out_spatial * kernels as u64 * self.input.z as u64
+            }
+            LayerKind::FullyConnected { outputs } => {
+                outputs as u64 * self.input.elements() as u64
+            }
+            LayerKind::MaxPool { .. } | LayerKind::AvgPool { .. } => 0,
+        }
+    }
+
+    /// Number of trainable weights in this layer (biases excluded, matching
+    /// the paper's optical weight accounting).
+    pub fn params(&self) -> u64 {
+        match self.kind {
+            LayerKind::Conv {
+                kernels,
+                kernel_y,
+                kernel_x,
+                groups,
+                ..
+            } => kernels as u64 * kernel_y as u64 * kernel_x as u64 * (self.input.z / groups) as u64,
+            LayerKind::Depthwise { kernel, .. } => self.input.z as u64 * (kernel * kernel) as u64,
+            LayerKind::Pointwise { kernels } => kernels as u64 * self.input.z as u64,
+            LayerKind::FullyConnected { outputs } => {
+                outputs as u64 * self.input.elements() as u64
+            }
+            LayerKind::MaxPool { .. } | LayerKind::AvgPool { .. } => 0,
+        }
+    }
+
+    /// Whether the layer performs MACs.
+    pub fn is_compute(&self) -> bool {
+        self.kind.is_compute()
+    }
+}
+
+impl fmt::Display for LayerInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {} ({:.1} MMACs)",
+            self.name,
+            self.input,
+            self.output,
+            self.macs() as f64 / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance(kind: LayerKind, input: VolumeShape, output: VolumeShape) -> LayerInstance {
+        LayerInstance {
+            name: "t".into(),
+            kind,
+            input,
+            output,
+            is_branch: false,
+        }
+    }
+
+    #[test]
+    fn conv_macs() {
+        // 64 kernels of 3×3×3 over a 224×224 output: 64·9·3·224² ≈ 86.7M.
+        let li = instance(
+            LayerKind::conv(64, 3, 1, 1),
+            VolumeShape::new(3, 224, 224),
+            VolumeShape::new(64, 224, 224),
+        );
+        assert_eq!(li.macs(), 64 * 9 * 3 * 224 * 224);
+        assert_eq!(li.params(), 64 * 9 * 3);
+    }
+
+    #[test]
+    fn grouped_conv_divides_depth() {
+        let li = instance(
+            LayerKind::conv_grouped(256, 5, 1, 2, 2),
+            VolumeShape::new(96, 27, 27),
+            VolumeShape::new(256, 27, 27),
+        );
+        assert_eq!(li.macs(), 27 * 27 * 256 * 25 * 48);
+    }
+
+    #[test]
+    fn depthwise_macs() {
+        let li = instance(
+            LayerKind::Depthwise {
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
+            VolumeShape::new(32, 112, 112),
+            VolumeShape::new(32, 112, 112),
+        );
+        assert_eq!(li.macs(), 112 * 112 * 32 * 9);
+    }
+
+    #[test]
+    fn pointwise_macs() {
+        let li = instance(
+            LayerKind::Pointwise { kernels: 64 },
+            VolumeShape::new(32, 112, 112),
+            VolumeShape::new(64, 112, 112),
+        );
+        assert_eq!(li.macs(), 112 * 112 * 64 * 32);
+    }
+
+    #[test]
+    fn fc_macs() {
+        let li = instance(
+            LayerKind::FullyConnected { outputs: 4096 },
+            VolumeShape::new(256, 6, 6),
+            VolumeShape::new(4096, 1, 1),
+        );
+        assert_eq!(li.macs(), 4096 * 9216);
+        assert_eq!(li.params(), li.macs());
+    }
+
+    #[test]
+    fn pooling_has_no_macs() {
+        let li = instance(
+            LayerKind::MaxPool { window: 2, stride: 2 },
+            VolumeShape::new(64, 112, 112),
+            VolumeShape::new(64, 56, 56),
+        );
+        assert_eq!(li.macs(), 0);
+        assert!(!li.is_compute());
+    }
+
+    #[test]
+    fn shape_display() {
+        assert_eq!(VolumeShape::new(3, 224, 224).to_string(), "3x224x224");
+    }
+
+    #[test]
+    fn elements() {
+        assert_eq!(VolumeShape::new(2, 3, 4).elements(), 24);
+    }
+}

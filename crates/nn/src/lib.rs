@@ -1,0 +1,72 @@
+//! CNN layer descriptors and the benchmark model zoo.
+//!
+//! The Albireo evaluation (paper §IV) is a *per-layer analysis* of four
+//! CNNs — AlexNet, VGG16, ResNet18, and MobileNet. This crate describes
+//! networks as chains of shape-checked [`layer::LayerInstance`]s with
+//! MAC/parameter accounting, and [`zoo`] provides the four benchmark
+//! networks with their standard geometries.
+//!
+//! # Example
+//!
+//! ```
+//! use albireo_nn::zoo;
+//!
+//! let vgg = zoo::vgg16();
+//! // VGG16 performs ~15.5 GMACs per inference.
+//! let gmacs = vgg.total_macs() as f64 / 1e9;
+//! assert!((gmacs - 15.47).abs() < 0.2, "gmacs = {gmacs}");
+//! ```
+
+pub mod layer;
+pub mod model;
+pub mod stats;
+pub mod zoo;
+
+pub use layer::{Layer, LayerInstance, LayerKind, VolumeShape};
+pub use model::{Model, ModelBuilder};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while assembling a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A layer's geometry is incompatible with its input shape.
+    ShapeChain {
+        /// Layer name.
+        layer: String,
+        /// Explanation of the incompatibility.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ShapeChain { layer, reason } => {
+                write!(f, "layer `{layer}` cannot be applied: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = ModelError::ShapeChain {
+            layer: "conv1".into(),
+            reason: "depth mismatch".into(),
+        };
+        assert!(e.to_string().contains("conv1"));
+        assert!(e.to_string().contains("depth mismatch"));
+    }
+}

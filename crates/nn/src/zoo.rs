@@ -1,0 +1,466 @@
+//! The benchmark networks of the Albireo evaluation (paper §IV-A):
+//! AlexNet, VGG16, ResNet18, and MobileNet v1.
+//!
+//! Geometries are the standard published ones. Two notes on shape
+//! conventions:
+//!
+//! * The paper's output-extent formula (Eq. 1) uses a ceiling where most
+//!   frameworks use a floor; where a stride-2 layer's division is inexact
+//!   the zoo uses the padding choice that makes the division land on the
+//!   standard extent (e.g. ResNet18's stride-2 3×3 convolutions use the
+//!   `P = 0` form so that `56 → 28 → 14 → 7` exactly).
+//! * AlexNet uses its original 227×227 input (the dimension that makes the
+//!   classic `55 → 27 → 13 → 6` chain exact) and the original two-group
+//!   convolutions for conv2/4/5.
+
+use crate::layer::{LayerKind, VolumeShape};
+use crate::model::Model;
+
+/// AlexNet (paper ref. \[31\]) with grouped convolutions.
+pub fn alexnet() -> Model {
+    let mut b = Model::builder("AlexNet", VolumeShape::new(3, 227, 227));
+    b.push("conv1", LayerKind::conv(96, 11, 4, 0))
+        .and_then(|b| b.push("pool1", LayerKind::MaxPool { window: 3, stride: 2 }))
+        .and_then(|b| b.push("conv2", LayerKind::conv_grouped(256, 5, 1, 2, 2)))
+        .and_then(|b| b.push("pool2", LayerKind::MaxPool { window: 3, stride: 2 }))
+        .and_then(|b| b.push("conv3", LayerKind::conv(384, 3, 1, 1)))
+        .and_then(|b| b.push("conv4", LayerKind::conv_grouped(384, 3, 1, 1, 2)))
+        .and_then(|b| b.push("conv5", LayerKind::conv_grouped(256, 3, 1, 1, 2)))
+        .and_then(|b| b.push("pool5", LayerKind::MaxPool { window: 3, stride: 2 }))
+        .and_then(|b| b.push("fc6", LayerKind::FullyConnected { outputs: 4096 }))
+        .and_then(|b| b.push("fc7", LayerKind::FullyConnected { outputs: 4096 }))
+        .and_then(|b| b.push("fc8", LayerKind::FullyConnected { outputs: 1000 }))
+        .expect("AlexNet geometry is valid");
+    b.build().expect("AlexNet builds")
+}
+
+/// VGG16 (paper ref. \[53\]): thirteen 3×3 convolutions and three FC layers.
+pub fn vgg16() -> Model {
+    let mut b = Model::builder("VGG16", VolumeShape::new(3, 224, 224));
+    let blocks: &[(usize, usize)] = &[(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+    let mut idx = 1;
+    for (block, &(channels, convs)) in blocks.iter().enumerate() {
+        for c in 0..convs {
+            b.push(
+                format!("conv{}_{}", block + 1, c + 1),
+                LayerKind::conv(channels, 3, 1, 1),
+            )
+            .expect("VGG16 conv geometry is valid");
+            idx += 1;
+        }
+        b.push(
+            format!("pool{}", block + 1),
+            LayerKind::MaxPool { window: 2, stride: 2 },
+        )
+        .expect("VGG16 pool geometry is valid");
+    }
+    let _ = idx;
+    b.push("fc6", LayerKind::FullyConnected { outputs: 4096 })
+        .and_then(|b| b.push("fc7", LayerKind::FullyConnected { outputs: 4096 }))
+        .and_then(|b| b.push("fc8", LayerKind::FullyConnected { outputs: 1000 }))
+        .expect("VGG16 FC geometry is valid");
+    b.build().expect("VGG16 builds")
+}
+
+/// ResNet18 (paper ref. \[24\]): the 2-2-2-2 basic-block residual network,
+/// with projection shortcuts modelled as branch layers.
+pub fn resnet18() -> Model {
+    let mut b = Model::builder("ResNet18", VolumeShape::new(3, 224, 224));
+    b.push("conv1", LayerKind::conv(64, 7, 2, 2))
+        .and_then(|b| b.push("pool1", LayerKind::MaxPool { window: 3, stride: 2 }))
+        .expect("ResNet18 stem geometry is valid");
+
+    // Stage 1: two basic blocks at 56×56, 64 channels.
+    for block in 0..2 {
+        for conv in 0..2 {
+            b.push(
+                format!("layer1.{block}.conv{}", conv + 1),
+                LayerKind::conv(64, 3, 1, 1),
+            )
+            .expect("ResNet18 stage-1 geometry is valid");
+        }
+    }
+
+    // Stages 2–4: first block downsamples (stride-2, exact-division padding)
+    // with a 1×1 projection branch.
+    for (stage, channels) in [(2, 128), (3, 256), (4, 512)] {
+        let stage_input = b.trunk_shape();
+        b.push(
+            format!("layer{stage}.0.conv1"),
+            LayerKind::conv(channels, 3, 2, 0),
+        )
+        .and_then(|b| {
+            b.push(
+                format!("layer{stage}.0.conv2"),
+                LayerKind::conv(channels, 3, 1, 1),
+            )
+        })
+        .expect("ResNet18 downsample geometry is valid");
+        b.push_branch(
+            format!("layer{stage}.0.proj"),
+            LayerKind::conv(channels, 1, 2, 0),
+            stage_input,
+        )
+        .expect("ResNet18 projection geometry is valid");
+        for conv in 0..2 {
+            b.push(
+                format!("layer{stage}.1.conv{}", conv + 1),
+                LayerKind::conv(channels, 3, 1, 1),
+            )
+            .expect("ResNet18 stage geometry is valid");
+        }
+    }
+
+    b.push("avgpool", LayerKind::AvgPool { window: 7, stride: 7 })
+        .and_then(|b| b.push("fc", LayerKind::FullyConnected { outputs: 1000 }))
+        .expect("ResNet18 head geometry is valid");
+    b.build().expect("ResNet18 builds")
+}
+
+/// MobileNet v1 (paper ref. \[26\]): depthwise-separable convolutions.
+pub fn mobilenet() -> Model {
+    let mut b = Model::builder("MobileNet", VolumeShape::new(3, 224, 224));
+    b.push("conv1", LayerKind::conv(32, 3, 2, 0))
+        .expect("MobileNet stem geometry is valid");
+
+    // (output channels of the pointwise, depthwise stride)
+    let blocks: &[(usize, usize)] = &[
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    for (i, &(out_ch, stride)) in blocks.iter().enumerate() {
+        let padding = if stride == 1 { 1 } else { 0 };
+        b.push(
+            format!("dw{}", i + 1),
+            LayerKind::Depthwise {
+                kernel: 3,
+                stride,
+                padding,
+            },
+        )
+        .and_then(|b| b.push(format!("pw{}", i + 1), LayerKind::Pointwise { kernels: out_ch }))
+        .expect("MobileNet block geometry is valid");
+    }
+
+    b.push("avgpool", LayerKind::AvgPool { window: 7, stride: 7 })
+        .and_then(|b| b.push("fc", LayerKind::FullyConnected { outputs: 1000 }))
+        .expect("MobileNet head geometry is valid");
+    b.build().expect("MobileNet builds")
+}
+
+/// All four benchmark networks, in the order the paper plots them.
+pub fn all_benchmarks() -> Vec<Model> {
+    vec![alexnet(), vgg16(), resnet18(), mobilenet()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_standard_shapes() {
+        let m = alexnet();
+        let by_name = |n: &str| {
+            m.layers()
+                .iter()
+                .find(|l| l.name == n)
+                .unwrap_or_else(|| panic!("layer {n}"))
+        };
+        assert_eq!(by_name("conv1").output, VolumeShape::new(96, 55, 55));
+        assert_eq!(by_name("conv2").output, VolumeShape::new(256, 27, 27));
+        assert_eq!(by_name("conv5").output, VolumeShape::new(256, 13, 13));
+        assert_eq!(by_name("fc6").input.elements(), 9216);
+        assert_eq!(m.output_shape(), VolumeShape::new(1000, 1, 1));
+    }
+
+    #[test]
+    fn alexnet_macs_match_published() {
+        // Grouped AlexNet ≈ 0.72 GMACs.
+        let g = alexnet().total_macs() as f64 / 1e9;
+        assert!((0.65..0.80).contains(&g), "gmacs = {g}");
+    }
+
+    #[test]
+    fn vgg16_shapes_and_macs() {
+        let m = vgg16();
+        assert_eq!(m.output_shape(), VolumeShape::new(1000, 1, 1));
+        // 13 convs + 5 pools + 3 FCs = 21 layers.
+        assert_eq!(m.layers().len(), 21);
+        let g = m.total_macs() as f64 / 1e9;
+        assert!((15.2..15.8).contains(&g), "gmacs = {g}");
+        // ~138 M params.
+        let p = m.total_params() as f64 / 1e6;
+        assert!((130.0..145.0).contains(&p), "params = {p}");
+    }
+
+    #[test]
+    fn resnet18_shapes_and_macs() {
+        let m = resnet18();
+        assert_eq!(m.output_shape(), VolumeShape::new(1000, 1, 1));
+        // Trunk spatial chain 112 → 56 → 28 → 14 → 7.
+        let l4 = m
+            .layers()
+            .iter()
+            .find(|l| l.name == "layer4.1.conv2")
+            .unwrap();
+        assert_eq!(l4.output, VolumeShape::new(512, 7, 7));
+        let g = m.total_macs() as f64 / 1e9;
+        // Published ≈ 1.82 GMACs.
+        assert!((1.6..2.0).contains(&g), "gmacs = {g}");
+    }
+
+    #[test]
+    fn resnet18_has_three_projection_branches() {
+        let m = resnet18();
+        let branches: Vec<_> = m.layers().iter().filter(|l| l.is_branch).collect();
+        assert_eq!(branches.len(), 3);
+        for b in branches {
+            assert!(b.name.ends_with(".proj"));
+        }
+    }
+
+    #[test]
+    fn mobilenet_shapes_and_macs() {
+        let m = mobilenet();
+        assert_eq!(m.output_shape(), VolumeShape::new(1000, 1, 1));
+        let g = m.total_macs() as f64 / 1e9;
+        // Published ≈ 0.57 GMACs.
+        assert!((0.5..0.65).contains(&g), "gmacs = {g}");
+        // ~4.2 M params.
+        let p = m.total_params() as f64 / 1e6;
+        assert!((3.8..4.6).contains(&p), "params = {p}");
+    }
+
+    #[test]
+    fn mobilenet_alternates_depthwise_pointwise() {
+        let m = mobilenet();
+        let dw = m
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Depthwise { .. }))
+            .count();
+        let pw = m
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Pointwise { .. }))
+            .count();
+        assert_eq!(dw, 13);
+        assert_eq!(pw, 13);
+    }
+
+    #[test]
+    fn mobilenet_spatial_chain() {
+        let m = mobilenet();
+        let last_dw = m.layers().iter().rev().find(|l| l.name.starts_with("dw"));
+        assert_eq!(last_dw.unwrap().output.y, 7);
+    }
+
+    #[test]
+    fn all_benchmarks_has_four_networks() {
+        let names: Vec<String> = all_benchmarks().iter().map(|m| m.name().to_string()).collect();
+        assert_eq!(names, vec!["AlexNet", "VGG16", "ResNet18", "MobileNet"]);
+    }
+
+    #[test]
+    fn fc_dominates_alexnet_params_but_not_macs() {
+        let m = alexnet();
+        let fc_params: u64 = m
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::FullyConnected { .. }))
+            .map(|l| l.params())
+            .sum();
+        let fc_macs: u64 = m
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::FullyConnected { .. }))
+            .map(|l| l.macs())
+            .sum();
+        assert!(fc_params * 2 > m.total_params(), "FC params dominate");
+        assert!(fc_macs * 2 < m.total_macs(), "conv MACs dominate");
+    }
+}
+
+// --- Extension networks beyond the paper's four benchmarks -------------
+// The paper evaluates AlexNet/VGG16/ResNet18/MobileNet; the following are
+// provided for users extending the study to related families.
+
+/// VGG19 (extension): VGG16 with one extra 3×3 convolution in each of the
+/// last three blocks.
+pub fn vgg19() -> Model {
+    let mut b = Model::builder("VGG19", VolumeShape::new(3, 224, 224));
+    let blocks: &[(usize, usize)] = &[(64, 2), (128, 2), (256, 4), (512, 4), (512, 4)];
+    for (block, &(channels, convs)) in blocks.iter().enumerate() {
+        for c in 0..convs {
+            b.push(
+                format!("conv{}_{}", block + 1, c + 1),
+                LayerKind::conv(channels, 3, 1, 1),
+            )
+            .expect("VGG19 conv geometry is valid");
+        }
+        b.push(
+            format!("pool{}", block + 1),
+            LayerKind::MaxPool { window: 2, stride: 2 },
+        )
+        .expect("VGG19 pool geometry is valid");
+    }
+    b.push("fc6", LayerKind::FullyConnected { outputs: 4096 })
+        .and_then(|b| b.push("fc7", LayerKind::FullyConnected { outputs: 4096 }))
+        .and_then(|b| b.push("fc8", LayerKind::FullyConnected { outputs: 1000 }))
+        .expect("VGG19 FC geometry is valid");
+    b.build().expect("VGG19 builds")
+}
+
+/// ResNet34 (extension): the 3-4-6-3 basic-block residual network, using
+/// the same exact-division stride handling as [`resnet18`].
+pub fn resnet34() -> Model {
+    let mut b = Model::builder("ResNet34", VolumeShape::new(3, 224, 224));
+    b.push("conv1", LayerKind::conv(64, 7, 2, 2))
+        .and_then(|b| b.push("pool1", LayerKind::MaxPool { window: 3, stride: 2 }))
+        .expect("ResNet34 stem geometry is valid");
+    for block in 0..3 {
+        for conv in 0..2 {
+            b.push(
+                format!("layer1.{block}.conv{}", conv + 1),
+                LayerKind::conv(64, 3, 1, 1),
+            )
+            .expect("ResNet34 stage-1 geometry is valid");
+        }
+    }
+    for (stage, channels, blocks) in [(2usize, 128usize, 4usize), (3, 256, 6), (4, 512, 3)] {
+        let stage_input = b.trunk_shape();
+        b.push(
+            format!("layer{stage}.0.conv1"),
+            LayerKind::conv(channels, 3, 2, 0),
+        )
+        .and_then(|b| {
+            b.push(
+                format!("layer{stage}.0.conv2"),
+                LayerKind::conv(channels, 3, 1, 1),
+            )
+        })
+        .expect("ResNet34 downsample geometry is valid");
+        b.push_branch(
+            format!("layer{stage}.0.proj"),
+            LayerKind::conv(channels, 1, 2, 0),
+            stage_input,
+        )
+        .expect("ResNet34 projection geometry is valid");
+        for block in 1..blocks {
+            for conv in 0..2 {
+                b.push(
+                    format!("layer{stage}.{block}.conv{}", conv + 1),
+                    LayerKind::conv(channels, 3, 1, 1),
+                )
+                .expect("ResNet34 stage geometry is valid");
+            }
+        }
+    }
+    b.push("avgpool", LayerKind::AvgPool { window: 7, stride: 7 })
+        .and_then(|b| b.push("fc", LayerKind::FullyConnected { outputs: 1000 }))
+        .expect("ResNet34 head geometry is valid");
+    b.build().expect("ResNet34 builds")
+}
+
+/// MobileNet v1 at a 0.5 width multiplier (extension): every channel count
+/// halved, the classic latency/accuracy knob of the MobileNet paper.
+pub fn mobilenet_half() -> Model {
+    let mut b = Model::builder("MobileNet-0.5", VolumeShape::new(3, 224, 224));
+    b.push("conv1", LayerKind::conv(16, 3, 2, 0))
+        .expect("MobileNet-0.5 stem geometry is valid");
+    let blocks: &[(usize, usize)] = &[
+        (32, 1),
+        (64, 2),
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (256, 1),
+        (256, 1),
+        (256, 1),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+    ];
+    for (i, &(out_ch, stride)) in blocks.iter().enumerate() {
+        let padding = if stride == 1 { 1 } else { 0 };
+        b.push(
+            format!("dw{}", i + 1),
+            LayerKind::Depthwise { kernel: 3, stride, padding },
+        )
+        .and_then(|b| b.push(format!("pw{}", i + 1), LayerKind::Pointwise { kernels: out_ch }))
+        .expect("MobileNet-0.5 block geometry is valid");
+    }
+    b.push("avgpool", LayerKind::AvgPool { window: 7, stride: 7 })
+        .and_then(|b| b.push("fc", LayerKind::FullyConnected { outputs: 1000 }))
+        .expect("MobileNet-0.5 head geometry is valid");
+    b.build().expect("MobileNet-0.5 builds")
+}
+
+/// A tiny CNN for functional-simulation demos and tests: fits the analog
+/// engine's per-kernel limits and runs in milliseconds.
+pub fn tiny() -> Model {
+    let mut b = Model::builder("Tiny", VolumeShape::new(1, 12, 12));
+    b.push("conv1", LayerKind::conv(4, 3, 1, 0))
+        .and_then(|b| b.push("pool1", LayerKind::MaxPool { window: 2, stride: 2 }))
+        .and_then(|b| b.push("conv2", LayerKind::conv(6, 3, 1, 0)))
+        .and_then(|b| b.push("fc", LayerKind::FullyConnected { outputs: 5 }))
+        .expect("Tiny geometry is valid");
+    b.build().expect("Tiny builds")
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+
+    #[test]
+    fn vgg19_is_heavier_than_vgg16() {
+        let v19 = vgg19();
+        let v16 = vgg16();
+        assert!(v19.total_macs() > v16.total_macs());
+        let g = v19.total_macs() as f64 / 1e9;
+        // Published ≈ 19.6 GMACs.
+        assert!((19.0..20.5).contains(&g), "gmacs = {g}");
+        assert_eq!(v19.output_shape(), VolumeShape::new(1000, 1, 1));
+    }
+
+    #[test]
+    fn resnet34_matches_published_macs() {
+        let m = resnet34();
+        let g = m.total_macs() as f64 / 1e9;
+        // Published ≈ 3.67 GMACs.
+        assert!((3.3..4.0).contains(&g), "gmacs = {g}");
+        assert_eq!(m.output_shape(), VolumeShape::new(1000, 1, 1));
+        let branches = m.layers().iter().filter(|l| l.is_branch).count();
+        assert_eq!(branches, 3);
+    }
+
+    #[test]
+    fn mobilenet_half_is_about_a_quarter_of_the_macs() {
+        let full = mobilenet().total_macs() as f64;
+        let half = mobilenet_half().total_macs() as f64;
+        // Width multiplier 0.5 ⇒ ~0.25× MACs in pointwise-dominated nets.
+        let ratio = half / full;
+        assert!((0.2..0.35).contains(&ratio), "ratio = {ratio}");
+        assert_eq!(mobilenet_half().output_shape(), VolumeShape::new(1000, 1, 1));
+    }
+
+    #[test]
+    fn tiny_is_small_and_valid() {
+        let m = tiny();
+        assert!(m.total_macs() < 100_000);
+        assert_eq!(m.output_shape(), VolumeShape::new(5, 1, 1));
+    }
+}

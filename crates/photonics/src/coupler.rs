@@ -1,0 +1,259 @@
+//! Passive distribution devices: star couplers and arrayed waveguide
+//! gratings (paper §III-C).
+//!
+//! * The **AWG** demultiplexes the 63/64 WDM channels arriving at a PLCG
+//!   into individual waveguides.
+//! * The **star coupler** is a free-propagation region that mixes its
+//!   inputs onto every output — Albireo uses one per kernel row to multicast
+//!   the `Nd + Wx − 1` input elements of that row to the `Wx` MZM columns.
+//!
+//! Both are passive and consume no electrical power; they only contribute
+//! insertion loss, crosstalk, and (a large amount of) area.
+
+use crate::params::{AwgParams, StarCouplerParams};
+use crate::units::Db;
+use crate::{OpticalParams, PhotonicsError, Result};
+
+/// An `n_in → n_out` star coupler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StarCoupler {
+    params: StarCouplerParams,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl StarCoupler {
+    /// Builds a star coupler with the given port counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either port count is zero.
+    pub fn new(params: StarCouplerParams, inputs: usize, outputs: usize) -> Result<StarCoupler> {
+        if inputs == 0 || outputs == 0 {
+            return Err(PhotonicsError::Inconsistent(format!(
+                "star coupler needs at least one input and output, got {inputs}x{outputs}"
+            )));
+        }
+        Ok(StarCoupler {
+            params,
+            inputs,
+            outputs,
+        })
+    }
+
+    /// Builds the paper's star coupler for one PLCU row: `Nd + Wx − 1`
+    /// inputs multicast onto `Wx` outputs.
+    pub fn for_plcu_row(params: &OpticalParams, nd: usize, wx: usize) -> Result<StarCoupler> {
+        StarCoupler::new(params.star_coupler, nd + wx - 1, wx)
+    }
+
+    /// Number of input ports.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of output ports.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Power transfer from any input to any single output: the free
+    /// propagation region splits each input evenly across the outputs, plus
+    /// the insertion loss.
+    pub fn port_transfer(&self) -> Db {
+        Db::from_linear(1.0 / self.outputs as f64) + Db::loss(self.params.loss_db)
+    }
+
+    /// Insertion (excess) loss only.
+    pub fn insertion_loss(&self) -> Db {
+        Db::loss(self.params.loss_db)
+    }
+
+    /// Multicasts a set of per-input WDM powers to every output port.
+    ///
+    /// `inputs[i]` is the optical power on input port `i`; the return value
+    /// is `outputs × inputs` — every output port carries an attenuated copy
+    /// of every input signal (each on its own wavelength, so they add
+    /// without interference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the configured input count.
+    pub fn multicast(&self, inputs: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(
+            inputs.len(),
+            self.inputs,
+            "expected {} inputs, got {}",
+            self.inputs,
+            inputs.len()
+        );
+        let gain = self.port_transfer().linear();
+        (0..self.outputs)
+            .map(|_| inputs.iter().map(|p| p * gain).collect())
+            .collect()
+    }
+
+    /// Device footprint, m².
+    pub fn area_m2(&self) -> f64 {
+        self.params.area_m2
+    }
+}
+
+/// An arrayed waveguide grating demultiplexer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Awg {
+    params: AwgParams,
+}
+
+impl Awg {
+    /// Builds an AWG from explicit parameters.
+    pub fn new(params: AwgParams) -> Awg {
+        Awg { params }
+    }
+
+    /// Builds the paper's 64-channel AWG.
+    pub fn from_params(params: &OpticalParams) -> Awg {
+        Awg { params: params.awg }
+    }
+
+    /// Number of wavelength channels.
+    pub fn channels(&self) -> usize {
+        self.params.channels
+    }
+
+    /// Insertion loss on the demultiplexed path.
+    pub fn insertion_loss(&self) -> Db {
+        Db::loss(self.params.loss_db)
+    }
+
+    /// Linear crosstalk leaking from each foreign channel into a given
+    /// output port.
+    pub fn crosstalk_linear(&self) -> f64 {
+        Db::new(self.params.crosstalk_db).linear()
+    }
+
+    /// Demultiplexes per-channel powers: output `i` carries channel `i`
+    /// attenuated by the insertion loss plus the summed crosstalk of all
+    /// foreign channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if more channels are presented than the AWG supports.
+    pub fn demultiplex(&self, channel_powers: &[f64]) -> Result<Vec<f64>> {
+        if channel_powers.len() > self.params.channels {
+            return Err(PhotonicsError::Inconsistent(format!(
+                "AWG supports {} channels, got {}",
+                self.params.channels,
+                channel_powers.len()
+            )));
+        }
+        let il = self.insertion_loss().linear();
+        let xt = self.crosstalk_linear();
+        let total: f64 = channel_powers.iter().sum();
+        Ok(channel_powers
+            .iter()
+            .map(|&p| il * (p + xt * (total - p)))
+            .collect())
+    }
+
+    /// Device footprint, m².
+    pub fn area_m2(&self) -> f64 {
+        self.params.area_m2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> OpticalParams {
+        OpticalParams::paper()
+    }
+
+    #[test]
+    fn plcu_row_star_coupler_has_paper_shape() {
+        // Nd = 5, Wx = 3 ⇒ 7 inputs, 3 outputs.
+        let sc = StarCoupler::for_plcu_row(&params(), 5, 3).unwrap();
+        assert_eq!(sc.inputs(), 7);
+        assert_eq!(sc.outputs(), 3);
+    }
+
+    #[test]
+    fn port_transfer_includes_split_and_loss() {
+        let sc = StarCoupler::for_plcu_row(&params(), 5, 3).unwrap();
+        let expected = (1.0 / 3.0) * Db::loss(1.3).linear();
+        assert!((sc.port_transfer().linear() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multicast_copies_every_input_to_every_output() {
+        let sc = StarCoupler::for_plcu_row(&params(), 5, 3).unwrap();
+        let inputs = [1e-3, 2e-3, 3e-3, 4e-3, 5e-3, 6e-3, 7e-3];
+        let out = sc.multicast(&inputs);
+        assert_eq!(out.len(), 3);
+        for port in &out {
+            assert_eq!(port.len(), 7);
+            for (o, i) in port.iter().zip(inputs.iter()) {
+                assert!((o / i - sc.port_transfer().linear()).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_conserves_no_more_than_input_power() {
+        let sc = StarCoupler::for_plcu_row(&params(), 5, 3).unwrap();
+        let inputs = vec![1e-3; 7];
+        let out = sc.multicast(&inputs);
+        let total_out: f64 = out.iter().flatten().sum();
+        let total_in: f64 = inputs.iter().sum();
+        assert!(total_out <= total_in);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 7 inputs")]
+    fn multicast_checks_arity() {
+        let sc = StarCoupler::for_plcu_row(&params(), 5, 3).unwrap();
+        let _ = sc.multicast(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_ports_rejected() {
+        let p = params().star_coupler;
+        assert!(StarCoupler::new(p, 0, 3).is_err());
+        assert!(StarCoupler::new(p, 3, 0).is_err());
+    }
+
+    #[test]
+    fn awg_demux_attenuates_and_leaks() {
+        let awg = Awg::from_params(&params());
+        let powers = vec![1e-3; 10];
+        let out = awg.demultiplex(&powers).unwrap();
+        let il = Db::loss(2.0).linear();
+        for o in &out {
+            // Main term plus 9 × (−34 dB) crosstalk.
+            let expected = il * (1e-3 + 9.0 * 1e-3 * Db::new(-34.0).linear());
+            assert!((o - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn awg_rejects_too_many_channels() {
+        let awg = Awg::from_params(&params());
+        let powers = vec![1e-3; 65];
+        assert!(awg.demultiplex(&powers).is_err());
+    }
+
+    #[test]
+    fn awg_crosstalk_is_small() {
+        let awg = Awg::from_params(&params());
+        assert!(awg.crosstalk_linear() < 1e-3);
+    }
+
+    #[test]
+    fn awg_supports_63_albireo_channels() {
+        let awg = Awg::from_params(&params());
+        let powers = vec![1e-3; 63];
+        assert!(awg.demultiplex(&powers).is_ok());
+        assert_eq!(awg.channels(), 64);
+    }
+}

@@ -1,0 +1,177 @@
+//! End-to-end optical link budget through the Albireo chip (paper Fig. 6).
+//!
+//! The optical path of one input signal is:
+//!
+//! ```text
+//! laser → modulator MRR (drop) → waveguide → Y-branch broadcast tree (Ng)
+//!       → AWG demux → star coupler multicast → MZM multiply
+//!       → switching MRR (drop) → waveguide → photodiode
+//! ```
+//!
+//! The budget determines the per-channel power reaching the balanced
+//! photodiodes, which in turn sets the noise-limited precision via
+//! [`crate::precision`].
+
+use crate::units::Db;
+use crate::ybranch::{BroadcastTree, YBranch};
+use crate::OpticalParams;
+
+/// A named stage in a link budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkStage {
+    /// Human-readable name of the stage.
+    pub name: String,
+    /// Power transfer of the stage (negative dB = loss).
+    pub transfer: Db,
+}
+
+/// An ordered sequence of optical stages with loss accounting.
+///
+/// ```
+/// use albireo_photonics::link::LinkBudget;
+/// use albireo_photonics::params::OpticalParams;
+///
+/// let budget = LinkBudget::albireo_chip(&OpticalParams::paper(), 9, 3, 5, 3);
+/// // The full chip path loses tens of dB; the PD still sees µW-scale power
+/// // from a 37.5 mW conservative laser.
+/// let p_pd = budget.output_power(37.5e-3);
+/// assert!(p_pd > 1e-7 && p_pd < 1e-3, "p_pd = {p_pd}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinkBudget {
+    stages: Vec<LinkStage>,
+}
+
+impl LinkBudget {
+    /// Creates an empty budget.
+    pub fn new() -> LinkBudget {
+        LinkBudget::default()
+    }
+
+    /// Appends a stage.
+    pub fn stage(&mut self, name: impl Into<String>, transfer: Db) -> &mut LinkBudget {
+        self.stages.push(LinkStage {
+            name: name.into(),
+            transfer,
+        });
+        self
+    }
+
+    /// The stages in order.
+    pub fn stages(&self) -> &[LinkStage] {
+        &self.stages
+    }
+
+    /// Total transfer of the whole path.
+    pub fn total_transfer(&self) -> Db {
+        self.stages.iter().map(|s| s.transfer).sum()
+    }
+
+    /// Total loss magnitude in dB.
+    pub fn total_loss_db(&self) -> f64 {
+        self.total_transfer().loss_db()
+    }
+
+    /// Output power (W) for a given input power (W).
+    pub fn output_power(&self, input_power_w: f64) -> f64 {
+        self.total_transfer().apply(input_power_w)
+    }
+
+    /// Running power profile: `(stage name, power after stage)` for a given
+    /// input power — useful for debugging which stage eats the budget.
+    pub fn power_profile(&self, input_power_w: f64) -> Vec<(String, f64)> {
+        let mut p = input_power_w;
+        self.stages
+            .iter()
+            .map(|s| {
+                p = s.transfer.apply(p);
+                (s.name.clone(), p)
+            })
+            .collect()
+    }
+
+    /// Builds the paper's full chip path for a configuration with `ng`
+    /// PLCGs, kernels of width `wx`, `nd` concurrent receptive fields, and
+    /// `waveguide_cm` centimetres of on-chip straight routing (default
+    /// chip-scale value: use ~1 cm).
+    pub fn albireo_chip(
+        params: &OpticalParams,
+        ng: usize,
+        wx: usize,
+        nd: usize,
+        waveguide_mm: u32,
+    ) -> LinkBudget {
+        let tree = BroadcastTree::new(YBranch::from_params(params), ng.max(1));
+        let star_split = Db::from_linear(1.0 / wx.max(1) as f64);
+        let wg_loss = Db::loss(
+            params.waveguide.straight_loss_db_per_cm * f64::from(waveguide_mm) / 10.0,
+        );
+        let _ = nd; // nd shapes the star coupler inputs, not its per-port loss
+        let mut b = LinkBudget::new();
+        b.stage("modulator MRR drop", params.mrr_drop_loss())
+            .stage("waveguide routing", wg_loss)
+            .stage("broadcast tree", tree.per_output_transfer())
+            .stage("AWG demux", params.awg_loss())
+            .stage("star coupler split", star_split + params.star_coupler_loss())
+            .stage("MZM insertion", params.mzm_loss())
+            .stage("switching MRR drop", params.mrr_drop_loss());
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_budget_is_unity() {
+        let b = LinkBudget::new();
+        assert_eq!(b.total_loss_db(), 0.0);
+        assert_eq!(b.output_power(1e-3), 1e-3);
+    }
+
+    #[test]
+    fn stages_accumulate() {
+        let mut b = LinkBudget::new();
+        b.stage("a", Db::loss(1.0)).stage("b", Db::loss(2.0));
+        assert!((b.total_loss_db() - 3.0).abs() < 1e-12);
+        assert_eq!(b.stages().len(), 2);
+    }
+
+    #[test]
+    fn albireo_chip_budget_is_in_plausible_range() {
+        let b = LinkBudget::albireo_chip(&OpticalParams::paper(), 9, 3, 5, 10);
+        let loss = b.total_loss_db();
+        // 0.39+1.5+13.24(broadcast)+2.0+(4.77+1.3)(star)+1.2+0.39 ≈ 24.8 dB
+        assert!((20.0..30.0).contains(&loss), "loss = {loss} dB");
+    }
+
+    #[test]
+    fn bigger_fanout_loses_more() {
+        let p = OpticalParams::paper();
+        let b9 = LinkBudget::albireo_chip(&p, 9, 3, 5, 10);
+        let b27 = LinkBudget::albireo_chip(&p, 27, 3, 5, 10);
+        assert!(b27.total_loss_db() > b9.total_loss_db());
+    }
+
+    #[test]
+    fn power_profile_is_monotonically_decreasing() {
+        let b = LinkBudget::albireo_chip(&OpticalParams::paper(), 9, 3, 5, 10);
+        let profile = b.power_profile(37.5e-3);
+        let mut prev = 37.5e-3;
+        for (_, p) in &profile {
+            assert!(*p <= prev);
+            prev = *p;
+        }
+        assert_eq!(profile.len(), 7);
+    }
+
+    #[test]
+    fn conservative_laser_delivers_microwatts() {
+        // 37.5 mW laser through ~25 dB ⇒ ~100 µW at the PD, enough for
+        // ≥ 8-bit noise-limited precision per Fig. 3.
+        let b = LinkBudget::albireo_chip(&OpticalParams::paper(), 9, 3, 5, 10);
+        let p_pd = b.output_power(37.5e-3);
+        assert!(p_pd > 5e-6, "p_pd = {p_pd}");
+    }
+}

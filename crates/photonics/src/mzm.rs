@@ -1,0 +1,344 @@
+//! Mach-Zehnder modulator: the analog optical multiplier (paper §II-B1).
+//!
+//! The MZM multiplies an optical signal by a scalar in `[0, 1]` via
+//! destructive interference between its two arms (Eq. 2):
+//!
+//! ```text
+//! Pout = Pin/2 + (Pin/2)·cos(Δφ),   0 ≤ Δφ ≤ π
+//! ```
+//!
+//! Because the interference condition is wavelength-independent for balanced
+//! arm lengths, a single MZM multiplies *every* wavelength on its input
+//! waveguide by the same weight — the property Albireo exploits for
+//! parameter sharing across overlapping receptive fields.
+
+use crate::params::MzmParams;
+use crate::units::Db;
+use crate::{check_unit_interval, Result};
+
+/// A Mach-Zehnder modulator holding one kernel weight.
+///
+/// ```
+/// use albireo_photonics::mzm::Mzm;
+/// use albireo_photonics::params::OpticalParams;
+///
+/// # fn main() -> Result<(), albireo_photonics::PhotonicsError> {
+/// let mut mzm = Mzm::from_params(&OpticalParams::paper());
+/// mzm.set_weight(0.25)?;
+/// // A 1 mW input comes out at 0.25 mW, reduced by the 1.2 dB insertion loss.
+/// let out = mzm.multiply(1e-3);
+/// assert!((out - 0.25e-3 * 10f64.powf(-0.12)).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mzm {
+    params: MzmParams,
+    /// Differential phase shift between the arms, rad, in `[0, π]`.
+    delta_phi: f64,
+}
+
+impl Mzm {
+    /// Builds an MZM from explicit parameters, initially set to multiply by 1
+    /// (`Δφ = 0`).
+    pub fn new(params: MzmParams) -> Mzm {
+        Mzm {
+            params,
+            delta_phi: 0.0,
+        }
+    }
+
+    /// Builds the paper's MZM.
+    pub fn from_params(params: &crate::OpticalParams) -> Mzm {
+        Mzm::new(params.mzm)
+    }
+
+    /// Programs the modulator to multiply by `weight`.
+    ///
+    /// The weight is realized as the phase shift `Δφ = acos(2w − 1)` so that
+    /// the ideal (lossless) transfer is exactly `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `weight` is outside `[0, 1]`; weights must be
+    /// normalized before being applied optically (paper §II-B1).
+    pub fn set_weight(&mut self, weight: f64) -> Result<()> {
+        let w = check_unit_interval("weight", weight)?;
+        self.delta_phi = (2.0 * w - 1.0).acos();
+        Ok(())
+    }
+
+    /// Sets the differential phase directly, clamped to `[0, π]`.
+    pub fn set_phase(&mut self, delta_phi: f64) {
+        self.delta_phi = delta_phi.clamp(0.0, std::f64::consts::PI);
+    }
+
+    /// The programmed differential phase shift, rad.
+    pub fn phase(&self) -> f64 {
+        self.delta_phi
+    }
+
+    /// The ideal multiplication factor implied by the current phase
+    /// (Eq. 2 without insertion loss).
+    pub fn weight(&self) -> f64 {
+        (1.0 + self.delta_phi.cos()) / 2.0
+    }
+
+    /// The modulator's insertion loss.
+    pub fn insertion_loss(&self) -> Db {
+        Db::loss(self.params.loss_db)
+    }
+
+    /// Multiplies a single optical power (W) by the programmed weight,
+    /// including insertion loss.
+    pub fn multiply(&self, p_in: f64) -> f64 {
+        p_in * self.weight() * self.insertion_loss().linear()
+    }
+
+    /// Multiplies every wavelength of a WDM input by the programmed weight
+    /// (Fig. 2b): the same weight applies to all channels because the MZM is
+    /// wavelength-independent.
+    pub fn multiply_wdm(&self, p_in: &[f64]) -> Vec<f64> {
+        let gain = self.weight() * self.insertion_loss().linear();
+        p_in.iter().map(|p| p * gain).collect()
+    }
+
+    /// Device footprint, m².
+    pub fn area_m2(&self) -> f64 {
+        self.params.area_m2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpticalParams;
+
+    fn mzm() -> Mzm {
+        Mzm::from_params(&OpticalParams::paper())
+    }
+
+    #[test]
+    fn phase_pi_multiplies_by_zero() {
+        let mut m = mzm();
+        m.set_weight(0.0).unwrap();
+        assert!((m.phase() - std::f64::consts::PI).abs() < 1e-12);
+        assert!(m.multiply(1e-3).abs() < 1e-18);
+    }
+
+    #[test]
+    fn phase_zero_multiplies_by_one() {
+        let mut m = mzm();
+        m.set_weight(1.0).unwrap();
+        assert!(m.phase().abs() < 1e-7);
+        let out = m.multiply(1e-3);
+        let expected = 1e-3 * Db::loss(1.2).linear();
+        assert!((out - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_round_trips_through_phase() {
+        let mut m = mzm();
+        for w in [0.0, 0.1, 0.33, 0.5, 0.75, 0.99, 1.0] {
+            m.set_weight(w).unwrap();
+            assert!((m.weight() - w).abs() < 1e-12, "weight {w}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_weights() {
+        let mut m = mzm();
+        assert!(m.set_weight(-0.01).is_err());
+        assert!(m.set_weight(1.01).is_err());
+    }
+
+    #[test]
+    fn wdm_multiply_applies_same_weight_to_all_channels() {
+        let mut m = mzm();
+        m.set_weight(0.5).unwrap();
+        let input = [1e-3, 2e-3, 0.5e-3];
+        let out = m.multiply_wdm(&input);
+        let gain = 0.5 * Db::loss(1.2).linear();
+        for (o, i) in out.iter().zip(input.iter()) {
+            assert!((o - i * gain).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn output_never_exceeds_input() {
+        let mut m = mzm();
+        for w in [0.0, 0.5, 1.0] {
+            m.set_weight(w).unwrap();
+            assert!(m.multiply(1e-3) <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn set_phase_clamps() {
+        let mut m = mzm();
+        m.set_phase(10.0);
+        assert!((m.phase() - std::f64::consts::PI).abs() < 1e-12);
+        m.set_phase(-1.0);
+        assert_eq!(m.phase(), 0.0);
+    }
+
+    #[test]
+    fn new_mzm_passes_signal() {
+        let m = mzm();
+        assert!((m.weight() - 1.0).abs() < 1e-12);
+    }
+}
+
+/// Phase-domain DAC driving an MZM: the weight DAC programs the *phase*
+/// uniformly, but the weight transfer `w = (1 + cos Δφ)/2` is nonlinear, so
+/// the representable weights are non-uniformly spaced — dense near 0 and 1,
+/// sparse around 0.5. This quantifies how much weight precision the 8-bit
+/// converters of Table I actually deliver at the MZM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MzmDac {
+    bits: u32,
+}
+
+impl MzmDac {
+    /// Builds a phase DAC with the given resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or > 24.
+    pub fn new(bits: u32) -> MzmDac {
+        assert!((1..=24).contains(&bits), "bits must be in 1..=24");
+        MzmDac { bits }
+    }
+
+    /// The paper's 8-bit converter.
+    pub fn paper() -> MzmDac {
+        MzmDac::new(8)
+    }
+
+    /// DAC resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of distinct phase codes.
+    pub fn codes(&self) -> u32 {
+        1 << self.bits
+    }
+
+    /// The weight realized by a phase code (code 0 ⇒ Δφ = π ⇒ w = 0;
+    /// max code ⇒ Δφ = 0 ⇒ w = 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code is out of range.
+    pub fn weight_of_code(&self, code: u32) -> f64 {
+        assert!(code < self.codes(), "code {code} out of range");
+        let phi = std::f64::consts::PI * (1.0 - code as f64 / (self.codes() - 1) as f64);
+        (1.0 + phi.cos()) / 2.0
+    }
+
+    /// The phase code whose weight is nearest to `weight` (clamped to
+    /// `[0, 1]`).
+    pub fn code_of_weight(&self, weight: f64) -> u32 {
+        let w = weight.clamp(0.0, 1.0);
+        // Invert w = (1+cos φ)/2 with φ mapped linearly to codes.
+        let phi = (2.0 * w - 1.0).acos();
+        let frac = 1.0 - phi / std::f64::consts::PI;
+        (frac * (self.codes() - 1) as f64).round() as u32
+    }
+
+    /// Quantizes a weight to the nearest representable MZM transmission.
+    pub fn quantize_weight(&self, weight: f64) -> f64 {
+        self.weight_of_code(self.code_of_weight(weight))
+    }
+
+    /// Worst-case weight error across `[0, 1]`: half the largest gap
+    /// between adjacent representable weights (at mid-scale, where
+    /// `dw/dφ` peaks): `≈ π/(4·(2^bits − 1))`.
+    pub fn max_weight_error(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for code in 0..self.codes() - 1 {
+            let gap = self.weight_of_code(code + 1) - self.weight_of_code(code);
+            worst = worst.max(gap / 2.0);
+        }
+        worst
+    }
+
+    /// Effective weight precision in bits: `log2(1 / (2·max_error))` —
+    /// the uniform-quantizer resolution with the same worst-case error.
+    pub fn effective_weight_bits(&self) -> f64 {
+        (1.0 / (2.0 * self.max_weight_error())).log2()
+    }
+}
+
+#[cfg(test)]
+mod dac_tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_are_exact() {
+        let dac = MzmDac::paper();
+        assert_eq!(dac.weight_of_code(0), 0.0);
+        assert!((dac.weight_of_code(dac.codes() - 1) - 1.0).abs() < 1e-12);
+        assert_eq!(dac.quantize_weight(0.0), 0.0);
+        assert!((dac.quantize_weight(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn representable_weights_are_monotone() {
+        let dac = MzmDac::new(6);
+        let mut prev = -1.0;
+        for code in 0..dac.codes() {
+            let w = dac.weight_of_code(code);
+            assert!(w > prev, "code {code}");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn quantization_is_nearest_neighbour() {
+        let dac = MzmDac::paper();
+        for i in 0..=100 {
+            let w = i as f64 / 100.0;
+            let q = dac.quantize_weight(w);
+            // Error bounded by the worst-case half-gap.
+            assert!((q - w).abs() <= dac.max_weight_error() + 1e-12, "w={w}");
+        }
+    }
+
+    #[test]
+    fn eight_bit_phase_dac_costs_two_thirds_of_a_bit() {
+        // Analytical: max half-gap ≈ π/(4·255) ≈ 3.08e-3 vs the uniform
+        // 8-bit step of 1.96e-3 — ≈ 0.65 bit of weight precision lost to
+        // the cosine transfer.
+        let dac = MzmDac::paper();
+        let analytic = std::f64::consts::PI / (4.0 * 255.0);
+        assert!((dac.max_weight_error() - analytic).abs() / analytic < 0.02);
+        let eff = dac.effective_weight_bits();
+        assert!((7.2..7.5).contains(&eff), "effective bits = {eff}");
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        assert!(MzmDac::new(10).max_weight_error() < MzmDac::new(8).max_weight_error());
+        assert!(MzmDac::new(8).effective_weight_bits() < MzmDac::new(10).effective_weight_bits());
+    }
+
+    #[test]
+    fn weights_are_dense_near_endpoints() {
+        // The cosine transfer packs codes tightly near w = 0 and w = 1
+        // (where trained CNN weights live) and sparsely near 0.5.
+        let dac = MzmDac::paper();
+        let edge_gap = dac.weight_of_code(1) - dac.weight_of_code(0);
+        let mid_code = dac.codes() / 2;
+        let mid_gap = dac.weight_of_code(mid_code + 1) - dac.weight_of_code(mid_code);
+        assert!(edge_gap < mid_gap / 10.0, "edge {edge_gap} vs mid {mid_gap}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn code_range_checked() {
+        let dac = MzmDac::new(4);
+        let _ = dac.weight_of_code(16);
+    }
+}

@@ -1,0 +1,192 @@
+//! Thermal sensitivity of microring resonators.
+//!
+//! Silicon's thermo-optic coefficient makes MRR resonances drift with
+//! temperature, which is the main operational hazard for the dense WDM
+//! grids Albireo relies on: a drifted ring both *loses* its own channel and
+//! *leaks* its neighbours'. The paper's device powers implicitly include
+//! ring tuning; this module makes the trade-off explicit so the precision
+//! analysis can be extended with thermal drift (an ablation DESIGN.md calls
+//! out), using standard silicon-photonics values:
+//!
+//! * thermo-optic coefficient `dn/dT ≈ 1.86×10⁻⁴ /K`,
+//! * resulting resonance drift `dλ/dT = λ·(dn/dT)/n_g ≈ 62 pm/K`,
+//! * micro-heater tuning efficiency of a few mW per nm of shift.
+
+use crate::mrr::Microring;
+use crate::{check_positive, Result};
+
+/// Silicon thermo-optic coefficient, 1/K.
+pub const SILICON_DN_DT: f64 = 1.86e-4;
+
+/// Thermal model for a ring resonator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalModel {
+    /// Thermo-optic coefficient dn/dT, 1/K.
+    pub dn_dt: f64,
+    /// Heater tuning efficiency, W per meter of resonance shift
+    /// (e.g. 2.4 mW/nm ⇒ 2.4e6 W/m).
+    pub heater_w_per_m: f64,
+    /// Design wavelength, m.
+    pub wavelength: f64,
+    /// Group index of the ring waveguide.
+    pub n_group: f64,
+}
+
+impl ThermalModel {
+    /// A typical silicon micro-heater model at the paper's design point.
+    pub fn silicon() -> ThermalModel {
+        ThermalModel {
+            dn_dt: SILICON_DN_DT,
+            heater_w_per_m: 2.4e-3 / 1e-9, // 2.4 mW per nm
+            wavelength: 1550e-9,
+            n_group: 4.68,
+        }
+    }
+
+    /// Builds a model with explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any parameter is non-positive.
+    pub fn new(
+        dn_dt: f64,
+        heater_w_per_m: f64,
+        wavelength: f64,
+        n_group: f64,
+    ) -> Result<ThermalModel> {
+        check_positive("dn_dt", dn_dt)?;
+        check_positive("heater_w_per_m", heater_w_per_m)?;
+        check_positive("wavelength", wavelength)?;
+        check_positive("n_group", n_group)?;
+        Ok(ThermalModel {
+            dn_dt,
+            heater_w_per_m,
+            wavelength,
+            n_group,
+        })
+    }
+
+    /// Resonance drift per kelvin, m/K (`dλ/dT = λ·(dn/dT)/n_g`).
+    pub fn drift_per_kelvin(&self) -> f64 {
+        self.wavelength * self.dn_dt / self.n_group
+    }
+
+    /// Resonance shift for a temperature excursion, m.
+    pub fn drift(&self, delta_t_kelvin: f64) -> f64 {
+        self.drift_per_kelvin() * delta_t_kelvin
+    }
+
+    /// Drop-port transmission of a ring whose resonance has drifted by
+    /// `delta_t_kelvin` while the signal stays on the nominal grid.
+    pub fn drifted_drop(&self, ring: &Microring, delta_t_kelvin: f64) -> f64 {
+        ring.drop_transmission(self.drift(delta_t_kelvin))
+    }
+
+    /// Signal power penalty (linear, ≤ 1) caused by a temperature
+    /// excursion: the drifted drop transmission relative to the on-grid
+    /// peak.
+    pub fn drift_penalty(&self, ring: &Microring, delta_t_kelvin: f64) -> f64 {
+        self.drifted_drop(ring, delta_t_kelvin) / ring.drop_peak()
+    }
+
+    /// Temperature excursion (K) at which the ring's drop transmission
+    /// falls to half its peak: `FWHM/2 / (dλ/dT)`.
+    pub fn half_power_excursion(&self, ring: &Microring) -> f64 {
+        ring.fwhm() / 2.0 / self.drift_per_kelvin()
+    }
+
+    /// Heater power to hold one ring on grid against a worst-case
+    /// excursion of `delta_t_kelvin`, W.
+    pub fn tuning_power(&self, delta_t_kelvin: f64) -> f64 {
+        self.drift(delta_t_kelvin.abs()) * self.heater_w_per_m
+    }
+
+    /// Total chip tuning power for `ring_count` rings held against a
+    /// worst-case excursion, W.
+    pub fn chip_tuning_power(&self, ring_count: usize, delta_t_kelvin: f64) -> f64 {
+        self.tuning_power(delta_t_kelvin) * ring_count as f64
+    }
+}
+
+impl Default for ThermalModel {
+    fn default() -> ThermalModel {
+        ThermalModel::silicon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpticalParams;
+
+    fn ring() -> Microring {
+        Microring::from_params(&OpticalParams::paper())
+    }
+
+    #[test]
+    fn drift_is_about_60_pm_per_kelvin() {
+        let t = ThermalModel::silicon();
+        let pm_per_k = t.drift_per_kelvin() * 1e12;
+        assert!((55.0..70.0).contains(&pm_per_k), "{pm_per_k} pm/K");
+    }
+
+    #[test]
+    fn drift_penalty_decreases_with_excursion() {
+        let t = ThermalModel::silicon();
+        let r = ring();
+        let p0 = t.drift_penalty(&r, 0.0);
+        let p1 = t.drift_penalty(&r, 1.0);
+        let p3 = t.drift_penalty(&r, 3.0);
+        assert!((p0 - 1.0).abs() < 1e-9);
+        assert!(p1 < p0 && p3 < p1);
+    }
+
+    #[test]
+    fn half_power_point_is_single_digit_kelvin() {
+        // k² = 0.03 ring: FWHM ≈ 0.17 nm ⇒ half-power at ~1.3 K — the
+        // classic reason dense WDM rings need active tuning.
+        let t = ThermalModel::silicon();
+        let k = t.half_power_excursion(&ring());
+        assert!((0.5..4.0).contains(&k), "{k} K");
+    }
+
+    #[test]
+    fn penalty_at_half_power_excursion_is_half() {
+        let t = ThermalModel::silicon();
+        let r = ring();
+        let dt = t.half_power_excursion(&r);
+        let p = t.drift_penalty(&r, dt);
+        assert!((p - 0.5).abs() < 0.05, "penalty = {p}");
+    }
+
+    #[test]
+    fn tuning_power_is_linear_in_excursion() {
+        let t = ThermalModel::silicon();
+        let p1 = t.tuning_power(1.0);
+        let p5 = t.tuning_power(5.0);
+        assert!((p5 - 5.0 * p1).abs() < 1e-12);
+        // Holding 1 K costs ~0.15 mW per ring with a 2.4 mW/nm heater.
+        assert!((0.05e-3..0.5e-3).contains(&p1), "{p1} W");
+    }
+
+    #[test]
+    fn chip_tuning_budget_reasonable() {
+        // 2430 switching rings held against ±5 K: a watt-scale budget,
+        // comparable to Table III's conservative MRR row.
+        let t = ThermalModel::silicon();
+        let total = t.chip_tuning_power(2430, 5.0);
+        assert!((0.5..5.0).contains(&total), "{total} W");
+    }
+
+    #[test]
+    fn negative_excursion_costs_same_power() {
+        let t = ThermalModel::silicon();
+        assert_eq!(t.tuning_power(-2.0), t.tuning_power(2.0));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(ThermalModel::new(0.0, 1.0, 1550e-9, 4.68).is_err());
+        assert!(ThermalModel::new(1e-4, -1.0, 1550e-9, 4.68).is_err());
+    }
+}

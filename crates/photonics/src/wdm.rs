@@ -1,0 +1,226 @@
+//! WDM channel planning for the Albireo distribution network.
+//!
+//! The paper's wavelength plan (§III-A/B): each PLCU needs
+//! `Wy·(Nd + Wx − 1) = 21` wavelengths inside one ring FSR; each PLCU of a
+//! PLCG "operates on a set of inputs that fall into a separate FSR"; and
+//! the whole 63-channel plan must fit the 64-channel AWG whose own FSR is
+//! 70 nm. This module builds and validates such plans.
+
+use crate::mrr::Microring;
+use crate::params::AwgParams;
+use crate::{PhotonicsError, Result};
+
+/// A single WDM channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Channel {
+    /// Index of the PLCU (FSR window) the channel belongs to.
+    pub plcu: usize,
+    /// Slot within the PLCU's FSR window.
+    pub slot: usize,
+    /// Absolute wavelength, m.
+    pub wavelength: f64,
+}
+
+/// A complete channel plan for one PLCG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelPlan {
+    channels: Vec<Channel>,
+    base_wavelength: f64,
+    fsr: f64,
+    slots_per_fsr: usize,
+}
+
+impl ChannelPlan {
+    /// Builds a plan: `plcus` consecutive FSR windows, each carrying
+    /// `slots_per_fsr` uniformly spaced channels, starting at the ring's
+    /// design wavelength.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any count is zero.
+    pub fn new(ring: &Microring, plcus: usize, slots_per_fsr: usize) -> Result<ChannelPlan> {
+        if plcus == 0 || slots_per_fsr == 0 {
+            return Err(PhotonicsError::Inconsistent(
+                "channel plan needs at least one PLCU and one slot".into(),
+            ));
+        }
+        let base = ring.resonant_wavelength();
+        let fsr = ring.fsr();
+        let spacing = fsr / slots_per_fsr as f64;
+        let channels = (0..plcus)
+            .flat_map(|p| {
+                (0..slots_per_fsr).map(move |s| Channel {
+                    plcu: p,
+                    slot: s,
+                    wavelength: base + p as f64 * fsr + s as f64 * spacing,
+                })
+            })
+            .collect();
+        Ok(ChannelPlan {
+            channels,
+            base_wavelength: base,
+            fsr,
+            slots_per_fsr,
+        })
+    }
+
+    /// The paper's 3-PLCU × 21-slot plan on the Table II ring.
+    pub fn albireo(ring: &Microring) -> ChannelPlan {
+        ChannelPlan::new(ring, 3, 21).expect("paper plan is valid")
+    }
+
+    /// All channels in wavelength order.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// Total channel count.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// Channel spacing inside one FSR window, m.
+    pub fn spacing(&self) -> f64 {
+        self.fsr / self.slots_per_fsr as f64
+    }
+
+    /// Total spectral span from first to last channel, m.
+    pub fn span(&self) -> f64 {
+        match (self.channels.first(), self.channels.last()) {
+            (Some(first), Some(last)) => last.wavelength - first.wavelength,
+            _ => 0.0,
+        }
+    }
+
+    /// The channels a given PLCU's rings see.
+    pub fn plcu_channels(&self, plcu: usize) -> impl Iterator<Item = &Channel> {
+        self.channels.iter().filter(move |c| c.plcu == plcu)
+    }
+
+    /// Checks the plan fits a demultiplexer: enough AWG ports and a span
+    /// inside the AWG's free spectral range.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error describing the violated constraint.
+    pub fn validate_against_awg(&self, awg: &AwgParams) -> Result<()> {
+        if self.len() > awg.channels {
+            return Err(PhotonicsError::Inconsistent(format!(
+                "plan needs {} channels but the AWG has {}",
+                self.len(),
+                awg.channels
+            )));
+        }
+        if self.span() >= awg.fsr {
+            return Err(PhotonicsError::Inconsistent(format!(
+                "plan spans {:.1} nm but the AWG FSR is {:.1} nm",
+                self.span() * 1e9,
+                awg.fsr * 1e9
+            )));
+        }
+        Ok(())
+    }
+
+    /// Aliasing check: within one PLCU window, every pair of channels must
+    /// be separated by at least `min_spacing` (m) to bound crosstalk.
+    pub fn min_intra_window_spacing(&self) -> f64 {
+        self.spacing()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpticalParams;
+
+    fn plan() -> ChannelPlan {
+        let ring = Microring::from_params(&OpticalParams::paper());
+        ChannelPlan::albireo(&ring)
+    }
+
+    #[test]
+    fn paper_plan_has_63_channels() {
+        let p = plan();
+        assert_eq!(p.len(), 63);
+        assert_eq!(p.plcu_channels(0).count(), 21);
+        assert_eq!(p.plcu_channels(2).count(), 21);
+    }
+
+    #[test]
+    fn paper_plan_fits_the_64_channel_awg() {
+        let p = plan();
+        let awg = OpticalParams::paper().awg;
+        p.validate_against_awg(&awg).expect("the paper plan fits");
+        // Span = 3 FSRs minus one slot ≈ 48 nm < 70 nm AWG FSR.
+        let span_nm = p.span() * 1e9;
+        assert!((44.0..50.0).contains(&span_nm), "span = {span_nm} nm");
+    }
+
+    #[test]
+    fn channels_are_strictly_increasing() {
+        let p = plan();
+        for w in p.channels().windows(2) {
+            assert!(w[1].wavelength > w[0].wavelength);
+        }
+    }
+
+    #[test]
+    fn plcu_windows_do_not_overlap() {
+        let p = plan();
+        let max0 = p
+            .plcu_channels(0)
+            .map(|c| c.wavelength)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min1 = p
+            .plcu_channels(1)
+            .map(|c| c.wavelength)
+            .fold(f64::INFINITY, f64::min);
+        assert!(min1 > max0);
+    }
+
+    #[test]
+    fn spacing_matches_fsr_division() {
+        let ring = Microring::from_params(&OpticalParams::paper());
+        let p = plan();
+        assert!((p.spacing() - ring.fsr() / 21.0).abs() < 1e-18);
+        assert!(p.min_intra_window_spacing() > 0.0);
+    }
+
+    #[test]
+    fn too_many_channels_rejected_by_awg() {
+        let ring = Microring::from_params(&OpticalParams::paper());
+        let p = ChannelPlan::new(&ring, 4, 21).unwrap(); // 84 channels
+        let awg = OpticalParams::paper().awg;
+        assert!(p.validate_against_awg(&awg).is_err());
+    }
+
+    #[test]
+    fn wide_span_rejected_by_awg() {
+        let ring = Microring::from_params(&OpticalParams::paper());
+        // 5 windows × 13 = 65 channels... still too many; use 5 × 12 = 60
+        // channels spanning ~5 FSRs ≈ 81 nm > 70 nm.
+        let p = ChannelPlan::new(&ring, 5, 12).unwrap();
+        let awg = OpticalParams::paper().awg;
+        assert!(p.validate_against_awg(&awg).is_err());
+    }
+
+    #[test]
+    fn empty_plan_rejected() {
+        let ring = Microring::from_params(&OpticalParams::paper());
+        assert!(ChannelPlan::new(&ring, 0, 21).is_err());
+        assert!(ChannelPlan::new(&ring, 3, 0).is_err());
+    }
+
+    #[test]
+    fn channels_sit_near_c_band() {
+        let p = plan();
+        for c in p.channels() {
+            assert!((1.5e-6..1.65e-6).contains(&c.wavelength));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Y-branch splitters and broadcast trees.
+//!
+//! Albireo broadcasts the modulated input volume to all `Ng` PLCGs by
+//! splitting the signal through a tree of Y-branches (Fig. 6a). Each 1→2
+//! split halves the power and adds the excess insertion loss of the branch.
+
+use crate::params::YBranchParams;
+use crate::units::Db;
+
+/// A single 1→2 Y-branch splitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YBranch {
+    params: YBranchParams,
+}
+
+impl YBranch {
+    /// Builds a Y-branch from its parameters.
+    pub fn new(params: YBranchParams) -> YBranch {
+        YBranch { params }
+    }
+
+    /// Builds the paper's Y-branch.
+    pub fn from_params(params: &crate::OpticalParams) -> YBranch {
+        YBranch {
+            params: params.ybranch,
+        }
+    }
+
+    /// Excess insertion loss of the branch (not counting the 3 dB split).
+    pub fn excess_loss(&self) -> Db {
+        Db::loss(self.params.loss_db)
+    }
+
+    /// Per-output power transfer of one split: half the input, further
+    /// reduced by the excess insertion loss.
+    pub fn split_transfer(&self) -> Db {
+        Db::from_linear(0.5) + self.excess_loss()
+    }
+
+    /// Device footprint, m².
+    pub fn area_m2(&self) -> f64 {
+        self.params.area_m2
+    }
+}
+
+/// A binary broadcast tree delivering one input to `fanout` outputs.
+///
+/// The tree has `ceil(log2(fanout))` levels; every output traverses that many
+/// Y-branches.
+///
+/// ```
+/// use albireo_photonics::ybranch::{BroadcastTree, YBranch};
+/// use albireo_photonics::params::OpticalParams;
+///
+/// let tree = BroadcastTree::new(YBranch::from_params(&OpticalParams::paper()), 9);
+/// assert_eq!(tree.levels(), 4);
+/// // 4 levels: 4 × (3 dB + 0.3 dB) ≈ 13.2 dB per output.
+/// assert!((tree.per_output_transfer().loss_db() - 13.24).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BroadcastTree {
+    branch: YBranch,
+    fanout: usize,
+}
+
+impl BroadcastTree {
+    /// Builds a broadcast tree with the given fanout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout` is zero.
+    pub fn new(branch: YBranch, fanout: usize) -> BroadcastTree {
+        assert!(fanout > 0, "fanout must be at least 1");
+        BroadcastTree { branch, fanout }
+    }
+
+    /// Number of destinations served.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Number of Y-branch levels each output signal traverses.
+    pub fn levels(&self) -> u32 {
+        if self.fanout <= 1 {
+            0
+        } else {
+            usize::BITS - (self.fanout - 1).leading_zeros()
+        }
+    }
+
+    /// Total number of Y-branch devices in the tree (a full binary tree with
+    /// `fanout` leaves has `fanout − 1` internal splits).
+    pub fn branch_count(&self) -> usize {
+        self.fanout.saturating_sub(1)
+    }
+
+    /// Power transfer from the tree input to any single output.
+    pub fn per_output_transfer(&self) -> Db {
+        self.branch.split_transfer() * f64::from(self.levels())
+    }
+
+    /// Total area of the tree's Y-branches, m².
+    pub fn area_m2(&self) -> f64 {
+        self.branch.area_m2() * self.branch_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpticalParams;
+
+    fn branch() -> YBranch {
+        YBranch::from_params(&OpticalParams::paper())
+    }
+
+    #[test]
+    fn split_transfer_is_half_minus_excess() {
+        let b = branch();
+        let t = b.split_transfer().linear();
+        let expected = 0.5 * Db::loss(0.3).linear();
+        assert!((t - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn levels_for_common_fanouts() {
+        let b = branch();
+        assert_eq!(BroadcastTree::new(b, 1).levels(), 0);
+        assert_eq!(BroadcastTree::new(b, 2).levels(), 1);
+        assert_eq!(BroadcastTree::new(b, 3).levels(), 2);
+        assert_eq!(BroadcastTree::new(b, 4).levels(), 2);
+        assert_eq!(BroadcastTree::new(b, 9).levels(), 4);
+        assert_eq!(BroadcastTree::new(b, 16).levels(), 4);
+        assert_eq!(BroadcastTree::new(b, 27).levels(), 5);
+    }
+
+    #[test]
+    fn branch_count_is_fanout_minus_one() {
+        let b = branch();
+        assert_eq!(BroadcastTree::new(b, 9).branch_count(), 8);
+        assert_eq!(BroadcastTree::new(b, 1).branch_count(), 0);
+    }
+
+    #[test]
+    fn unity_transfer_for_fanout_one() {
+        let tree = BroadcastTree::new(branch(), 1);
+        assert!((tree.per_output_transfer().linear() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deeper_trees_lose_more_power() {
+        let b = branch();
+        let t9 = BroadcastTree::new(b, 9).per_output_transfer().linear();
+        let t27 = BroadcastTree::new(b, 27).per_output_transfer().linear();
+        assert!(t27 < t9);
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout")]
+    fn zero_fanout_panics() {
+        let _ = BroadcastTree::new(branch(), 0);
+    }
+}

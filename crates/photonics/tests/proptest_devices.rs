@@ -1,0 +1,180 @@
+//! Property-based tests on the photonic device models: passivity,
+//! monotonicity, and reciprocity invariants that must hold for any
+//! physically meaningful parameterization.
+
+use albireo_photonics::coupler::{Awg, StarCoupler};
+use albireo_photonics::link::LinkBudget;
+use albireo_photonics::mrr::{Microring, RingState};
+use albireo_photonics::mzm::Mzm;
+use albireo_photonics::noise::NoiseParams;
+use albireo_photonics::photodiode::BalancedPd;
+use albireo_photonics::precision::PrecisionModel;
+use albireo_photonics::thermal::ThermalModel;
+use albireo_photonics::units::{dbm_to_watts, watts_to_dbm, Db};
+use albireo_photonics::wdm::ChannelPlan;
+use albireo_photonics::ybranch::{BroadcastTree, YBranch};
+use albireo_photonics::OpticalParams;
+use proptest::prelude::*;
+
+proptest! {
+    /// WDM multiplication applies exactly one scalar to all channels.
+    #[test]
+    fn mzm_wdm_is_uniform_scaling(
+        weight in 0.0f64..=1.0,
+        powers in proptest::collection::vec(1e-6f64..1e-2, 1..16),
+    ) {
+        let mut mzm = Mzm::from_params(&OpticalParams::paper());
+        mzm.set_weight(weight).unwrap();
+        let out = mzm.multiply_wdm(&powers);
+        prop_assert_eq!(out.len(), powers.len());
+        if let Some(first_nonzero) = powers.iter().position(|&p| p > 0.0) {
+            let gain = out[first_nonzero] / powers[first_nonzero];
+            for (o, p) in out.iter().zip(powers.iter()) {
+                prop_assert!((o - p * gain).abs() < 1e-15);
+            }
+        }
+    }
+
+    /// Turning a ring off always reduces its drop transmission at
+    /// resonance and increases its through transmission.
+    #[test]
+    fn ring_off_state_is_transparent(k2 in 0.01f64..0.3) {
+        let mut ring = Microring::with_k2(&OpticalParams::paper(), k2);
+        let drop_on = ring.drop_transmission(0.0);
+        let through_on = ring.through_transmission(0.0);
+        ring.set_state(RingState::Off);
+        prop_assert!(ring.drop_transmission(0.0) < drop_on);
+        prop_assert!(ring.through_transmission(0.0) > through_on);
+    }
+
+    /// FWHM from Eq. 9 matches the −3 dB width observed in the computed
+    /// spectrum to within a few percent, for any coupling.
+    #[test]
+    fn fwhm_consistent_with_spectrum(k2 in 0.01f64..0.2) {
+        let ring = Microring::with_k2(&OpticalParams::paper(), k2);
+        let half = ring.drop_transmission(ring.fwhm() / 2.0);
+        let rel = (half - ring.drop_peak() / 2.0).abs() / ring.drop_peak();
+        prop_assert!(rel < 0.06, "k²={k2}: rel={rel}");
+    }
+
+    /// Finesse increases monotonically as coupling weakens.
+    #[test]
+    fn finesse_monotone_in_coupling(k2 in 0.02f64..0.3) {
+        let p = OpticalParams::paper();
+        let weak = Microring::with_k2(&p, k2 / 2.0);
+        let strong = Microring::with_k2(&p, k2);
+        prop_assert!(weak.finesse() > strong.finesse());
+    }
+
+    /// A star coupler conserves (at most) the power it receives, for any
+    /// port configuration.
+    #[test]
+    fn star_coupler_passivity(
+        inputs in 1usize..12,
+        outputs in 1usize..12,
+        power in 1e-6f64..1e-2,
+    ) {
+        let sc = StarCoupler::new(OpticalParams::paper().star_coupler, inputs, outputs).unwrap();
+        let signal = vec![power; inputs];
+        let out = sc.multicast(&signal);
+        let total_out: f64 = out.iter().flatten().sum();
+        let total_in: f64 = signal.iter().sum();
+        prop_assert!(total_out <= total_in + 1e-15);
+    }
+
+    /// AWG demultiplexing never creates power.
+    #[test]
+    fn awg_passivity(powers in proptest::collection::vec(0.0f64..1e-2, 1..64)) {
+        let awg = Awg::from_params(&OpticalParams::paper());
+        let out = awg.demultiplex(&powers).unwrap();
+        let total_out: f64 = out.iter().sum();
+        let total_in: f64 = powers.iter().sum();
+        prop_assert!(total_out <= total_in + 1e-15);
+    }
+
+    /// Broadcast trees: per-output power × fanout never exceeds the input.
+    #[test]
+    fn broadcast_tree_passivity(fanout in 1usize..64) {
+        let tree = BroadcastTree::new(YBranch::from_params(&OpticalParams::paper()), fanout);
+        let per_output = tree.per_output_transfer().linear();
+        prop_assert!(per_output * fanout as f64 <= 1.0 + 1e-12);
+    }
+
+    /// Balanced detection is antisymmetric: swapping the rails flips the
+    /// sign of the output current.
+    #[test]
+    fn balanced_pd_antisymmetry(p_pos in 0.0f64..1e-2, p_neg in 0.0f64..1e-2) {
+        let pd = BalancedPd::from_params(&OpticalParams::paper());
+        let forward = pd.output_current_total(p_pos, p_neg);
+        let swapped = pd.output_current_total(p_neg, p_pos);
+        prop_assert!((forward + swapped).abs() < 1e-15);
+    }
+
+    /// Total noise grows with bandwidth for any operating point.
+    #[test]
+    fn noise_monotone_in_bandwidth(i_pd in 1e-9f64..1e-2, n in 1usize..64) {
+        let narrow = NoiseParams::paper();
+        let wide = NoiseParams::paper().with_bandwidth(8e9);
+        prop_assert!(wide.total_sigma(i_pd, n) > narrow.total_sigma(i_pd, n));
+    }
+
+    /// The combined precision never exceeds either individual limit.
+    #[test]
+    fn combined_precision_bounded(n in 2usize..64, p_mw in 0.1f64..4.0) {
+        let model = PrecisionModel::paper();
+        let ring = Microring::from_params(&OpticalParams::paper());
+        let combined = model.combined_levels(&ring, n, p_mw * 1e-3);
+        prop_assert!(combined <= model.noise_limited_levels(n, p_mw * 1e-3) + 1e-9);
+        prop_assert!(combined <= model.crosstalk_limited_levels(&ring, n) + 1e-9);
+        prop_assert!(combined >= 1.0);
+    }
+
+    /// dBm conversions round-trip for any power.
+    #[test]
+    fn dbm_round_trip(dbm in -60.0f64..30.0) {
+        let back = watts_to_dbm(dbm_to_watts(dbm));
+        prop_assert!((back - dbm).abs() < 1e-9);
+    }
+
+    /// Loss composition in dB equals multiplication in linear domain over
+    /// arbitrary chains.
+    #[test]
+    fn loss_chain_composition(losses in proptest::collection::vec(0.0f64..10.0, 1..10)) {
+        let total_db: Db = losses.iter().map(|&l| Db::loss(l)).sum();
+        let product: f64 = losses.iter().map(|&l| Db::loss(l).linear()).product();
+        prop_assert!((total_db.linear() - product).abs() / product < 1e-9);
+    }
+
+    /// Thermal drift penalty is symmetric in the sign of the excursion and
+    /// monotone in its magnitude.
+    #[test]
+    fn thermal_penalty_symmetric_monotone(dt in 0.01f64..5.0) {
+        let t = ThermalModel::silicon();
+        let ring = Microring::from_params(&OpticalParams::paper());
+        let plus = t.drift_penalty(&ring, dt);
+        let minus = t.drift_penalty(&ring, -dt);
+        prop_assert!((plus - minus).abs() < 1e-9);
+        prop_assert!(t.drift_penalty(&ring, dt * 2.0) <= plus + 1e-12);
+    }
+
+    /// Channel plans keep windows disjoint for any geometry.
+    #[test]
+    fn channel_plan_windows_disjoint(plcus in 1usize..5, slots in 2usize..32) {
+        let ring = Microring::from_params(&OpticalParams::paper());
+        let plan = ChannelPlan::new(&ring, plcus, slots).unwrap();
+        prop_assert_eq!(plan.len(), plcus * slots);
+        let all: Vec<f64> = plan.channels().iter().map(|c| c.wavelength).collect();
+        for w in all.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+    }
+
+    /// Link budgets compose: output power is linear in input power.
+    #[test]
+    fn link_budget_linearity(p in 1e-6f64..1.0, scale in 0.1f64..10.0) {
+        let b = LinkBudget::albireo_chip(&OpticalParams::paper(), 9, 3, 5, 10);
+        let base = b.output_power(p);
+        let scaled = b.output_power(p * scale);
+        prop_assert!((scaled - base * scale).abs() / scaled < 1e-12);
+    }
+}

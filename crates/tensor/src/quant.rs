@@ -1,0 +1,170 @@
+//! Symmetric fixed-point quantization (paper §II-C2).
+//!
+//! Albireo targets 8-bit integer inference, the standard energy-efficient
+//! quantization level (paper ref. \[28\]); its analog subsystems are designed
+//! to support at least 7–8 bits. This module provides the symmetric
+//! quantizer used to prepare weights/activations for the analog simulation
+//! and to measure quantization error floors.
+
+/// A symmetric linear quantizer over `[-max_abs, +max_abs]` with `bits` of
+/// precision (one sign bit included).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    bits: u32,
+    max_abs: f64,
+}
+
+impl Quantizer {
+    /// Builds a quantizer for the given bit width and full-scale magnitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or > 31, or `max_abs` is not positive.
+    pub fn new(bits: u32, max_abs: f64) -> Quantizer {
+        assert!((1..=31).contains(&bits), "bits must be in 1..=31");
+        assert!(
+            max_abs > 0.0 && max_abs.is_finite(),
+            "max_abs must be positive"
+        );
+        Quantizer { bits, max_abs }
+    }
+
+    /// Builds an 8-bit quantizer sized to the data's maximum magnitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or all-zero.
+    pub fn fit8(data: &[f64]) -> Quantizer {
+        Quantizer::fit(8, data)
+    }
+
+    /// Builds a quantizer of the given width sized to the data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or all-zero.
+    pub fn fit(bits: u32, data: &[f64]) -> Quantizer {
+        let max_abs = data.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        assert!(max_abs > 0.0, "cannot fit a quantizer to all-zero data");
+        Quantizer::new(bits, max_abs)
+    }
+
+    /// Bit width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Full-scale magnitude.
+    pub fn max_abs(&self) -> f64 {
+        self.max_abs
+    }
+
+    /// Largest positive integer code.
+    pub fn max_code(&self) -> i64 {
+        (1i64 << (self.bits - 1)) - 1
+    }
+
+    /// Quantization step size.
+    pub fn step(&self) -> f64 {
+        self.max_abs / self.max_code() as f64
+    }
+
+    /// Quantizes to an integer code, saturating at the range limits.
+    pub fn quantize(&self, value: f64) -> i64 {
+        let code = (value / self.step()).round() as i64;
+        code.clamp(-self.max_code(), self.max_code())
+    }
+
+    /// Reconstructs the real value of a code.
+    pub fn dequantize(&self, code: i64) -> f64 {
+        code as f64 * self.step()
+    }
+
+    /// Rounds a value to the nearest representable level.
+    pub fn round(&self, value: f64) -> f64 {
+        self.dequantize(self.quantize(value))
+    }
+
+    /// Applies [`Quantizer::round`] to a slice, returning the quantized copy.
+    pub fn round_all(&self, values: &[f64]) -> Vec<f64> {
+        values.iter().map(|&v| self.round(v)).collect()
+    }
+
+    /// Worst-case quantization error for in-range values: half a step.
+    pub fn max_error(&self) -> f64 {
+        self.step() / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_bit_has_127_codes() {
+        let q = Quantizer::new(8, 1.0);
+        assert_eq!(q.max_code(), 127);
+        assert!((q.step() - 1.0 / 127.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn round_trip_within_half_step() {
+        let q = Quantizer::new(8, 2.0);
+        for i in 0..100 {
+            let v = -2.0 + 4.0 * i as f64 / 99.0;
+            let r = q.round(v);
+            assert!((r - v).abs() <= q.max_error() + 1e-12, "v={v}, r={r}");
+        }
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        let q = Quantizer::new(8, 1.0);
+        assert_eq!(q.quantize(10.0), 127);
+        assert_eq!(q.quantize(-10.0), -127);
+    }
+
+    #[test]
+    fn zero_is_exact() {
+        let q = Quantizer::new(8, 1.0);
+        assert_eq!(q.quantize(0.0), 0);
+        assert_eq!(q.round(0.0), 0.0);
+    }
+
+    #[test]
+    fn fit_sizes_to_data() {
+        let q = Quantizer::fit8(&[0.25, -0.5, 0.1]);
+        assert_eq!(q.max_abs(), 0.5);
+        // Full-scale value is representable exactly at a code boundary.
+        assert_eq!(q.quantize(0.5), 127);
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        let q4 = Quantizer::new(4, 1.0);
+        let q8 = Quantizer::new(8, 1.0);
+        assert!(q8.max_error() < q4.max_error());
+    }
+
+    #[test]
+    fn round_all_matches_round() {
+        let q = Quantizer::new(6, 1.0);
+        let xs = [0.3, -0.7, 0.05];
+        let rs = q.round_all(&xs);
+        for (r, x) in rs.iter().zip(xs.iter()) {
+            assert_eq!(*r, q.round(*x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero")]
+    fn fit_rejects_zero_data() {
+        let _ = Quantizer::fit8(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits")]
+    fn zero_bits_rejected() {
+        let _ = Quantizer::new(0, 1.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Shape arithmetic for convolution layers (paper Eq. 1).
+
+/// Computes the output extent of a convolution along one spatial dimension
+/// (Eq. 1):
+///
+/// ```text
+/// B = ⌈(A − W + 2P) / S⌉ + 1
+/// ```
+///
+/// where `A` is the input extent, `W` the kernel extent, `P` the zero
+/// padding, and `S` the stride.
+///
+/// ```
+/// use albireo_tensor::shape::output_extent;
+/// // VGG16 3×3 stride-1 pad-1 convolution preserves the extent.
+/// assert_eq!(output_extent(224, 3, 1, 1), 224);
+/// // AlexNet conv1: 227 input, 11×11 kernel, stride 4 ⇒ 55.
+/// assert_eq!(output_extent(227, 11, 0, 4), 55);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the stride is zero or the padded input is smaller than the
+/// kernel.
+pub fn output_extent(input: usize, kernel: usize, padding: usize, stride: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    let padded = input + 2 * padding;
+    assert!(
+        padded >= kernel,
+        "padded input ({padded}) smaller than kernel ({kernel})"
+    );
+    (padded - kernel).div_ceil(stride) + 1
+}
+
+/// Number of multiply-accumulate operations in a standard convolution with
+/// the given geometry (one MAC = one multiply + one add).
+pub fn conv_macs(
+    out_x: usize,
+    out_y: usize,
+    kernels: usize,
+    kernel_x: usize,
+    kernel_y: usize,
+    in_channels: usize,
+) -> u64 {
+    out_x as u64 * out_y as u64 * kernels as u64 * kernel_x as u64 * kernel_y as u64
+        * in_channels as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_conv() {
+        assert_eq!(output_extent(10, 1, 0, 1), 10);
+    }
+
+    #[test]
+    fn valid_conv_shrinks() {
+        assert_eq!(output_extent(10, 3, 0, 1), 8);
+    }
+
+    #[test]
+    fn same_padding_preserves() {
+        for n in [7, 8, 32, 224] {
+            assert_eq!(output_extent(n, 3, 1, 1), n);
+            assert_eq!(output_extent(n, 5, 2, 1), n);
+        }
+    }
+
+    #[test]
+    fn strided_conv() {
+        assert_eq!(output_extent(224, 7, 3, 2), 113);
+        assert_eq!(output_extent(4, 2, 0, 2), 2);
+    }
+
+    #[test]
+    fn ceiling_behaviour() {
+        // (5 − 3)/2 + 1 = 2 exactly; (6 − 3)/2 = 1.5 → ⌈⌉ = 2, + 1 = 3.
+        assert_eq!(output_extent(5, 3, 0, 2), 2);
+        assert_eq!(output_extent(6, 3, 0, 2), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_panics() {
+        let _ = output_extent(8, 3, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than kernel")]
+    fn kernel_too_big_panics() {
+        let _ = output_extent(2, 5, 0, 1);
+    }
+
+    #[test]
+    fn mac_count() {
+        // 2×2 output, 4 kernels of 3×3×8: 2·2·4·3·3·8 = 1152.
+        assert_eq!(conv_macs(2, 2, 4, 3, 3, 8), 1152);
+    }
+}

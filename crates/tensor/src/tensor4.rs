@@ -1,0 +1,275 @@
+//! Four-dimensional tensors: kernel stacks `W[m][z][y][x]`.
+
+use crate::Tensor3;
+use rand::Rng;
+use rand_distr_normal::sample_normal;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense 4-D tensor indexed `[m][z][y][x]` (kernel, channel, row, column),
+/// matching the paper's kernel convention.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tensor4 {
+    m: usize,
+    z: usize,
+    y: usize,
+    x: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor4 {
+    /// Creates a zero-filled tensor.
+    pub fn zeros(m: usize, z: usize, y: usize, x: usize) -> Tensor4 {
+        Tensor4 {
+            m,
+            z,
+            y,
+            x,
+            data: vec![0.0; m * z * y * x],
+        }
+    }
+
+    /// Creates a tensor filled with a constant.
+    pub fn filled(m: usize, z: usize, y: usize, x: usize, value: f64) -> Tensor4 {
+        Tensor4 {
+            m,
+            z,
+            y,
+            x,
+            data: vec![value; m * z * y * x],
+        }
+    }
+
+    /// Creates a tensor from a flat row-major `[m][z][y][x]` buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != m·z·y·x`.
+    pub fn from_vec(m: usize, z: usize, y: usize, x: usize, data: Vec<f64>) -> Tensor4 {
+        assert_eq!(
+            data.len(),
+            m * z * y * x,
+            "buffer length {} does not match {m}x{z}x{y}x{x}",
+            data.len()
+        );
+        Tensor4 { m, z, y, x, data }
+    }
+
+    /// Creates a kernel stack with weights drawn from a zero-mean Gaussian —
+    /// the bell-shaped distribution the paper notes for trained CNN weights
+    /// (§II-C2).
+    pub fn random_gaussian<R: Rng + ?Sized>(
+        m: usize,
+        z: usize,
+        y: usize,
+        x: usize,
+        std_dev: f64,
+        rng: &mut R,
+    ) -> Tensor4 {
+        let data = (0..m * z * y * x)
+            .map(|_| sample_normal(rng) * std_dev)
+            .collect();
+        Tensor4 { m, z, y, x, data }
+    }
+
+    /// Dimensions as `(m, z, y, x)`.
+    pub fn dims(&self) -> (usize, usize, usize, usize) {
+        (self.m, self.z, self.y, self.x)
+    }
+
+    /// Number of kernels `Wm`.
+    pub fn kernels(&self) -> usize {
+        self.m
+    }
+
+    /// Channels per kernel `Wz`.
+    pub fn depth(&self) -> usize {
+        self.z
+    }
+
+    /// Kernel height `Wy`.
+    pub fn height(&self) -> usize {
+        self.y
+    }
+
+    /// Kernel width `Wx`.
+    pub fn width(&self) -> usize {
+        self.x
+    }
+
+    /// Total number of weights.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn offset(&self, m: usize, z: usize, y: usize, x: usize) -> usize {
+        debug_assert!(m < self.m && z < self.z && y < self.y && x < self.x);
+        ((m * self.z + z) * self.y + y) * self.x + x
+    }
+
+    /// Reads a weight; returns `None` when out of bounds.
+    pub fn get(&self, m: usize, z: usize, y: usize, x: usize) -> Option<f64> {
+        if m < self.m && z < self.z && y < self.y && x < self.x {
+            Some(self.data[self.offset(m, z, y, x)])
+        } else {
+            None
+        }
+    }
+
+    /// Writes a weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn set(&mut self, m: usize, z: usize, y: usize, x: usize, value: f64) {
+        let idx = self.offset(m, z, y, x);
+        self.data[idx] = value;
+    }
+
+    /// Extracts kernel `m` as a 3-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of bounds.
+    pub fn kernel(&self, m: usize) -> Tensor3 {
+        assert!(m < self.m, "kernel index {m} out of bounds ({})", self.m);
+        let size = self.z * self.y * self.x;
+        let start = m * size;
+        Tensor3::from_vec(
+            self.z,
+            self.y,
+            self.x,
+            self.data[start..start + size].to_vec(),
+        )
+    }
+
+    /// The flat row-major data buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The flat row-major data buffer, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Maximum absolute weight (0 for an empty tensor).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |acc, v| acc.max(v.abs()))
+    }
+}
+
+impl Index<(usize, usize, usize, usize)> for Tensor4 {
+    type Output = f64;
+    fn index(&self, (m, z, y, x): (usize, usize, usize, usize)) -> &f64 {
+        &self.data[self.offset(m, z, y, x)]
+    }
+}
+
+impl IndexMut<(usize, usize, usize, usize)> for Tensor4 {
+    fn index_mut(&mut self, (m, z, y, x): (usize, usize, usize, usize)) -> &mut f64 {
+        let idx = self.offset(m, z, y, x);
+        &mut self.data[idx]
+    }
+}
+
+impl fmt::Display for Tensor4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor4[{}x{}x{}x{}]", self.m, self.z, self.y, self.x)
+    }
+}
+
+/// Minimal Box-Muller standard-normal sampler so this crate only needs the
+/// `rand` core API.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// Draws one sample from the standard normal distribution.
+    pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        loop {
+            let u1: f64 = rng.random::<f64>();
+            let u2: f64 = rng.random::<f64>();
+            if u1 > f64::MIN_POSITIVE {
+                return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dims_and_len() {
+        let t = Tensor4::zeros(2, 3, 4, 5);
+        assert_eq!(t.dims(), (2, 3, 4, 5));
+        assert_eq!(t.len(), 120);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut t = Tensor4::zeros(2, 2, 2, 2);
+        t.set(1, 0, 1, 0, 3.5);
+        assert_eq!(t.get(1, 0, 1, 0), Some(3.5));
+        assert_eq!(t[(1, 0, 1, 0)], 3.5);
+        assert_eq!(t.get(2, 0, 0, 0), None);
+    }
+
+    #[test]
+    fn kernel_extraction() {
+        let mut t = Tensor4::zeros(2, 1, 2, 2);
+        t.set(1, 0, 0, 0, 9.0);
+        let k = t.kernel(1);
+        assert_eq!(k.dims(), (1, 2, 2));
+        assert_eq!(k[(0, 0, 0)], 9.0);
+        let k0 = t.kernel(0);
+        assert!(k0.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn gaussian_weights_have_bell_shape() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = Tensor4::random_gaussian(8, 8, 3, 3, 0.1, &mut rng);
+        let mean: f64 = t.as_slice().iter().sum::<f64>() / t.len() as f64;
+        let var: f64 =
+            t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / t.len() as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var.sqrt() - 0.1).abs() < 0.02, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn gaussian_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let ta = Tensor4::random_gaussian(1, 1, 3, 3, 1.0, &mut a);
+        let tb = Tensor4::random_gaussian(1, 1, 3, 3, 1.0, &mut b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn kernel_index_checked() {
+        let t = Tensor4::zeros(1, 1, 1, 1);
+        let _ = t.kernel(1);
+    }
+
+    #[test]
+    fn max_abs_works() {
+        let t = Tensor4::from_vec(1, 1, 1, 3, vec![0.5, -2.0, 1.0]);
+        assert_eq!(t.max_abs(), 2.0);
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        assert_eq!(Tensor4::zeros(1, 2, 3, 4).to_string(), "Tensor4[1x2x3x4]");
+    }
+}

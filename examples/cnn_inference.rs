@@ -1,0 +1,79 @@
+//! Per-layer inference analysis of the four benchmark CNNs on Albireo —
+//! the workload study behind the paper's §IV evaluation.
+//!
+//! ```text
+//! cargo run --example cnn_inference
+//! ```
+
+use albireo::core::config::{ChipConfig, TechnologyEstimate};
+use albireo::core::energy::NetworkEvaluation;
+use albireo::core::report::format_table;
+use albireo::nn::zoo;
+
+fn main() {
+    let chip = ChipConfig::albireo_9();
+    let estimate = TechnologyEstimate::Conservative;
+
+    for model in zoo::all_benchmarks() {
+        let eval = NetworkEvaluation::evaluate(&chip, estimate, &model);
+        println!(
+            "=== {} — {:.3} ms, {:.2} mJ, EDP {:.3} mJ*ms, mean utilization {:.1}% ===",
+            eval.network,
+            eval.latency_s * 1e3,
+            eval.energy_j * 1e3,
+            eval.edp_mj_ms(),
+            eval.mean_utilization() * 100.0
+        );
+
+        // Show the ten slowest layers — where the cycles go.
+        let mut layers: Vec<_> = eval
+            .per_layer
+            .iter()
+            .filter(|l| l.cycles > 0)
+            .collect();
+        layers.sort_by_key(|l| std::cmp::Reverse(l.cycles));
+        let rows: Vec<Vec<String>> = layers
+            .iter()
+            .take(10)
+            .map(|l| {
+                vec![
+                    l.name.clone(),
+                    format!("{}", l.cycles),
+                    format!("{:.3}", l.latency_s * 1e6),
+                    format!("{:.1}", l.macs as f64 / 1e6),
+                    format!("{:.1}%", l.utilization * 100.0),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            format_table(
+                &["layer", "cycles", "latency (µs)", "MMACs", "utilization"],
+                &rows
+            )
+        );
+    }
+
+    println!("Cross-network summary (Albireo-C):");
+    let rows: Vec<Vec<String>> = zoo::all_benchmarks()
+        .iter()
+        .map(|m| {
+            let e = NetworkEvaluation::evaluate(&chip, estimate, m);
+            vec![
+                e.network.clone(),
+                format!("{:.2}", m.total_macs() as f64 / 1e9),
+                format!("{:.3}", e.latency_s * 1e3),
+                format!("{:.2}", e.energy_j * 1e3),
+                format!("{:.3}", e.edp_mj_ms()),
+                format!("{:.0}", e.gops()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["network", "GMACs", "latency (ms)", "energy (mJ)", "EDP (mJ*ms)", "GOPS"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,75 @@
+//! Accelerator shoot-out: Albireo vs the photonic baselines (PIXEL,
+//! DEAP-CNN) at a shared 60 W budget and vs the reported electronic
+//! accelerators (Eyeriss, ENVISION, UNPU) — the paper's Fig. 8 and
+//! Table IV in one run.
+//!
+//! ```text
+//! cargo run --example compare_accelerators
+//! ```
+
+use albireo::baselines::{reported_accelerators, DeapCnn, Pixel};
+use albireo::core::config::{ChipConfig, TechnologyEstimate};
+use albireo::core::energy::NetworkEvaluation;
+use albireo::core::report::{format_ratio, format_table};
+use albireo::nn::zoo;
+
+fn main() {
+    // --- Photonic comparison (Fig. 8) ---
+    let pixel = Pixel::paper_60w();
+    let deap = DeapCnn::paper_60w();
+    let a27 = ChipConfig::albireo_27();
+    println!(
+        "60 W photonic designs: PIXEL {} units @ 10 GHz ({:.1} W), DEAP-CNN {} engine @ 5 GHz ({:.1} W), Albireo-27 @ 5 GHz",
+        pixel.units, pixel.power_w, deap.engines, deap.power_w
+    );
+    let rows: Vec<Vec<String>> = zoo::all_benchmarks()
+        .iter()
+        .map(|m| {
+            let p = pixel.evaluate(m);
+            let d = deap.evaluate(m);
+            let a = NetworkEvaluation::evaluate(&a27, TechnologyEstimate::Conservative, m);
+            vec![
+                m.name().to_string(),
+                format!("{:.2}", p.latency_s * 1e3),
+                format!("{:.2}", d.latency_s * 1e3),
+                format!("{:.3}", a.latency_s * 1e3),
+                format_ratio(p.edp_mj_ms() / a.edp_mj_ms()),
+                format_ratio(d.edp_mj_ms() / a.edp_mj_ms()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "network",
+                "PIXEL (ms)",
+                "DEAP (ms)",
+                "Albireo-27 (ms)",
+                "EDP vs PIXEL",
+                "EDP vs DEAP"
+            ],
+            &rows
+        )
+    );
+
+    // --- Electronic comparison (Table IV) ---
+    println!("vs electronic accelerators (reported numbers):");
+    let chip9 = ChipConfig::albireo_9();
+    for model in [zoo::alexnet(), zoo::vgg16()] {
+        let c = NetworkEvaluation::evaluate(&chip9, TechnologyEstimate::Conservative, &model);
+        let a = NetworkEvaluation::evaluate(&chip9, TechnologyEstimate::Aggressive, &model);
+        println!("  {}:", model.name());
+        for acc in reported_accelerators() {
+            let r = acc.results[model.name()];
+            println!(
+                "    {:<9} latency {:>8.2} ms -> Albireo-C {} faster; EDP {:>10.1} mJ*ms -> Albireo-A {} lower",
+                acc.name,
+                r.latency_s * 1e3,
+                format_ratio(r.latency_s / c.latency_s),
+                r.edp_mj_ms(),
+                format_ratio(r.edp_mj_ms() / a.edp_mj_ms()),
+            );
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Architecture design-space exploration beyond the paper's two design
+//! points: sweep the PLCG count and the PLCU geometry and look at how
+//! power, area, latency, and EDP trade off — the ablation study DESIGN.md
+//! calls out for the `Ng = 9` / `Nd = 5` / `Nu = 3` choices.
+//!
+//! ```text
+//! cargo run --example design_space
+//! ```
+
+use albireo::core::area::AreaBreakdown;
+use albireo::core::config::{ChipConfig, PlcuConfig, TechnologyEstimate};
+use albireo::core::energy::NetworkEvaluation;
+use albireo::core::power::PowerBreakdown;
+use albireo::core::report::format_table;
+use albireo::nn::zoo;
+use albireo::photonics::mrr::Microring;
+use albireo::photonics::precision::PrecisionModel;
+use albireo::photonics::OpticalParams;
+
+fn main() {
+    let vgg = zoo::vgg16();
+    let estimate = TechnologyEstimate::Conservative;
+
+    // 1. PLCG count sweep — the paper picks 9 for area and shows 27 at 60 W.
+    println!("PLCG count sweep (VGG16, conservative devices):");
+    let rows: Vec<Vec<String>> = [1usize, 3, 9, 18, 27, 54]
+        .iter()
+        .map(|&ng| {
+            let chip = ChipConfig::with_ng(ng);
+            let e = NetworkEvaluation::evaluate(&chip, estimate, &vgg);
+            let power = PowerBreakdown::for_chip(&chip, estimate).total_w();
+            let area = AreaBreakdown::for_chip(&chip).total_mm2();
+            vec![
+                ng.to_string(),
+                format!("{power:.1}"),
+                format!("{area:.0}"),
+                format!("{:.2}", e.latency_s * 1e3),
+                format!("{:.1}", e.edp_mj_ms()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["Ng", "power (W)", "area (mm²)", "latency (ms)", "EDP (mJ*ms)"],
+            &rows
+        )
+    );
+
+    // 2. PLCU output-column sweep — more Nd means more parallel receptive
+    //    fields but more wavelengths, hence fewer precision bits.
+    println!("PLCU output-column (Nd) sweep — parallelism vs precision:");
+    let params = OpticalParams::paper();
+    let model = PrecisionModel::paper();
+    let ring = Microring::from_params(&params);
+    let rows: Vec<Vec<String>> = [2usize, 3, 5, 7, 10, 14]
+        .iter()
+        .map(|&nd| {
+            let mut chip = ChipConfig::albireo_9();
+            chip.plcu = PlcuConfig { nm: 9, nd };
+            let wavelengths = chip.wavelengths_per_plcu();
+            let levels = model.crosstalk_limited_levels(&ring, wavelengths);
+            let bits = PrecisionModel::with_negative_rail(levels).log2();
+            let e = NetworkEvaluation::evaluate(&chip, estimate, &vgg);
+            vec![
+                nd.to_string(),
+                wavelengths.to_string(),
+                format!("{bits:.2}"),
+                format!("{:.2}", e.latency_s * 1e3),
+                if bits >= 6.75 { "yes" } else { "no" }.into(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["Nd", "λ/PLCU", "bits", "VGG16 latency (ms)", "7-bit OK"],
+            &rows
+        )
+    );
+    println!(
+        "-> Nd = 5 is the paper's sweet spot: the largest column count whose\n\
+         21 wavelengths still clear the 7-bit worst-case precision target."
+    );
+
+    // 3. Technology estimate sweep across all networks.
+    println!("\nEDP (mJ*ms) by estimate:");
+    let rows: Vec<Vec<String>> = zoo::all_benchmarks()
+        .iter()
+        .map(|m| {
+            let chip = ChipConfig::albireo_9();
+            let mut row = vec![m.name().to_string()];
+            for est in TechnologyEstimate::all() {
+                let e = NetworkEvaluation::evaluate(&chip, est, m);
+                row.push(format!("{:.3}", e.edp_mj_ms()));
+            }
+            row
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(&["network", "Albireo-C", "Albireo-M", "Albireo-A"], &rows)
+    );
+}

@@ -1,0 +1,47 @@
+//! Quickstart: evaluate a CNN on the Albireo photonic accelerator.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use albireo::core::config::{ChipConfig, TechnologyEstimate};
+use albireo::core::energy::NetworkEvaluation;
+use albireo::core::report::{format_joules, format_seconds, format_watts};
+use albireo::nn::zoo;
+
+fn main() {
+    // The paper's 9-PLCG chip: 3 PLCUs per group, 9×5 PLCUs, 63 wavelengths.
+    let chip = ChipConfig::albireo_9();
+    println!(
+        "Albireo-9: {} PLCGs x {} PLCUs x ({} MZMs x {} outputs), {} wavelengths, peak {} MACs/cycle",
+        chip.ng,
+        chip.nu,
+        chip.plcu.nm,
+        chip.plcu.nd,
+        chip.wavelengths_per_plcg(),
+        chip.peak_macs_per_cycle()
+    );
+    println!();
+
+    // Evaluate ResNet18 inference under each technology estimate.
+    let model = zoo::resnet18();
+    println!(
+        "{} ({:.2} GMACs, {:.1} M parameters)",
+        model.name(),
+        model.total_macs() as f64 / 1e9,
+        model.total_params() as f64 / 1e6
+    );
+    println!();
+    for estimate in TechnologyEstimate::all() {
+        let eval = NetworkEvaluation::evaluate(&chip, estimate, &model);
+        println!(
+            "  Albireo-{}: latency {}, energy {}, EDP {:.3} mJ*ms, power {}, {:.0} GOPS",
+            estimate.suffix(),
+            format_seconds(eval.latency_s),
+            format_joules(eval.energy_j),
+            eval.edp_mj_ms(),
+            format_watts(eval.power_w),
+            eval.gops()
+        );
+    }
+}

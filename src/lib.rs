@@ -1,0 +1,43 @@
+//! # Albireo
+//!
+//! A full-system simulator for **Albireo: Energy-Efficient Acceleration of
+//! Convolutional Neural Networks via Silicon Photonics** (Shiflett et al.,
+//! ISCA 2021).
+//!
+//! This facade crate re-exports the workspace's crates under one roof:
+//!
+//! * [`photonics`] — silicon-photonic device physics (MRRs, MZMs, couplers,
+//!   photodiodes, noise, crosstalk, precision analysis).
+//! * [`tensor`] — a small dense tensor library with reference (digital)
+//!   convolution, the golden model for the analog simulator.
+//! * [`nn`] — CNN layer descriptors and the model zoo (AlexNet, VGG16,
+//!   ResNet18, MobileNet).
+//! * [`core`] — the Albireo architecture: PLCU / PLCG / chip models,
+//!   dataflow scheduling, power, energy, area, and the functional analog
+//!   simulation.
+//! * [`baselines`] — the accelerators Albireo is compared against: PIXEL,
+//!   DEAP-CNN, and the reported numbers for Eyeriss, ENVISION, and UNPU.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use albireo::core::config::{ChipConfig, TechnologyEstimate};
+//! use albireo::core::energy::NetworkEvaluation;
+//! use albireo::nn::zoo;
+//!
+//! let chip = ChipConfig::albireo_9();
+//! let eval = NetworkEvaluation::evaluate(
+//!     &chip,
+//!     TechnologyEstimate::Conservative,
+//!     &zoo::vgg16(),
+//! );
+//! // The paper reports 2.55 ms for VGG16 on Albireo-C; the reproduced
+//! // dataflow model lands within ~15%.
+//! assert!(eval.latency_s > 1e-3 && eval.latency_s < 5e-3);
+//! ```
+
+pub use albireo_baselines as baselines;
+pub use albireo_core as core;
+pub use albireo_nn as nn;
+pub use albireo_photonics as photonics;
+pub use albireo_tensor as tensor;

@@ -1,0 +1,160 @@
+//! End-to-end pipeline tests: model zoo → scheduler → energy → reports,
+//! exercising the facade crate exactly as a downstream user would.
+
+use albireo::baselines::{DeapCnn, Pixel};
+use albireo::core::config::{ChipConfig, TechnologyEstimate};
+use albireo::core::energy::NetworkEvaluation;
+use albireo::core::report::{format_seconds, format_table};
+use albireo::nn::zoo;
+
+#[test]
+fn facade_reexports_are_usable() {
+    // One expression touching every crate through the facade.
+    let chip = ChipConfig::albireo_9();
+    let ring = albireo::photonics::mrr::Microring::from_params(&chip.optical_params());
+    let t = albireo::tensor::Tensor3::zeros(1, 2, 2);
+    let model = zoo::alexnet();
+    let eval = NetworkEvaluation::evaluate(&chip, TechnologyEstimate::Conservative, &model);
+    let pixel = Pixel::paper_60w();
+    assert!(ring.fsr() > 0.0);
+    assert!(t.is_empty() || t.len() == 4);
+    assert!(eval.latency_s > 0.0);
+    assert!(pixel.units > 0);
+}
+
+#[test]
+fn every_network_evaluates_under_every_estimate() {
+    let chips = [ChipConfig::albireo_9(), ChipConfig::albireo_27()];
+    for chip in &chips {
+        for estimate in TechnologyEstimate::all() {
+            for model in zoo::all_benchmarks() {
+                let e = NetworkEvaluation::evaluate(chip, estimate, &model);
+                assert!(e.latency_s > 0.0, "{} {}", model.name(), estimate.suffix());
+                assert!(e.energy_j > 0.0);
+                assert!(e.gops() > 0.0);
+                assert!(e.per_layer.len() == model.layers().len());
+                // Every compute layer got cycles; every pool got none.
+                for (layer, eval) in model.layers().iter().zip(&e.per_layer) {
+                    if layer.is_compute() {
+                        assert!(eval.cycles > 0, "{}", layer.name);
+                    } else {
+                        assert_eq!(eval.cycles, 0, "{}", layer.name);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn estimates_strictly_improve_energy() {
+    let chip = ChipConfig::albireo_9();
+    for model in zoo::all_benchmarks() {
+        let c = NetworkEvaluation::evaluate(&chip, TechnologyEstimate::Conservative, &model);
+        let m = NetworkEvaluation::evaluate(&chip, TechnologyEstimate::Moderate, &model);
+        let a = NetworkEvaluation::evaluate(&chip, TechnologyEstimate::Aggressive, &model);
+        assert!(c.energy_j > m.energy_j, "{}", model.name());
+        assert!(m.energy_j > a.energy_j, "{}", model.name());
+        assert!(c.edp_mj_ms() > m.edp_mj_ms());
+        assert!(m.edp_mj_ms() > a.edp_mj_ms());
+    }
+}
+
+#[test]
+fn baselines_evaluate_all_networks() {
+    let pixel = Pixel::paper_60w();
+    let deap = DeapCnn::paper_60w();
+    for model in zoo::all_benchmarks() {
+        let p = pixel.evaluate(&model);
+        let d = deap.evaluate(&model);
+        assert!(p.latency_s > 0.0 && p.energy_j > 0.0);
+        assert!(d.latency_s > 0.0 && d.energy_j > 0.0);
+        assert_eq!(p.network, model.name());
+        assert_eq!(d.network, model.name());
+    }
+}
+
+#[test]
+fn report_helpers_cover_full_pipeline_output() {
+    let chip = ChipConfig::albireo_9();
+    let rows: Vec<Vec<String>> = zoo::all_benchmarks()
+        .iter()
+        .map(|m| {
+            let e = NetworkEvaluation::evaluate(&chip, TechnologyEstimate::Conservative, m);
+            vec![e.network.clone(), format_seconds(e.latency_s)]
+        })
+        .collect();
+    let table = format_table(&["network", "latency"], &rows);
+    for name in ["AlexNet", "VGG16", "ResNet18", "MobileNet"] {
+        assert!(table.contains(name));
+    }
+}
+
+#[test]
+fn bench_harness_experiments_run_from_integration_context() {
+    // The harness crate is not part of the facade, but its experiment set
+    // must stay runnable; smoke-test two cheap ones via subprocess-free
+    // direct calls would need the bench crate as a dependency, so instead
+    // assert that the pipeline pieces it composes are stable here.
+    let chip = ChipConfig::albireo_27();
+    let e = NetworkEvaluation::evaluate(&chip, TechnologyEstimate::Conservative, &zoo::vgg16());
+    let d = DeapCnn::paper_60w().evaluate(&zoo::vgg16());
+    let p = Pixel::paper_60w().evaluate(&zoo::vgg16());
+    // Fig. 8(b) energy ordering at equal power budgets mirrors latency.
+    assert!(p.energy_j > d.energy_j);
+    assert!(d.energy_j > e.energy_j);
+}
+
+#[test]
+fn utilization_identifies_fc_layers_as_inefficient() {
+    // §III-C: FC layers use only one PD column per PLCU, so their
+    // utilization is far below conv layers' — the model should show it.
+    let chip = ChipConfig::albireo_9();
+    let e = NetworkEvaluation::evaluate(&chip, TechnologyEstimate::Conservative, &zoo::vgg16());
+    let conv_util = e
+        .per_layer
+        .iter()
+        .find(|l| l.name == "conv3_2")
+        .unwrap()
+        .utilization;
+    let fc_util = e.per_layer.iter().find(|l| l.name == "fc7").unwrap().utilization;
+    assert!(
+        conv_util > fc_util,
+        "conv {conv_util} should exceed fc {fc_util}"
+    );
+}
+
+#[test]
+fn trace_agrees_with_scheduler_for_conv_layers() {
+    // The Fig. 7 cycle-level trace and the closed-form Algorithm 2
+    // scheduler must count the same cycles for kernels that fit the PLCU.
+    use albireo::core::sched::layer_cycles;
+    use albireo::core::trace::trace_kernel;
+    let chip = ChipConfig::albireo_9();
+    let model = zoo::vgg16();
+    for layer in model.layers() {
+        if let albireo::nn::LayerKind::Conv {
+            kernels,
+            kernel_y,
+            kernel_x,
+            stride,
+            groups,
+            ..
+        } = layer.kind
+        {
+            if kernel_y * kernel_x > 9 || stride != 1 || groups != 1 {
+                continue;
+            }
+            let per_kernel =
+                trace_kernel(&chip, 0, layer.output.y, layer.output.x, layer.input.z).len() as u64;
+            let kernel_batches = (kernels as u64).div_ceil(9);
+            let expected = per_kernel * kernel_batches;
+            assert_eq!(
+                layer_cycles(&chip, layer),
+                expected,
+                "layer {} disagrees",
+                layer.name
+            );
+        }
+    }
+}
