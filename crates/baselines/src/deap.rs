@@ -165,10 +165,7 @@ mod tests {
     fn deep_kernels_need_multiple_passes() {
         let d = DeapCnn::paper_60w();
         // A 3×3×256 kernel has 2304 elements > 1017 ⇒ 3 passes.
-        let mut b = albireo_nn::Model::builder(
-            "deep",
-            albireo_nn::VolumeShape::new(256, 16, 16),
-        );
+        let mut b = albireo_nn::Model::builder("deep", albireo_nn::VolumeShape::new(256, 16, 16));
         b.push("conv", LayerKind::conv(1, 3, 1, 1)).unwrap();
         let deep = b.build().unwrap();
         assert_eq!(d.total_cycles(&deep), 16 * 16 * 3);
@@ -177,10 +174,7 @@ mod tests {
     #[test]
     fn shallow_kernels_take_one_pass() {
         let d = DeapCnn::paper_60w();
-        let mut b = albireo_nn::Model::builder(
-            "shallow",
-            albireo_nn::VolumeShape::new(64, 16, 16),
-        );
+        let mut b = albireo_nn::Model::builder("shallow", albireo_nn::VolumeShape::new(64, 16, 16));
         b.push("conv", LayerKind::conv(2, 3, 1, 1)).unwrap();
         let shallow = b.build().unwrap();
         assert_eq!(d.total_cycles(&shallow), 2 * 16 * 16);

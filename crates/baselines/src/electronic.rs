@@ -148,7 +148,10 @@ mod tests {
     fn eyeriss_is_the_edp_outlier() {
         // §IV-B: "Eyeriss is an outlier for EDP".
         let accs = reported_accelerators();
-        let edps: Vec<f64> = accs.iter().map(|a| a.results["VGG16"].edp_mj_ms()).collect();
+        let edps: Vec<f64> = accs
+            .iter()
+            .map(|a| a.results["VGG16"].edp_mj_ms())
+            .collect();
         assert!(edps[0] > 10.0 * edps[1]);
         assert!(edps[0] > 10.0 * edps[2]);
     }
@@ -156,7 +159,10 @@ mod tests {
     #[test]
     fn unpu_is_fastest_electronic() {
         let accs = reported_accelerators();
-        let lat: Vec<f64> = accs.iter().map(|a| a.results["AlexNet"].latency_s).collect();
+        let lat: Vec<f64> = accs
+            .iter()
+            .map(|a| a.results["AlexNet"].latency_s)
+            .collect();
         assert!(lat[2] < lat[0] && lat[2] < lat[1]);
     }
 

@@ -72,8 +72,12 @@ fn bench_network_evaluation(c: &mut Criterion) {
     });
     let pixel = Pixel::paper_60w();
     let deap = DeapCnn::paper_60w();
-    c.bench_function("fig8/pixel_vgg16", |b| b.iter(|| pixel.evaluate(black_box(&vgg))));
-    c.bench_function("fig8/deap_vgg16", |b| b.iter(|| deap.evaluate(black_box(&vgg))));
+    c.bench_function("fig8/pixel_vgg16", |b| {
+        b.iter(|| pixel.evaluate(black_box(&vgg)))
+    });
+    c.bench_function("fig8/deap_vgg16", |b| {
+        b.iter(|| deap.evaluate(black_box(&vgg)))
+    });
 }
 
 /// Analog-simulation kernels: the functional photonic conv vs the digital
@@ -117,7 +121,13 @@ fn bench_extensions(c: &mut Criterion) {
         })
     });
     c.bench_function("timing/analyze_5ghz", |b| {
-        b.iter(|| analyze(black_box(&chip), TechnologyEstimate::Conservative, black_box(0.03)))
+        b.iter(|| {
+            analyze(
+                black_box(&chip),
+                TechnologyEstimate::Conservative,
+                black_box(0.03),
+            )
+        })
     });
     let delivery = PowerDelivery::new(&chip);
     c.bench_function("power_delivery/min_laser_bisection", |b| {

@@ -1,0 +1,60 @@
+//! Runs the parallel sweep driver and writes `BENCH_parallel.json`.
+//!
+//! ```text
+//! cargo run --release -p albireo-bench --bin parallel_sweep -- \
+//!     [--out PATH] [--threads A,B,C] [--target-ms N]
+//! ```
+
+use albireo_bench::sweep::{run_parallel_sweep, SweepOptions};
+
+fn main() {
+    let mut options = SweepOptions::default();
+    let mut out_path = "BENCH_parallel.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--out" => out_path = value("--out"),
+            "--threads" => {
+                options.thread_counts = value("--threads")
+                    .split(',')
+                    .map(|piece| {
+                        piece.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("error: bad thread count `{piece}`");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--target-ms" => {
+                options.target_ms = value("--target-ms").parse().unwrap_or_else(|_| {
+                    eprintln!("error: bad --target-ms value");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("error: unknown option `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = run_parallel_sweep(&options);
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {out_path}: {} workloads, best whole-sweep speedup {:.2}x on {} cores, \
+         deterministic: {}",
+        report.experiments.len(),
+        report.best_total_speedup(),
+        report.available_parallelism,
+        report.all_deterministic()
+    );
+}

@@ -20,7 +20,10 @@ struct Checklist {
 
 impl Checklist {
     fn new() -> Checklist {
-        Checklist { passed: 0, failed: 0 }
+        Checklist {
+            passed: 0,
+            failed: 0,
+        }
     }
 
     fn check(&mut self, name: &str, paper: &str, measured: String, ok: bool) {
@@ -70,11 +73,22 @@ fn main() {
     );
     let with_rail =
         PrecisionModel::with_negative_rail(model.crosstalk_limited_levels(&ring, 20)).log2();
-    list.within("§II-C2: bits with negative rail", 7.0, with_rail, 0.10, "bits");
+    list.within(
+        "§II-C2: bits with negative rail",
+        7.0,
+        with_rail,
+        0.10,
+        "bits",
+    );
 
     // Inventory.
     let inv = DeviceInventory::for_chip(&chip);
-    list.check("§V: DAC count", "306", inv.dacs.to_string(), inv.dacs == 306);
+    list.check(
+        "§V: DAC count",
+        "306",
+        inv.dacs.to_string(),
+        inv.dacs == 306,
+    );
     list.check("§V: TIA count", "45", inv.tias.to_string(), inv.tias == 45);
 
     // Power.
@@ -99,7 +113,13 @@ fn main() {
     // Area.
     let area = AreaBreakdown::for_chip(&chip);
     list.within("Fig. 9 total area", 124.6, area.total_mm2(), 0.01, "mm²");
-    list.within("Fig. 9 AWG share", 0.72, area.awg_m2 / area.total_m2(), 0.03, "");
+    list.within(
+        "Fig. 9 AWG share",
+        0.72,
+        area.awg_m2 / area.total_m2(),
+        0.03,
+        "",
+    );
     list.within(
         "Fig. 9 star coupler share",
         0.17,
@@ -110,11 +130,29 @@ fn main() {
 
     // Performance.
     let vgg_c = NetworkEvaluation::evaluate(&chip, TechnologyEstimate::Conservative, &zoo::vgg16());
-    list.within("Table IV VGG16 latency (C)", 2.55, vgg_c.latency_s * 1e3, 0.35, "ms");
-    list.within("Table IV VGG16 energy (C)", 58.1, vgg_c.energy_j * 1e3, 0.35, "mJ");
+    list.within(
+        "Table IV VGG16 latency (C)",
+        2.55,
+        vgg_c.latency_s * 1e3,
+        0.35,
+        "ms",
+    );
+    list.within(
+        "Table IV VGG16 energy (C)",
+        58.1,
+        vgg_c.energy_j * 1e3,
+        0.35,
+        "mJ",
+    );
     let alex_c =
         NetworkEvaluation::evaluate(&chip, TechnologyEstimate::Conservative, &zoo::alexnet());
-    list.within("Table IV AlexNet latency (C)", 0.13, alex_c.latency_s * 1e3, 1.0, "ms");
+    list.within(
+        "Table IV AlexNet latency (C)",
+        0.13,
+        alex_c.latency_s * 1e3,
+        1.0,
+        "ms",
+    );
 
     // Comparisons: orderings.
     let pixel = Pixel::paper_60w();

@@ -66,9 +66,8 @@ pub fn fig4a_spectrum() -> String {
         }
         rows.push(row);
     }
-    let mut out = String::from(
-        "Figure 4a: MRR drop-port power transmission vs detuning (nm), per k²\n\n",
-    );
+    let mut out =
+        String::from("Figure 4a: MRR drop-port power transmission vs detuning (nm), per k²\n\n");
     out.push_str(&format_table(
         &["detuning (nm)", "k²=0.02", "k²=0.03", "k²=0.05", "k²=0.10"],
         &rows,
@@ -164,15 +163,15 @@ pub fn table1_device_powers() -> String {
         ("DAC", |p| p.dac_w),
     ];
     let rows: Vec<Vec<String>> = fields
-    .into_iter()
-    .map(|(name, f)| {
-        let mut row = vec![name.to_string()];
-        for est in TechnologyEstimate::all() {
-            row.push(format_watts(f(&est.device_powers())));
-        }
-        row
-    })
-    .collect();
+        .into_iter()
+        .map(|(name, f)| {
+            let mut row = vec![name.to_string()];
+            for est in TechnologyEstimate::all() {
+                row.push(format_watts(f(&est.device_powers())));
+            }
+            row
+        })
+        .collect();
     let mut out = String::from("Table I: device power estimates\n\n");
     out.push_str(&format_table(
         &["Device", "Conservative", "Moderate", "Aggressive"],
@@ -187,17 +186,59 @@ pub fn table2_optical_params() -> String {
     let p = OpticalParams::paper();
     let ring = Microring::from_params(&p);
     let rows = vec![
-        vec!["waveguide n_eff / n_g".into(), format!("{} / {}", p.waveguide.n_eff, p.waveguide.n_group)],
-        vec!["waveguide loss".into(), format!("{} dB/cm straight, {} dB/cm bent", p.waveguide.straight_loss_db_per_cm, p.waveguide.bent_loss_db_per_cm)],
+        vec![
+            "waveguide n_eff / n_g".into(),
+            format!("{} / {}", p.waveguide.n_eff, p.waveguide.n_group),
+        ],
+        vec![
+            "waveguide loss".into(),
+            format!(
+                "{} dB/cm straight, {} dB/cm bent",
+                p.waveguide.straight_loss_db_per_cm, p.waveguide.bent_loss_db_per_cm
+            ),
+        ],
         vec!["Y-branch loss".into(), format!("{} dB", p.ybranch.loss_db)],
-        vec!["MRR radius / k² / loss".into(), format!("{} µm / {} / {} dB", p.mrr.radius * 1e6, p.mrr.k2, p.mrr.drop_loss_db)],
-        vec!["MRR FSR (derived)".into(), format!("{:.2} nm (paper: 16.1 nm)", ring.fsr() * 1e9)],
-        vec!["MRR finesse (derived)".into(), format!("{:.1}", ring.finesse())],
+        vec![
+            "MRR radius / k² / loss".into(),
+            format!(
+                "{} µm / {} / {} dB",
+                p.mrr.radius * 1e6,
+                p.mrr.k2,
+                p.mrr.drop_loss_db
+            ),
+        ],
+        vec![
+            "MRR FSR (derived)".into(),
+            format!("{:.2} nm (paper: 16.1 nm)", ring.fsr() * 1e9),
+        ],
+        vec![
+            "MRR finesse (derived)".into(),
+            format!("{:.1}", ring.finesse()),
+        ],
         vec!["MZM loss".into(), format!("{} dB", p.mzm.loss_db)],
-        vec!["star coupler loss".into(), format!("{} dB", p.star_coupler.loss_db)],
-        vec!["AWG channels / loss / crosstalk".into(), format!("{} / {} dB / {} dB", p.awg.channels, p.awg.loss_db, p.awg.crosstalk_db)],
-        vec!["laser RIN".into(), format!("{} dBc/Hz", p.laser.rin_dbc_per_hz)],
-        vec!["PD responsivity / dark current".into(), format!("{} A/W / {} pA", p.photodiode.responsivity, p.photodiode.dark_current * 1e12)],
+        vec![
+            "star coupler loss".into(),
+            format!("{} dB", p.star_coupler.loss_db),
+        ],
+        vec![
+            "AWG channels / loss / crosstalk".into(),
+            format!(
+                "{} / {} dB / {} dB",
+                p.awg.channels, p.awg.loss_db, p.awg.crosstalk_db
+            ),
+        ],
+        vec![
+            "laser RIN".into(),
+            format!("{} dBc/Hz", p.laser.rin_dbc_per_hz),
+        ],
+        vec![
+            "PD responsivity / dark current".into(),
+            format!(
+                "{} A/W / {} pA",
+                p.photodiode.responsivity,
+                p.photodiode.dark_current * 1e12
+            ),
+        ],
     ];
     let mut out = String::from("Table II: optical device parameters\n\n");
     out.push_str(&format_table(&["Parameter", "Value"], &rows));
@@ -239,15 +280,32 @@ pub fn table3_power_breakdown() -> String {
 }
 
 /// Structured data behind Fig. 8: photonic accelerator comparison at 60 W.
-pub fn photonic_comparison_data() -> (Vec<NetworkEvaluation>, Vec<NetworkEvaluation>, Vec<BaselineEvaluation>, Vec<BaselineEvaluation>) {
+pub fn photonic_comparison_data() -> (
+    Vec<NetworkEvaluation>,
+    Vec<NetworkEvaluation>,
+    Vec<BaselineEvaluation>,
+    Vec<BaselineEvaluation>,
+) {
     let networks = zoo::all_benchmarks();
     let albireo9: Vec<NetworkEvaluation> = networks
         .iter()
-        .map(|m| NetworkEvaluation::evaluate(&ChipConfig::albireo_9(), TechnologyEstimate::Conservative, m))
+        .map(|m| {
+            NetworkEvaluation::evaluate(
+                &ChipConfig::albireo_9(),
+                TechnologyEstimate::Conservative,
+                m,
+            )
+        })
         .collect();
     let albireo27: Vec<NetworkEvaluation> = networks
         .iter()
-        .map(|m| NetworkEvaluation::evaluate(&ChipConfig::albireo_27(), TechnologyEstimate::Conservative, m))
+        .map(|m| {
+            NetworkEvaluation::evaluate(
+                &ChipConfig::albireo_27(),
+                TechnologyEstimate::Conservative,
+                m,
+            )
+        })
         .collect();
     let pixel = Pixel::paper_60w();
     let deap = DeapCnn::paper_60w();
@@ -266,8 +324,10 @@ pub fn fig8_photonic_comparison() -> String {
     for (metric, f_albireo, f_baseline) in [
         (
             "(a) latency (ms)",
-            Box::new(|e: &NetworkEvaluation| e.latency_s * 1e3) as Box<dyn Fn(&NetworkEvaluation) -> f64>,
-            Box::new(|e: &BaselineEvaluation| e.latency_s * 1e3) as Box<dyn Fn(&BaselineEvaluation) -> f64>,
+            Box::new(|e: &NetworkEvaluation| e.latency_s * 1e3)
+                as Box<dyn Fn(&NetworkEvaluation) -> f64>,
+            Box::new(|e: &BaselineEvaluation| e.latency_s * 1e3)
+                as Box<dyn Fn(&BaselineEvaluation) -> f64>,
         ),
         (
             "(b) energy (mJ)",
@@ -299,9 +359,8 @@ pub fn fig8_photonic_comparison() -> String {
     }
 
     // Average improvement ratios, as the paper reports them.
-    let avg = |f: &dyn Fn(usize) -> f64| -> f64 {
-        (0..a9.len()).map(f).sum::<f64>() / a9.len() as f64
-    };
+    let avg =
+        |f: &dyn Fn(usize) -> f64| -> f64 { (0..a9.len()).map(f).sum::<f64>() / a9.len() as f64 };
     let lat9_pixel = avg(&|i| pixel[i].latency_s / a9[i].latency_s);
     let lat9_deap = avg(&|i| deap[i].latency_s / a9[i].latency_s);
     let lat27_pixel = avg(&|i| pixel[i].latency_s / a27[i].latency_s);
@@ -391,7 +450,10 @@ pub fn table4_electronic_comparison() -> String {
         for e in evals {
             header.push(format!("Albireo-{}", e.estimate.suffix()));
         }
-        let reported: Vec<_> = electronic.iter().map(|a| a.results[network.as_str()]).collect();
+        let reported: Vec<_> = electronic
+            .iter()
+            .map(|a| a.results[network.as_str()])
+            .collect();
         let metric_rows: Vec<(&str, Vec<f64>)> = vec![
             (
                 "latency (ms)",
@@ -497,9 +559,8 @@ pub fn wdm_efficiency() -> String {
         ]);
     }
     let n = a27.len() as f64;
-    let mut out = String::from(
-        "WDM efficiency: energy per wavelength used (mJ/λ), 60 W designs\n\n",
-    );
+    let mut out =
+        String::from("WDM efficiency: energy per wavelength used (mJ/λ), 60 W designs\n\n");
     out.push_str(&format_table(
         &["network", "Albireo-27", "PIXEL", "DEAP-CNN"],
         &rows,
@@ -538,7 +599,8 @@ pub fn summary_ratios() -> String {
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let min = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
-    let mut out = String::from("Headline ratios vs electronic accelerators (paper values in parentheses):\n");
+    let mut out =
+        String::from("Headline ratios vs electronic accelerators (paper values in parentheses):\n");
     out.push_str(&format!(
         "  Albireo-C latency improvement: avg {} (110 X), min {} (20 X)\n",
         format_ratio(mean(&lat_c)),
@@ -560,7 +622,9 @@ pub fn summary_ratios() -> String {
         "  Albireo-A EDP improvement (excl. Eyeriss): avg {} (min 229 X, avg 690 X incl. Eyeriss)\n",
         format_ratio(mean(&edp_a_no_eyeriss))
     ));
-    out.push_str("  (* paper's 275 X averages UNPU 23.1 X and ENVISION 216 X with Eyeriss excluded)\n");
+    out.push_str(
+        "  (* paper's 275 X averages UNPU 23.1 X and ENVISION 216 X with Eyeriss excluded)\n",
+    );
     out
 }
 
@@ -597,8 +661,6 @@ pub fn all_experiments() -> String {
     }
     out
 }
-
-
 
 /// Fig. 7 — the depth-first PLCG dataflow trace for the paper's running
 /// example (one kernel, Wz = 9 channels, Nu = 3).
@@ -649,7 +711,13 @@ pub fn ablation_report() -> String {
         })
         .collect();
     out.push_str(&format_table(
-        &["design", "power (W)", "area (mm²)", "latency (ms)", "EDP (mJ·ms)"],
+        &[
+            "design",
+            "power (W)",
+            "area (mm²)",
+            "latency (ms)",
+            "EDP (mJ·ms)",
+        ],
         &rows,
     ));
 
@@ -677,7 +745,12 @@ pub fn ablation_report() -> String {
             vec![
                 p.label,
                 format!("{}", p.chip.wavelengths_per_plcg()),
-                if p.chip.wavelengths_per_plcg() <= 64 { "yes" } else { "NO" }.into(),
+                if p.chip.wavelengths_per_plcg() <= 64 {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .into(),
                 format!("{:.2}", p.latency_s * 1e3),
             ]
         })
@@ -720,7 +793,12 @@ pub fn ablation_report() -> String {
         })
         .collect();
     out.push_str(&format_table(
-        &["network", "depth-first (MB)", "spilling (MB)", "extra energy (mJ)"],
+        &[
+            "network",
+            "depth-first (MB)",
+            "spilling (MB)",
+            "extra energy (mJ)",
+        ],
         &rows,
     ));
     out
@@ -748,9 +826,8 @@ pub fn thermal_sensitivity() -> String {
             format!("{bits:.2}"),
         ]);
     }
-    let mut out = String::from(
-        "Thermal sensitivity (k² = 0.03, 21 λ): uncorrected resonance drift\n\n",
-    );
+    let mut out =
+        String::from("Thermal sensitivity (k² = 0.03, 21 λ): uncorrected resonance drift\n\n");
     out.push_str(&format_table(
         &["ΔT (K)", "drift (pm)", "signal penalty", "bits"],
         &rows,
@@ -802,7 +879,8 @@ pub fn power_delivery_study() -> String {
     use albireo_core::power_delivery::PowerDelivery;
     let d9 = PowerDelivery::new(&ChipConfig::albireo_9());
     let d27 = PowerDelivery::new(&ChipConfig::albireo_27());
-    let mut out = String::from("Optical power delivery (per-channel laser power through the chip link)\n\n");
+    let mut out =
+        String::from("Optical power delivery (per-channel laser power through the chip link)\n\n");
     out.push_str(&format!(
         "link loss: Albireo-9 {:.1} dB, Albireo-27 {:.1} dB\n\n",
         d9.link_loss_db(),
@@ -909,7 +987,16 @@ pub fn export_csv(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathB
         .collect();
     write(
         "fig3_noise_precision.csv",
-        to_csv(&["wavelengths", "bits_0p5mW", "bits_1mW", "bits_2mW", "bits_4mW"], &rows),
+        to_csv(
+            &[
+                "wavelengths",
+                "bits_0p5mW",
+                "bits_1mW",
+                "bits_2mW",
+                "bits_4mW",
+            ],
+            &rows,
+        ),
     )?;
 
     // Fig. 4a: detuning × k² → transmission.
@@ -931,7 +1018,10 @@ pub fn export_csv(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathB
         .collect();
     write(
         "fig4a_spectrum.csv",
-        to_csv(&["detuning_nm", "k2_0p02", "k2_0p03", "k2_0p05", "k2_0p10"], &rows),
+        to_csv(
+            &["detuning_nm", "k2_0p02", "k2_0p03", "k2_0p05", "k2_0p10"],
+            &rows,
+        ),
     )?;
 
     // Fig. 4b: time × k² → normalized power.
@@ -947,7 +1037,10 @@ pub fn export_csv(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathB
         .collect();
     write(
         "fig4b_temporal.csv",
-        to_csv(&["time_ps", "k2_0p02", "k2_0p03", "k2_0p05", "k2_0p10"], &rows),
+        to_csv(
+            &["time_ps", "k2_0p02", "k2_0p03", "k2_0p05", "k2_0p10"],
+            &rows,
+        ),
     )?;
 
     // Fig. 4c: wavelengths × k² → bits.
@@ -963,7 +1056,10 @@ pub fn export_csv(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathB
         .collect();
     write(
         "fig4c_crosstalk_precision.csv",
-        to_csv(&["wavelengths", "k2_0p02", "k2_0p03", "k2_0p05", "k2_0p10"], &rows),
+        to_csv(
+            &["wavelengths", "k2_0p02", "k2_0p03", "k2_0p05", "k2_0p10"],
+            &rows,
+        ),
     )?;
 
     // Fig. 8: network × accelerator → latency/energy/EDP.
@@ -1015,10 +1111,17 @@ pub fn export_csv(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathB
         .rows()
         .into_iter()
         .map(|(name, mm2, portion)| {
-            vec![name.to_string(), format!("{mm2:.4}"), format!("{portion:.5}")]
+            vec![
+                name.to_string(),
+                format!("{mm2:.4}"),
+                format!("{portion:.5}"),
+            ]
         })
         .collect();
-    write("fig9_area_breakdown.csv", to_csv(&["component", "mm2", "portion"], &rows))?;
+    write(
+        "fig9_area_breakdown.csv",
+        to_csv(&["component", "mm2", "portion"], &rows),
+    )?;
 
     // Table III: device powers per estimate.
     let rows: Vec<Vec<String>> = {
@@ -1039,7 +1142,10 @@ pub fn export_csv(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathB
     };
     write(
         "table3_power_breakdown.csv",
-        to_csv(&["device", "conservative_w", "moderate_w", "aggressive_w"], &rows),
+        to_csv(
+            &["device", "conservative_w", "moderate_w", "aggressive_w"],
+            &rows,
+        ),
     )?;
 
     // Table IV: Albireo vs electronic.
@@ -1085,9 +1191,50 @@ pub fn export_csv(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathB
         ),
     )?;
 
+    // Golden grid: every (chip × estimate × network) point, with cycle
+    // counts, for the regression tests in `tests/golden_values.rs`.
+    write("golden_network_metrics.csv", golden_network_metrics_csv())?;
+
     Ok(written)
 }
 
+/// The golden-value regression artifact: every (chip × estimate × network)
+/// grid point's scheduler cycle count and headline metrics, produced
+/// through the parallel evaluation engine. `tests/golden_values.rs` pins
+/// the model against the committed copy in `results/`.
+pub fn golden_network_metrics_csv() -> String {
+    use albireo_core::engine::{paper_grid, EvalEngine};
+    use albireo_core::report::to_csv;
+    let (chips, estimates, models) = paper_grid();
+    let grid = EvalEngine::default().evaluate_grid(&chips, &estimates, &models);
+    let rows: Vec<Vec<String>> = grid
+        .iter()
+        .map(|g| {
+            let cycles: u64 = g.evaluation.per_layer.iter().map(|l| l.cycles).sum();
+            vec![
+                g.evaluation.network.clone(),
+                g.chip_name.clone(),
+                format!("albireo_{}", g.estimate.suffix()),
+                cycles.to_string(),
+                format!("{:.6}", g.evaluation.latency_s * 1e3),
+                format!("{:.6}", g.evaluation.energy_j * 1e3),
+                format!("{:.6}", g.evaluation.edp_mj_ms()),
+            ]
+        })
+        .collect();
+    to_csv(
+        &[
+            "network",
+            "chip",
+            "estimate",
+            "cycles",
+            "latency_ms",
+            "energy_mj",
+            "edp_mj_ms",
+        ],
+        &rows,
+    )
+}
 
 /// Technology-scaling study — the quantitative version of the paper's
 /// "Albireo-M sets a target for photonic device engineers".
@@ -1133,17 +1280,18 @@ pub fn scaling_study() -> String {
         a.mrr, a.mzm, a.laser, a.tia, a.adc, a.dac
     ));
     out.push_str("\nUniform-scaling EDP curve (VGG16):\n");
-    let rows: Vec<Vec<String>> = scaling_curve(&chip, &zoo::vgg16(), &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0])
-        .into_iter()
-        .map(|p| {
-            vec![
-                format!("{:.0}x", p.factor),
-                format!("{:.2}", p.power_w),
-                format!("{:.2}", p.energy_j * 1e3),
-                format!("{:.1}", p.edp_mj_ms),
-            ]
-        })
-        .collect();
+    let rows: Vec<Vec<String>> =
+        scaling_curve(&chip, &zoo::vgg16(), &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0])
+            .into_iter()
+            .map(|p| {
+                vec![
+                    format!("{:.0}x", p.factor),
+                    format!("{:.2}", p.power_w),
+                    format!("{:.2}", p.energy_j * 1e3),
+                    format!("{:.1}", p.edp_mj_ms),
+                ]
+            })
+            .collect();
     out.push_str(&format_table(
         &["device scaling", "power (W)", "energy (mJ)", "EDP (mJ·ms)"],
         &rows,
@@ -1240,10 +1388,12 @@ pub fn inference_fidelity() -> String {
             format!("{:.1}%", 100.0 * agree as f64 / total as f64),
         ]);
     }
-    let mut out = String::from(
-        "Inference fidelity: analog vs digital decisions over random tiny CNNs\n\n",
-    );
-    out.push_str(&format_table(&["configuration", "agreement", "rate"], &rows));
+    let mut out =
+        String::from("Inference fidelity: analog vs digital decisions over random tiny CNNs\n\n");
+    out.push_str(&format_table(
+        &["configuration", "agreement", "rate"],
+        &rows,
+    ));
     out.push_str(
         "\nAt the paper's 7-bit analog operating point, classification\n\
          decisions are preserved at high rates; starving the laser power\n\
@@ -1252,16 +1402,14 @@ pub fn inference_fidelity() -> String {
     out
 }
 
-
 /// Dataflow-alternatives study: depth-first (the paper) vs
 /// weight-stationary — converter updates against partial-sum traffic.
 pub fn dataflow_alternatives() -> String {
     use albireo_core::dataflow_alt::{compare_dataflows, dac_update_energy_j};
     let chip = ChipConfig::albireo_9();
     let estimate = TechnologyEstimate::Conservative;
-    let mut out = String::from(
-        "Dataflow alternatives: depth-first (paper) vs weight-stationary\n\n",
-    );
+    let mut out =
+        String::from("Dataflow alternatives: depth-first (paper) vs weight-stationary\n\n");
     out.push_str(&format!(
         "per-DAC-update energy: {:.1} pJ; per-buffer-byte energy: 0.2 pJ\n\n",
         dac_update_energy_j(estimate) * 1e12
@@ -1316,7 +1464,10 @@ pub fn allocation_study() -> String {
     let mut rows = Vec::new();
     for (label, allocation) in [
         ("contiguous (paper Fig. 5)", ChannelAllocation::Contiguous),
-        ("row-interleaved (extension)", ChannelAllocation::RowInterleaved),
+        (
+            "row-interleaved (extension)",
+            ChannelAllocation::RowInterleaved,
+        ),
     ] {
         let cfg = AnalogSimConfig {
             enable_noise: false,
@@ -1325,16 +1476,17 @@ pub fn allocation_study() -> String {
             ..AnalogSimConfig::default()
         };
         let mut engine = AnalogEngine::new(&chip, cfg);
-        let err = engine.conv2d(&input, &kernels, &spec).max_abs_diff(&reference) / fs;
+        let err = engine
+            .conv2d(&input, &kernels, &spec)
+            .max_abs_diff(&reference)
+            / fs;
         rows.push(vec![
             label.to_string(),
             format!("{err:.2e}"),
             format!("{:.2}", -err.log2()),
         ]);
     }
-    let mut out = String::from(
-        "Wavelength allocation: crosstalk error of a 3x3x6 convolution\n\n",
-    );
+    let mut out = String::from("Wavelength allocation: crosstalk error of a 3x3x6 convolution\n\n");
     out.push_str(&format_table(
         &["allocation", "max error (rel FS)", "effective bits"],
         &rows,
@@ -1367,7 +1519,10 @@ mod tests {
             wdm_efficiency(),
             summary_ratios(),
         ] {
-            assert!(body.lines().count() > 3, "experiment output too short: {body}");
+            assert!(
+                body.lines().count() > 3,
+                "experiment output too short: {body}"
+            );
         }
     }
 
@@ -1386,12 +1541,16 @@ mod tests {
     fn fig8_ratios_near_paper() {
         let (a9, a27, pixel, deap) = photonic_comparison_data();
         let n = a9.len() as f64;
-        let lat9_pixel: f64 =
-            (0..a9.len()).map(|i| pixel[i].latency_s / a9[i].latency_s).sum::<f64>() / n;
+        let lat9_pixel: f64 = (0..a9.len())
+            .map(|i| pixel[i].latency_s / a9[i].latency_s)
+            .sum::<f64>()
+            / n;
         // Paper: 79.5 X. Accept the same order of magnitude.
         assert!((30.0..200.0).contains(&lat9_pixel), "ratio = {lat9_pixel}");
-        let lat27_deap: f64 =
-            (0..a27.len()).map(|i| deap[i].latency_s / a27[i].latency_s).sum::<f64>() / n;
+        let lat27_deap: f64 = (0..a27.len())
+            .map(|i| deap[i].latency_s / a27[i].latency_s)
+            .sum::<f64>()
+            / n;
         // Paper: 4.8 X.
         assert!((2.0..12.0).contains(&lat27_deap), "ratio = {lat27_deap}");
     }
@@ -1416,7 +1575,14 @@ mod tests {
     #[test]
     fn table4_mentions_all_accelerators() {
         let t = table4_electronic_comparison();
-        for name in ["Eyeriss", "ENVISION", "UNPU", "Albireo-C", "Albireo-M", "Albireo-A"] {
+        for name in [
+            "Eyeriss",
+            "ENVISION",
+            "UNPU",
+            "Albireo-C",
+            "Albireo-M",
+            "Albireo-A",
+        ] {
             assert!(t.contains(name), "missing {name}");
         }
     }
@@ -1436,8 +1602,18 @@ mod tests {
     fn all_experiments_is_complete() {
         let all = all_experiments();
         for title in [
-            "TABLE I", "TABLE II", "FIGURE 3", "FIGURE 4a", "FIGURE 4b", "FIGURE 4c",
-            "TABLE III", "FIGURE 8", "FIGURE 9", "TABLE IV", "WDM EFFICIENCY", "SUMMARY",
+            "TABLE I",
+            "TABLE II",
+            "FIGURE 3",
+            "FIGURE 4a",
+            "FIGURE 4b",
+            "FIGURE 4c",
+            "TABLE III",
+            "FIGURE 8",
+            "FIGURE 9",
+            "TABLE IV",
+            "WDM EFFICIENCY",
+            "SUMMARY",
         ] {
             assert!(all.contains(title), "missing {title}");
         }

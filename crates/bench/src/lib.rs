@@ -11,5 +11,6 @@
 //! ```
 
 pub mod experiments;
+pub mod sweep;
 
 pub use experiments::*;

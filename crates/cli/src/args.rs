@@ -39,7 +39,10 @@ impl std::fmt::Display for ArgError {
                 option,
                 value,
                 expected,
-            } => write!(f, "invalid value `{value}` for --{option}: expected {expected}"),
+            } => write!(
+                f,
+                "invalid value `{value}` for --{option}: expected {expected}"
+            ),
         }
     }
 }
@@ -47,7 +50,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Boolean flags recognized without values.
-const BOOL_FLAGS: &[&str] = &["no-stride-penalty", "compensate", "help"];
+const BOOL_FLAGS: &[&str] = &["no-stride-penalty", "compensate", "help", "json"];
 
 impl Args {
     /// Parses a raw argument list (excluding the program/subcommand names).
@@ -178,7 +181,9 @@ mod tests {
     #[test]
     fn invalid_value_is_error() {
         let a = parse(&["--ng", "lots"]);
-        let err = a.get_parsed_or("ng", 9usize, "a positive integer").unwrap_err();
+        let err = a
+            .get_parsed_or("ng", 9usize, "a positive integer")
+            .unwrap_err();
         assert!(err.to_string().contains("lots"));
     }
 }

@@ -10,6 +10,7 @@ use albireo_core::power::PowerBreakdown;
 use albireo_core::report::{format_joules, format_seconds, format_table, format_watts};
 use albireo_core::trace::{summarize, trace_kernel};
 use albireo_nn::{zoo, Model};
+use albireo_parallel::Parallelism;
 use albireo_photonics::mrr::Microring;
 use albireo_photonics::precision::PrecisionModel;
 use albireo_photonics::OpticalParams;
@@ -57,11 +58,16 @@ COMMANDS:
     area       [--ng N]                       Fig. 9 area breakdown
     precision  [--k2 X] [--wavelengths N] [--laser-mw P]   Figs. 3/4 analysis
     trace      [--rows R] [--cols C] [--channels Z]        Fig. 7 dataflow
-    sweep      --param ng|nd|nu --values A,B,C [--network NAME]
+    sweep      --param ng|nd|nu --values A,B,C [--network NAME] [--json]
     compare    [--network NAME]               photonic + electronic baselines
     faults     [--dead-ring R,C,O] [--dead-channel C] [--stuck-mzm R,C,W]
     experiment <name>|all                     regenerate a paper experiment
+    bench      [--thread-counts A,B,C] [--target-ms N] [--out FILE]
+                                              parallel-scaling benchmark (JSON)
     help                                      show this message
+
+GLOBAL OPTIONS:
+    --threads N    worker threads for parallel regions (0 = one per core)
 ";
 
 fn parse_network(name: &str) -> Result<Model, CliError> {
@@ -118,10 +124,7 @@ pub fn networks() -> String {
             ]
         })
         .collect();
-    format_table(
-        &["network", "layers", "GMACs", "Mparams", "input"],
-        &rows,
-    )
+    format_table(&["network", "layers", "GMACs", "Mparams", "input"], &rows)
 }
 
 /// `albireo evaluate <network> [...]`
@@ -222,7 +225,9 @@ pub fn area(args: &Args) -> Result<String, CliError> {
 pub fn precision(args: &Args) -> Result<String, CliError> {
     let k2 = args.get_parsed_or("k2", 0.03f64, "a coupling coefficient in (0,1)")?;
     if !(0.0..1.0).contains(&k2) || k2 == 0.0 {
-        return Err(CliError::Unknown(format!("--k2 must be in (0,1), got {k2}")));
+        return Err(CliError::Unknown(format!(
+            "--k2 must be in (0,1), got {k2}"
+        )));
     }
     let n = args.get_parsed_or("wavelengths", 21usize, "a wavelength count")?;
     if n == 0 {
@@ -259,7 +264,9 @@ pub fn trace(args: &Args) -> Result<String, CliError> {
     let cols = args.get_parsed_or("cols", 12usize, "a column count")?;
     let channels = args.get_parsed_or("channels", 9usize, "a channel count")?;
     if rows == 0 || cols == 0 || channels == 0 {
-        return Err(CliError::Unknown("trace dimensions must be positive".into()));
+        return Err(CliError::Unknown(
+            "trace dimensions must be positive".into(),
+        ));
     }
     let chip = chip_from(args)?;
     let cycles = trace_kernel(&chip, 0, rows, cols, channels);
@@ -298,6 +305,24 @@ pub fn sweep(args: &Args) -> Result<String, CliError> {
             )))
         }
     };
+    if args.flag("json") {
+        let mut out = String::from("[\n");
+        for (i, p) in points.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"design\": \"{}\", \"power_w\": {:.6}, \"area_mm2\": {:.6}, \
+                 \"latency_s\": {:.9}, \"edp_mj_ms\": {:.6}, \"precision_bits\": {:.6}}}{}\n",
+                p.label,
+                p.power_w,
+                p.area_mm2,
+                p.latency_s,
+                p.edp_mj_ms,
+                p.precision_bits,
+                if i + 1 < points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("]\n");
+        return Ok(out);
+    }
     let rows: Vec<Vec<String>> = points
         .into_iter()
         .map(|p| {
@@ -312,9 +337,46 @@ pub fn sweep(args: &Args) -> Result<String, CliError> {
         })
         .collect();
     Ok(format_table(
-        &["design", "power (W)", "area (mm²)", "latency", "EDP (mJ·ms)", "bits"],
+        &[
+            "design",
+            "power (W)",
+            "area (mm²)",
+            "latency",
+            "EDP (mJ·ms)",
+            "bits",
+        ],
         &rows,
     ))
+}
+
+/// `albireo bench [--thread-counts A,B,C] [--target-ms N] [--out FILE]` —
+/// the parallel-scaling benchmark; emits the `BENCH_parallel.json` schema.
+pub fn bench(args: &Args) -> Result<String, CliError> {
+    use albireo_bench::sweep::{run_parallel_sweep, SweepOptions};
+    let mut options = SweepOptions::default();
+    if let Some(counts) = args.get_list::<usize>("thread-counts", "comma-separated integers")? {
+        if counts.is_empty() {
+            return Err(CliError::Unknown(
+                "--thread-counts must not be empty".into(),
+            ));
+        }
+        options.thread_counts = counts;
+    }
+    options.target_ms = args.get_parsed_or("target-ms", options.target_ms, "a duration in ms")?;
+    let report = run_parallel_sweep(&options);
+    let json = report.to_json();
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .map_err(|e| CliError::Unknown(format!("cannot write {path}: {e}")))?;
+            Ok(format!(
+                "wrote {path}: best whole-sweep speedup {:.2}x, deterministic: {}\n",
+                report.best_total_speedup(),
+                report.all_deterministic()
+            ))
+        }
+        None => Ok(json),
+    }
 }
 
 /// `albireo compare [...]`
@@ -384,7 +446,11 @@ pub fn faults(args: &Args) -> Result<String, CliError> {
             output: parts[2],
         });
     }
-    if let Some(c) = args.get_parsed_or("dead-channel", usize::MAX, "a column index").ok().filter(|&c| c != usize::MAX) {
+    if let Some(c) = args
+        .get_parsed_or("dead-channel", usize::MAX, "a column index")
+        .ok()
+        .filter(|&c| c != usize::MAX)
+    {
         set.push(Fault::DeadChannel { column: c });
     }
     if let Some(raw) = args.get("stuck-mzm") {
@@ -392,9 +458,18 @@ pub fn faults(args: &Args) -> Result<String, CliError> {
         if parts.len() != 3 {
             return Err(CliError::Unknown("--stuck-mzm needs R,C,W".into()));
         }
-        let row = parts[0].trim().parse().map_err(|_| CliError::Unknown("bad R".into()))?;
-        let col = parts[1].trim().parse().map_err(|_| CliError::Unknown("bad C".into()))?;
-        let weight = parts[2].trim().parse().map_err(|_| CliError::Unknown("bad W".into()))?;
+        let row = parts[0]
+            .trim()
+            .parse()
+            .map_err(|_| CliError::Unknown("bad R".into()))?;
+        let col = parts[1]
+            .trim()
+            .parse()
+            .map_err(|_| CliError::Unknown("bad C".into()))?;
+        let weight = parts[2]
+            .trim()
+            .parse()
+            .map_err(|_| CliError::Unknown("bad W".into()))?;
         set.push(Fault::StuckMzm { row, col, weight });
     }
 
@@ -472,6 +547,10 @@ pub fn experiment(args: &Args) -> Result<String, CliError> {
 
 /// Dispatches a subcommand, returning its printable output.
 pub fn dispatch(command: &str, args: &Args) -> Result<String, CliError> {
+    if args.get("threads").is_some() {
+        let threads = args.get_parsed_or("threads", 0usize, "a thread count (0 = auto)")?;
+        Parallelism::set_global(Parallelism::with_threads(threads));
+    }
     match command {
         "networks" => Ok(networks()),
         "evaluate" => evaluate(args),
@@ -483,6 +562,7 @@ pub fn dispatch(command: &str, args: &Args) -> Result<String, CliError> {
         "compare" => compare(args),
         "faults" => faults(args),
         "experiment" => experiment(args),
+        "bench" => bench(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Unknown(format!(
             "unknown command `{other}`; run `albireo help`"
@@ -577,7 +657,14 @@ mod tests {
     #[test]
     fn compare_includes_all_baselines() {
         let out = compare(&args(&["--network", "alexnet"])).unwrap();
-        for name in ["PIXEL", "DEAP-CNN", "Albireo-27", "Eyeriss", "ENVISION", "UNPU"] {
+        for name in [
+            "PIXEL",
+            "DEAP-CNN",
+            "Albireo-27",
+            "Eyeriss",
+            "ENVISION",
+            "UNPU",
+        ] {
             assert!(out.contains(name), "missing {name} in {out}");
         }
     }
@@ -626,5 +713,44 @@ mod tests {
         let with = evaluate(&args(&["alexnet"])).unwrap();
         let without = evaluate(&args(&["alexnet", "--no-stride-penalty"])).unwrap();
         assert_ne!(with, without);
+    }
+
+    #[test]
+    fn sweep_json_emits_machine_readable_points() {
+        let out = sweep(&args(&["--param", "ng", "--values", "3,9", "--json"])).unwrap();
+        assert!(out.trim_start().starts_with('['));
+        assert!(out.trim_end().ends_with(']'));
+        for key in [
+            "\"design\"",
+            "\"power_w\"",
+            "\"latency_s\"",
+            "\"edp_mj_ms\"",
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+        assert_eq!(out.matches("\"design\"").count(), 2);
+    }
+
+    #[test]
+    fn bench_command_emits_report_schema() {
+        let out = bench(&args(&["--thread-counts", "1,2", "--target-ms", "1"])).unwrap();
+        for key in [
+            "albireo.bench.parallel/v1",
+            "\"paper_grid\"",
+            "\"speedup\"",
+            "\"deterministic\": true",
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+        assert!(bench(&args(&["--thread-counts", ""])).is_err());
+    }
+
+    #[test]
+    fn threads_option_sets_global_parallelism() {
+        dispatch("networks", &args(&["--threads", "3"])).unwrap();
+        assert_eq!(Parallelism::global().resolved_threads(), 3);
+        Parallelism::set_global(Parallelism::auto());
+        let err = dispatch("networks", &args(&["--threads", "many"])).unwrap_err();
+        assert!(err.to_string().contains("many"));
     }
 }

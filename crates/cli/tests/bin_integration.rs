@@ -68,7 +68,15 @@ fn power_matches_table_iii() {
 
 #[test]
 fn sweep_end_to_end() {
-    let (stdout, _, ok) = run(&["sweep", "--param", "ng", "--values", "9,27", "--network", "alexnet"]);
+    let (stdout, _, ok) = run(&[
+        "sweep",
+        "--param",
+        "ng",
+        "--values",
+        "9,27",
+        "--network",
+        "alexnet",
+    ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("Ng=9"));
     assert!(stdout.contains("Ng=27"));
@@ -87,4 +95,105 @@ fn precision_end_to_end() {
     let (stdout, _, ok) = run(&["precision", "--k2", "0.03", "--wavelengths", "20"]);
     assert!(ok);
     assert!(stdout.contains("crosstalk-limited"));
+}
+
+#[test]
+fn threads_flag_is_accepted_everywhere() {
+    let (stdout, _, ok) = run(&["evaluate", "vgg16", "--threads", "4"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("VGG16"));
+}
+
+#[test]
+fn threads_flag_rejects_garbage() {
+    let (_, stderr, ok) = run(&["evaluate", "vgg16", "--threads", "many"]);
+    assert!(!ok);
+    assert!(stderr.contains("many"));
+}
+
+#[test]
+fn output_is_identical_at_any_thread_count() {
+    let (serial, _, ok) = run(&["evaluate", "vgg16", "--per-layer", "99", "--threads", "1"]);
+    assert!(ok);
+    for threads in ["2", "8"] {
+        let (parallel, _, ok) = run(&[
+            "evaluate",
+            "vgg16",
+            "--per-layer",
+            "99",
+            "--threads",
+            threads,
+        ]);
+        assert!(ok);
+        assert_eq!(parallel, serial, "output diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn sweep_json_end_to_end() {
+    let (stdout, _, ok) = run(&[
+        "sweep",
+        "--param",
+        "ng",
+        "--values",
+        "9,27",
+        "--json",
+        "--network",
+        "alexnet",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.trim_start().starts_with('['));
+    assert!(stdout.trim_end().ends_with(']'));
+    for key in [
+        "\"design\"",
+        "\"power_w\"",
+        "\"area_mm2\"",
+        "\"latency_s\"",
+        "\"edp_mj_ms\"",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+}
+
+#[test]
+fn bench_end_to_end_emits_schema() {
+    let (stdout, _, ok) = run(&["bench", "--thread-counts", "1,2", "--target-ms", "1"]);
+    assert!(ok, "{stdout}");
+    for key in [
+        "\"schema\": \"albireo.bench.parallel/v1\"",
+        "\"thread_counts\": [1, 2]",
+        "\"experiments\"",
+        "\"paper_grid\"",
+        "\"device_sweeps\"",
+        "\"analog_conv\"",
+        "\"wall_ms\"",
+        "\"speedup\"",
+        "\"total\"",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+    assert!(stdout.contains("\"deterministic\": true"));
+    assert!(!stdout.contains("\"deterministic\": false"));
+}
+
+#[test]
+fn bench_writes_json_file() {
+    let dir = std::env::temp_dir().join("albireo_bench_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_parallel.json");
+    let path_str = path.to_str().unwrap();
+    let (stdout, _, ok) = run(&[
+        "bench",
+        "--thread-counts",
+        "1",
+        "--target-ms",
+        "1",
+        "--out",
+        path_str,
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("wrote"));
+    let written = std::fs::read_to_string(&path).unwrap();
+    assert!(written.contains("albireo.bench.parallel/v1"));
+    std::fs::remove_file(&path).ok();
 }

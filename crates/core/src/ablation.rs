@@ -32,7 +32,12 @@ pub struct DesignPoint {
     pub precision_bits: f64,
 }
 
-fn design_point(label: String, chip: ChipConfig, estimate: TechnologyEstimate, model: &Model) -> DesignPoint {
+fn design_point(
+    label: String,
+    chip: ChipConfig,
+    estimate: TechnologyEstimate,
+    model: &Model,
+) -> DesignPoint {
     let eval = NetworkEvaluation::evaluate(&chip, estimate, model);
     let precision = plcu_precision_bits(&chip);
     DesignPoint {
@@ -70,7 +75,10 @@ pub fn sweep_nd(values: &[usize], estimate: TechnologyEstimate, model: &Model) -
         .iter()
         .map(|&nd| {
             let mut chip = ChipConfig::albireo_9();
-            chip.plcu = PlcuConfig { nm: chip.plcu.nm, nd };
+            chip.plcu = PlcuConfig {
+                nm: chip.plcu.nm,
+                nd,
+            };
             design_point(format!("Nd={nd}"), chip, estimate, model)
         })
         .collect()
@@ -178,7 +186,11 @@ mod tests {
         }
         // The paper's Nd = 5 point keeps ~7 bits.
         let nd5 = &points[1];
-        assert!((6.5..7.2).contains(&nd5.precision_bits), "{}", nd5.precision_bits);
+        assert!(
+            (6.5..7.2).contains(&nd5.precision_bits),
+            "{}",
+            nd5.precision_bits
+        );
     }
 
     #[test]

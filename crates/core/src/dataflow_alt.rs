@@ -78,7 +78,9 @@ pub fn compare_dataflows(
         // Weight-stationary: weights load once per (kernel batch, channel
         // group); inputs still stream.
         let (kernel_batches, channel_groups) = match layer.kind {
-            LayerKind::Conv { kernels, groups, .. } => (
+            LayerKind::Conv {
+                kernels, groups, ..
+            } => (
                 (kernels as u64).div_ceil(chip.ng as u64),
                 ((layer.input.z / groups) as u64).div_ceil(chip.nu as u64),
             ),
@@ -145,7 +147,12 @@ mod tests {
         // avoiding memory-bandwidth pressure, not by dynamic energy alone.
         let chip = ChipConfig::albireo_9();
         let (df, ws) = compare_dataflows(&chip, TechnologyEstimate::Conservative, &zoo::vgg16());
-        assert!(ws.energy_j < df.energy_j, "{} vs {}", ws.energy_j, df.energy_j);
+        assert!(
+            ws.energy_j < df.energy_j,
+            "{} vs {}",
+            ws.energy_j,
+            df.energy_j
+        );
     }
 
     #[test]
@@ -167,9 +174,16 @@ mod tests {
     fn pooling_layers_contribute_nothing() {
         let chip = ChipConfig::albireo_9();
         let mut b = albireo_nn::Model::builder("pool-only", albireo_nn::VolumeShape::new(4, 8, 8));
-        b.push("conv", albireo_nn::LayerKind::conv(4, 3, 1, 1)).unwrap();
-        b.push("pool", albireo_nn::LayerKind::MaxPool { window: 2, stride: 2 })
+        b.push("conv", albireo_nn::LayerKind::conv(4, 3, 1, 1))
             .unwrap();
+        b.push(
+            "pool",
+            albireo_nn::LayerKind::MaxPool {
+                window: 2,
+                stride: 2,
+            },
+        )
+        .unwrap();
         let model = b.build().unwrap();
         let (df, _) = compare_dataflows(&chip, TechnologyEstimate::Conservative, &model);
         assert!(df.weight_dac_updates > 0);

@@ -9,9 +9,10 @@ use crate::area::AreaBreakdown;
 use crate::config::{ChipConfig, TechnologyEstimate};
 use crate::memory::MemoryModel;
 use crate::power::PowerBreakdown;
-use crate::sched::{schedule_model, LayerSchedule};
+use crate::sched::{schedule_model_with, LayerSchedule};
 use albireo_nn::stats::workload_stats;
 use albireo_nn::Model;
+use albireo_parallel::Parallelism;
 
 /// Per-layer evaluation result.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,10 +64,23 @@ pub struct NetworkEvaluation {
 impl NetworkEvaluation {
     /// Evaluates a network on a chip under an estimate.
     pub fn evaluate(chip: &ChipConfig, estimate: TechnologyEstimate, model: &Model) -> Self {
+        Self::evaluate_with(chip, estimate, model, Parallelism::default())
+    }
+
+    /// [`evaluate`](NetworkEvaluation::evaluate) under an explicit
+    /// [`Parallelism`] policy (applied to the per-layer scheduling). The
+    /// evaluation is pure arithmetic, so the result is identical at any
+    /// thread count.
+    pub fn evaluate_with(
+        chip: &ChipConfig,
+        estimate: TechnologyEstimate,
+        model: &Model,
+        par: Parallelism,
+    ) -> Self {
         let clock = estimate.clock_hz();
         let power = PowerBreakdown::for_chip(chip, estimate).total_w();
         let area = AreaBreakdown::for_chip(chip);
-        let schedules: Vec<LayerSchedule> = schedule_model(chip, model);
+        let schedules: Vec<LayerSchedule> = schedule_model_with(chip, model, par);
         let per_layer: Vec<LayerEvaluation> = schedules
             .into_iter()
             .map(|s| {
@@ -186,7 +200,11 @@ mod tests {
         let mj = e.energy_j * 1e3;
         assert!((2.0..3.5).contains(&ms), "latency = {ms} ms");
         assert!((45.0..80.0).contains(&mj), "energy = {mj} mJ");
-        assert!((90.0..280.0).contains(&e.edp_mj_ms()), "edp = {}", e.edp_mj_ms());
+        assert!(
+            (90.0..280.0).contains(&e.edp_mj_ms()),
+            "edp = {}",
+            e.edp_mj_ms()
+        );
     }
 
     #[test]
@@ -229,7 +247,11 @@ mod tests {
         // Paper: VGG16 Albireo-C 2.14 GOPS/W/mm²; Albireo-A 48.6.
         let c = eval(TechnologyEstimate::Conservative, &zoo::vgg16());
         let a = eval(TechnologyEstimate::Aggressive, &zoo::vgg16());
-        assert!((1.0..4.0).contains(&c.gops_per_w_per_mm2()), "{}", c.gops_per_w_per_mm2());
+        assert!(
+            (1.0..4.0).contains(&c.gops_per_w_per_mm2()),
+            "{}",
+            c.gops_per_w_per_mm2()
+        );
         assert!(a.gops_per_w_per_mm2() > 10.0 * c.gops_per_w_per_mm2());
     }
 

@@ -113,7 +113,10 @@ mod tests {
 
     #[test]
     fn ybranch_tree_size() {
-        assert_eq!(DeviceInventory::for_chip(&ChipConfig::albireo_9()).ybranches, 8);
+        assert_eq!(
+            DeviceInventory::for_chip(&ChipConfig::albireo_9()).ybranches,
+            8
+        );
         assert_eq!(
             DeviceInventory::for_chip(&ChipConfig::with_ng(1)).ybranches,
             0

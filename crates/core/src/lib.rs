@@ -27,6 +27,8 @@
 //!   counts for standard, grouped, depthwise, pointwise, and FC layers.
 //! * [`energy`] — per-layer and per-network latency / energy / EDP and the
 //!   Table IV throughput metrics.
+//! * [`engine`] — the parallel evaluation engine fanning the paper's
+//!   (chip × estimate × network) grid across threads deterministically.
 //! * [`analog`] — a functional analog simulation of the photonic signal
 //!   chain (MZM multiply, MRR switching with crosstalk, balanced detection
 //!   with noise, ADC quantization), validated against the digital golden
@@ -51,6 +53,7 @@ pub mod area;
 pub mod config;
 pub mod dataflow_alt;
 pub mod energy;
+pub mod engine;
 pub mod inventory;
 pub mod memory;
 pub mod power;

@@ -75,7 +75,8 @@ mod tests {
 
     #[test]
     fn albireo_c_matches_table_iii() {
-        let b = PowerBreakdown::for_chip(&ChipConfig::albireo_9(), TechnologyEstimate::Conservative);
+        let b =
+            PowerBreakdown::for_chip(&ChipConfig::albireo_9(), TechnologyEstimate::Conservative);
         assert!(close(b.mrr_w, 7.52, 0.01), "mrr = {}", b.mrr_w);
         assert!(close(b.mzi_w, 3.45, 0.01), "mzi = {}", b.mzi_w);
         assert!(close(b.laser_w, 2.36, 0.01), "laser = {}", b.laser_w);
@@ -112,7 +113,8 @@ mod tests {
     fn albireo_27_is_about_59_watts() {
         // §IV-A: "a 60 W version of Albireo, which is scaled up to 27 PLCGs"
         // (58.8 W in §IV-B).
-        let b = PowerBreakdown::for_chip(&ChipConfig::albireo_27(), TechnologyEstimate::Conservative);
+        let b =
+            PowerBreakdown::for_chip(&ChipConfig::albireo_27(), TechnologyEstimate::Conservative);
         assert!(close(b.total_w(), 58.8, 0.01), "total = {}", b.total_w());
         assert!(b.total_w() < 60.0, "fits the 60 W budget");
     }
@@ -122,12 +124,16 @@ mod tests {
         // Table III: DAC portion is 64.3% for Albireo-M.
         let b = PowerBreakdown::for_chip(&ChipConfig::albireo_9(), TechnologyEstimate::Moderate);
         let dac_portion = b.dac_w / b.total_w();
-        assert!((0.60..0.68).contains(&dac_portion), "portion = {dac_portion}");
+        assert!(
+            (0.60..0.68).contains(&dac_portion),
+            "portion = {dac_portion}"
+        );
     }
 
     #[test]
     fn rows_sum_to_total() {
-        let b = PowerBreakdown::for_chip(&ChipConfig::albireo_9(), TechnologyEstimate::Conservative);
+        let b =
+            PowerBreakdown::for_chip(&ChipConfig::albireo_9(), TechnologyEstimate::Conservative);
         let sum: f64 = b.rows().iter().map(|r| r.1).sum();
         assert!((sum - b.total_w()).abs() < 1e-12);
         let portions: f64 = b.rows().iter().map(|r| r.2).sum();

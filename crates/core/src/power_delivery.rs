@@ -50,8 +50,10 @@ impl PowerDelivery {
     /// Noise-limited precision (bits) delivered by a laser power through
     /// the link, at the chip's per-PLCU wavelength count.
     pub fn noise_bits(&self, laser_power_w: f64) -> f64 {
-        self.model
-            .noise_limited_bits(self.chip.wavelengths_per_plcu(), self.power_at_pd(laser_power_w))
+        self.model.noise_limited_bits(
+            self.chip.wavelengths_per_plcu(),
+            self.power_at_pd(laser_power_w),
+        )
     }
 
     /// Combined (noise + crosstalk) precision in bits, negative rail
@@ -105,7 +107,11 @@ mod tests {
     #[test]
     fn link_loss_is_tens_of_db() {
         let d = delivery();
-        assert!((20.0..30.0).contains(&d.link_loss_db()), "{}", d.link_loss_db());
+        assert!(
+            (20.0..30.0).contains(&d.link_loss_db()),
+            "{}",
+            d.link_loss_db()
+        );
     }
 
     #[test]
@@ -131,7 +137,9 @@ mod tests {
     #[test]
     fn min_power_bisection_is_consistent() {
         let d = delivery();
-        let p = d.min_laser_power_for_noise_bits(8.0).expect("8 bits reachable");
+        let p = d
+            .min_laser_power_for_noise_bits(8.0)
+            .expect("8 bits reachable");
         assert!(d.noise_bits(p) >= 8.0);
         assert!(d.noise_bits(p * 0.5) < 8.0);
         // The requirement sits below the conservative 37.5 mW device.

@@ -141,8 +141,8 @@ mod tests {
         // factor to reach it should be near the 3.7× overall power ratio
         // between Albireo-C (22.7 W) and Albireo-M (6.19 W).
         let chip = ChipConfig::albireo_9();
-        let f = uniform_scaling_to_match_energy(&chip, &zoo::alexnet(), 0.94e-3)
-            .expect("reachable");
+        let f =
+            uniform_scaling_to_match_energy(&chip, &zoo::alexnet(), 0.94e-3).expect("reachable");
         assert!((2.0..15.0).contains(&f), "factor = {f}");
     }
 

@@ -20,6 +20,7 @@
 use crate::config::ChipConfig;
 use albireo_nn::layer::{LayerInstance, LayerKind};
 use albireo_nn::Model;
+use albireo_parallel::Parallelism;
 
 /// Ceiling division of two positive integers.
 fn ceil_div(a: usize, b: usize) -> u64 {
@@ -105,26 +106,35 @@ fn effective_nd(chip: &ChipConfig, stride: usize) -> usize {
 
 /// Schedules every layer of a network.
 pub fn schedule_model(chip: &ChipConfig, model: &Model) -> Vec<LayerSchedule> {
+    schedule_model_with(chip, model, Parallelism::default())
+}
+
+/// [`schedule_model`] under an explicit [`Parallelism`] policy; layers are
+/// independent work items, so the schedule is identical at any thread
+/// count.
+pub fn schedule_model_with(
+    chip: &ChipConfig,
+    model: &Model,
+    par: Parallelism,
+) -> Vec<LayerSchedule> {
     let peak = chip.peak_macs_per_cycle();
-    model
-        .layers()
-        .iter()
-        .map(|layer| {
-            let cycles = layer_cycles(chip, layer);
-            let macs = layer.macs();
-            let utilization = if cycles == 0 {
-                0.0
-            } else {
-                macs as f64 / (cycles as f64 * peak as f64)
-            };
-            LayerSchedule {
-                name: layer.name.clone(),
-                cycles,
-                macs,
-                utilization,
-            }
-        })
-        .collect()
+    let layers = model.layers();
+    par.map_indexed(layers.len(), |i| {
+        let layer = &layers[i];
+        let cycles = layer_cycles(chip, layer);
+        let macs = layer.macs();
+        let utilization = if cycles == 0 {
+            0.0
+        } else {
+            macs as f64 / (cycles as f64 * peak as f64)
+        };
+        LayerSchedule {
+            name: layer.name.clone(),
+            cycles,
+            macs,
+            utilization,
+        }
+    })
 }
 
 /// Total cycles for a network.
@@ -176,8 +186,20 @@ mod tests {
     #[test]
     fn large_kernel_needs_extra_passes() {
         let chip = ChipConfig::albireo_9();
-        let small = conv_instance(9, 3, 1, VolumeShape::new(3, 10, 10), VolumeShape::new(9, 8, 8));
-        let large = conv_instance(9, 5, 1, VolumeShape::new(3, 12, 12), VolumeShape::new(9, 8, 8));
+        let small = conv_instance(
+            9,
+            3,
+            1,
+            VolumeShape::new(3, 10, 10),
+            VolumeShape::new(9, 8, 8),
+        );
+        let large = conv_instance(
+            9,
+            5,
+            1,
+            VolumeShape::new(3, 12, 12),
+            VolumeShape::new(9, 8, 8),
+        );
         // 5×5 = 25 weights ⇒ ⌈25/9⌉ = 3 passes vs 1.
         assert_eq!(layer_cycles(&chip, &large), 3 * layer_cycles(&chip, &small));
     }
@@ -283,7 +305,10 @@ mod tests {
         let chip = ChipConfig::albireo_9();
         let li = LayerInstance {
             name: "pool".into(),
-            kind: LayerKind::MaxPool { window: 2, stride: 2 },
+            kind: LayerKind::MaxPool {
+                window: 2,
+                stride: 2,
+            },
             input: VolumeShape::new(64, 112, 112),
             output: VolumeShape::new(64, 56, 56),
             is_branch: false,

@@ -156,16 +156,32 @@ mod tests {
     fn k2_002_is_marginal_at_5ghz() {
         // Fig. 4b's conclusion: k² = 0.02 has poor temporal response; its
         // margin at 5 GHz is visibly worse than k² = 0.03's.
-        let strong = analyze(&ChipConfig::albireo_9(), TechnologyEstimate::Conservative, 0.03);
-        let weak = analyze(&ChipConfig::albireo_9(), TechnologyEstimate::Conservative, 0.02);
+        let strong = analyze(
+            &ChipConfig::albireo_9(),
+            TechnologyEstimate::Conservative,
+            0.03,
+        );
+        let weak = analyze(
+            &ChipConfig::albireo_9(),
+            TechnologyEstimate::Conservative,
+            0.02,
+        );
         assert!(weak.ring_response < strong.ring_response);
         assert!(max_clock_hz(0.02) < max_clock_hz(0.03));
     }
 
     #[test]
     fn aggressive_8ghz_is_tighter() {
-        let c5 = analyze(&ChipConfig::albireo_9(), TechnologyEstimate::Conservative, 0.03);
-        let a8 = analyze(&ChipConfig::albireo_9(), TechnologyEstimate::Aggressive, 0.03);
+        let c5 = analyze(
+            &ChipConfig::albireo_9(),
+            TechnologyEstimate::Conservative,
+            0.03,
+        );
+        let a8 = analyze(
+            &ChipConfig::albireo_9(),
+            TechnologyEstimate::Aggressive,
+            0.03,
+        );
         assert!(a8.cycle_time_s < c5.cycle_time_s);
         assert!(a8.ring_response < c5.ring_response);
         // The k² = 0.03 ring still clears 8 GHz (bandwidth ≈ 20.7 GHz).
@@ -183,17 +199,23 @@ mod tests {
 
     #[test]
     fn settling_and_fill_decompose() {
-        let report = analyze(&ChipConfig::albireo_9(), TechnologyEstimate::Conservative, 0.03);
-        let total: f64 = report.stages.iter().map(|s| s.time_s).sum();
-        assert!(
-            (report.settling_time_s() + report.pipeline_fill_s() - total).abs() < 1e-18
+        let report = analyze(
+            &ChipConfig::albireo_9(),
+            TechnologyEstimate::Conservative,
+            0.03,
         );
+        let total: f64 = report.stages.iter().map(|s| s.time_s).sum();
+        assert!((report.settling_time_s() + report.pipeline_fill_s() - total).abs() < 1e-18);
         assert!(report.pipeline_fill_s() > 0.0);
     }
 
     #[test]
     fn time_of_flight_is_pipelined_not_rate_limiting() {
-        let report = analyze(&ChipConfig::albireo_9(), TechnologyEstimate::Conservative, 0.03);
+        let report = analyze(
+            &ChipConfig::albireo_9(),
+            TechnologyEstimate::Conservative,
+            0.03,
+        );
         let flight = report
             .stages
             .iter()
@@ -207,7 +229,11 @@ mod tests {
 
     #[test]
     fn very_weak_coupling_fails_timing() {
-        let report = analyze(&ChipConfig::albireo_9(), TechnologyEstimate::Conservative, 0.005);
+        let report = analyze(
+            &ChipConfig::albireo_9(),
+            TechnologyEstimate::Conservative,
+            0.005,
+        );
         assert!(!report.closes_timing, "k²=0.005 cannot close 5 GHz");
     }
 }

@@ -48,7 +48,11 @@ impl fmt::Display for TraceCycle {
             self.out_x0 + self.columns,
             self.channel0,
             self.channel0 + self.channels,
-            if self.completes_outputs { "  -> write" } else { "" }
+            if self.completes_outputs {
+                "  -> write"
+            } else {
+                ""
+            }
         )
     }
 }

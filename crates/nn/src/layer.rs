@@ -178,12 +178,8 @@ impl LayerInstance {
             LayerKind::Depthwise { kernel, .. } => {
                 out_spatial * self.input.z as u64 * (kernel * kernel) as u64
             }
-            LayerKind::Pointwise { kernels } => {
-                out_spatial * kernels as u64 * self.input.z as u64
-            }
-            LayerKind::FullyConnected { outputs } => {
-                outputs as u64 * self.input.elements() as u64
-            }
+            LayerKind::Pointwise { kernels } => out_spatial * kernels as u64 * self.input.z as u64,
+            LayerKind::FullyConnected { outputs } => outputs as u64 * self.input.elements() as u64,
             LayerKind::MaxPool { .. } | LayerKind::AvgPool { .. } => 0,
         }
     }
@@ -198,12 +194,12 @@ impl LayerInstance {
                 kernel_x,
                 groups,
                 ..
-            } => kernels as u64 * kernel_y as u64 * kernel_x as u64 * (self.input.z / groups) as u64,
+            } => {
+                kernels as u64 * kernel_y as u64 * kernel_x as u64 * (self.input.z / groups) as u64
+            }
             LayerKind::Depthwise { kernel, .. } => self.input.z as u64 * (kernel * kernel) as u64,
             LayerKind::Pointwise { kernels } => kernels as u64 * self.input.z as u64,
-            LayerKind::FullyConnected { outputs } => {
-                outputs as u64 * self.input.elements() as u64
-            }
+            LayerKind::FullyConnected { outputs } => outputs as u64 * self.input.elements() as u64,
             LayerKind::MaxPool { .. } | LayerKind::AvgPool { .. } => 0,
         }
     }
@@ -301,7 +297,10 @@ mod tests {
     #[test]
     fn pooling_has_no_macs() {
         let li = instance(
-            LayerKind::MaxPool { window: 2, stride: 2 },
+            LayerKind::MaxPool {
+                window: 2,
+                stride: 2,
+            },
             VolumeShape::new(64, 112, 112),
             VolumeShape::new(64, 56, 56),
         );

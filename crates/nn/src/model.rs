@@ -184,7 +184,8 @@ impl ModelBuilder {
                 padding,
                 groups,
             } => {
-                if groups == 0 || !input.z.is_multiple_of(groups) || !kernels.is_multiple_of(groups) {
+                if groups == 0 || !input.z.is_multiple_of(groups) || !kernels.is_multiple_of(groups)
+                {
                     return Err(err(format!(
                         "groups {groups} incompatible with {} input channels / {kernels} kernels",
                         input.z
@@ -243,8 +244,14 @@ mod tests {
     fn builder_chains_shapes() {
         let mut b = Model::builder("tiny", VolumeShape::new(3, 8, 8));
         b.push("conv1", LayerKind::conv(16, 3, 1, 1)).unwrap();
-        b.push("pool1", LayerKind::MaxPool { window: 2, stride: 2 })
-            .unwrap();
+        b.push(
+            "pool1",
+            LayerKind::MaxPool {
+                window: 2,
+                stride: 2,
+            },
+        )
+        .unwrap();
         b.push("fc", LayerKind::FullyConnected { outputs: 10 })
             .unwrap();
         let m = b.build().unwrap();
@@ -268,8 +275,12 @@ mod tests {
         let mut b = Model::builder("res", VolumeShape::new(4, 8, 8));
         b.push("conv1", LayerKind::conv(8, 3, 2, 0)).unwrap();
         let before = b.trunk_shape();
-        b.push_branch("proj", LayerKind::conv(8, 1, 2, 0), VolumeShape::new(4, 8, 8))
-            .unwrap();
+        b.push_branch(
+            "proj",
+            LayerKind::conv(8, 1, 2, 0),
+            VolumeShape::new(4, 8, 8),
+        )
+        .unwrap();
         assert_eq!(b.trunk_shape(), before);
         let m = b.build().unwrap();
         assert!(m.layers()[1].is_branch);
@@ -288,7 +299,13 @@ mod tests {
         let mut b = Model::builder("bad", VolumeShape::new(3, 4, 4));
         assert!(b.push("conv", LayerKind::conv(4, 7, 1, 0)).is_err());
         assert!(b
-            .push("pool", LayerKind::MaxPool { window: 5, stride: 1 })
+            .push(
+                "pool",
+                LayerKind::MaxPool {
+                    window: 5,
+                    stride: 1
+                }
+            )
             .is_err());
     }
 

@@ -147,7 +147,9 @@ mod tests {
     #[test]
     fn avoided_partials_grow_with_depth() {
         let mut shallow = crate::Model::builder("s", VolumeShape::new(3, 8, 8));
-        shallow.push("c", crate::LayerKind::conv(4, 3, 1, 1)).unwrap();
+        shallow
+            .push("c", crate::LayerKind::conv(4, 3, 1, 1))
+            .unwrap();
         let mut deep = crate::Model::builder("d", VolumeShape::new(300, 8, 8));
         deep.push("c", crate::LayerKind::conv(4, 3, 1, 1)).unwrap();
         let s = partial_sum_spill_bytes(&shallow.build().unwrap().layers()[0], 3);

@@ -20,13 +20,37 @@ use crate::model::Model;
 pub fn alexnet() -> Model {
     let mut b = Model::builder("AlexNet", VolumeShape::new(3, 227, 227));
     b.push("conv1", LayerKind::conv(96, 11, 4, 0))
-        .and_then(|b| b.push("pool1", LayerKind::MaxPool { window: 3, stride: 2 }))
+        .and_then(|b| {
+            b.push(
+                "pool1",
+                LayerKind::MaxPool {
+                    window: 3,
+                    stride: 2,
+                },
+            )
+        })
         .and_then(|b| b.push("conv2", LayerKind::conv_grouped(256, 5, 1, 2, 2)))
-        .and_then(|b| b.push("pool2", LayerKind::MaxPool { window: 3, stride: 2 }))
+        .and_then(|b| {
+            b.push(
+                "pool2",
+                LayerKind::MaxPool {
+                    window: 3,
+                    stride: 2,
+                },
+            )
+        })
         .and_then(|b| b.push("conv3", LayerKind::conv(384, 3, 1, 1)))
         .and_then(|b| b.push("conv4", LayerKind::conv_grouped(384, 3, 1, 1, 2)))
         .and_then(|b| b.push("conv5", LayerKind::conv_grouped(256, 3, 1, 1, 2)))
-        .and_then(|b| b.push("pool5", LayerKind::MaxPool { window: 3, stride: 2 }))
+        .and_then(|b| {
+            b.push(
+                "pool5",
+                LayerKind::MaxPool {
+                    window: 3,
+                    stride: 2,
+                },
+            )
+        })
         .and_then(|b| b.push("fc6", LayerKind::FullyConnected { outputs: 4096 }))
         .and_then(|b| b.push("fc7", LayerKind::FullyConnected { outputs: 4096 }))
         .and_then(|b| b.push("fc8", LayerKind::FullyConnected { outputs: 1000 }))
@@ -50,7 +74,10 @@ pub fn vgg16() -> Model {
         }
         b.push(
             format!("pool{}", block + 1),
-            LayerKind::MaxPool { window: 2, stride: 2 },
+            LayerKind::MaxPool {
+                window: 2,
+                stride: 2,
+            },
         )
         .expect("VGG16 pool geometry is valid");
     }
@@ -67,7 +94,15 @@ pub fn vgg16() -> Model {
 pub fn resnet18() -> Model {
     let mut b = Model::builder("ResNet18", VolumeShape::new(3, 224, 224));
     b.push("conv1", LayerKind::conv(64, 7, 2, 2))
-        .and_then(|b| b.push("pool1", LayerKind::MaxPool { window: 3, stride: 2 }))
+        .and_then(|b| {
+            b.push(
+                "pool1",
+                LayerKind::MaxPool {
+                    window: 3,
+                    stride: 2,
+                },
+            )
+        })
         .expect("ResNet18 stem geometry is valid");
 
     // Stage 1: two basic blocks at 56×56, 64 channels.
@@ -111,9 +146,15 @@ pub fn resnet18() -> Model {
         }
     }
 
-    b.push("avgpool", LayerKind::AvgPool { window: 7, stride: 7 })
-        .and_then(|b| b.push("fc", LayerKind::FullyConnected { outputs: 1000 }))
-        .expect("ResNet18 head geometry is valid");
+    b.push(
+        "avgpool",
+        LayerKind::AvgPool {
+            window: 7,
+            stride: 7,
+        },
+    )
+    .and_then(|b| b.push("fc", LayerKind::FullyConnected { outputs: 1000 }))
+    .expect("ResNet18 head geometry is valid");
     b.build().expect("ResNet18 builds")
 }
 
@@ -149,13 +190,24 @@ pub fn mobilenet() -> Model {
                 padding,
             },
         )
-        .and_then(|b| b.push(format!("pw{}", i + 1), LayerKind::Pointwise { kernels: out_ch }))
+        .and_then(|b| {
+            b.push(
+                format!("pw{}", i + 1),
+                LayerKind::Pointwise { kernels: out_ch },
+            )
+        })
         .expect("MobileNet block geometry is valid");
     }
 
-    b.push("avgpool", LayerKind::AvgPool { window: 7, stride: 7 })
-        .and_then(|b| b.push("fc", LayerKind::FullyConnected { outputs: 1000 }))
-        .expect("MobileNet head geometry is valid");
+    b.push(
+        "avgpool",
+        LayerKind::AvgPool {
+            window: 7,
+            stride: 7,
+        },
+    )
+    .and_then(|b| b.push("fc", LayerKind::FullyConnected { outputs: 1000 }))
+    .expect("MobileNet head geometry is valid");
     b.build().expect("MobileNet builds")
 }
 
@@ -268,7 +320,10 @@ mod tests {
 
     #[test]
     fn all_benchmarks_has_four_networks() {
-        let names: Vec<String> = all_benchmarks().iter().map(|m| m.name().to_string()).collect();
+        let names: Vec<String> = all_benchmarks()
+            .iter()
+            .map(|m| m.name().to_string())
+            .collect();
         assert_eq!(names, vec!["AlexNet", "VGG16", "ResNet18", "MobileNet"]);
     }
 
@@ -311,7 +366,10 @@ pub fn vgg19() -> Model {
         }
         b.push(
             format!("pool{}", block + 1),
-            LayerKind::MaxPool { window: 2, stride: 2 },
+            LayerKind::MaxPool {
+                window: 2,
+                stride: 2,
+            },
         )
         .expect("VGG19 pool geometry is valid");
     }
@@ -327,7 +385,15 @@ pub fn vgg19() -> Model {
 pub fn resnet34() -> Model {
     let mut b = Model::builder("ResNet34", VolumeShape::new(3, 224, 224));
     b.push("conv1", LayerKind::conv(64, 7, 2, 2))
-        .and_then(|b| b.push("pool1", LayerKind::MaxPool { window: 3, stride: 2 }))
+        .and_then(|b| {
+            b.push(
+                "pool1",
+                LayerKind::MaxPool {
+                    window: 3,
+                    stride: 2,
+                },
+            )
+        })
         .expect("ResNet34 stem geometry is valid");
     for block in 0..3 {
         for conv in 0..2 {
@@ -367,9 +433,15 @@ pub fn resnet34() -> Model {
             }
         }
     }
-    b.push("avgpool", LayerKind::AvgPool { window: 7, stride: 7 })
-        .and_then(|b| b.push("fc", LayerKind::FullyConnected { outputs: 1000 }))
-        .expect("ResNet34 head geometry is valid");
+    b.push(
+        "avgpool",
+        LayerKind::AvgPool {
+            window: 7,
+            stride: 7,
+        },
+    )
+    .and_then(|b| b.push("fc", LayerKind::FullyConnected { outputs: 1000 }))
+    .expect("ResNet34 head geometry is valid");
     b.build().expect("ResNet34 builds")
 }
 
@@ -398,14 +470,29 @@ pub fn mobilenet_half() -> Model {
         let padding = if stride == 1 { 1 } else { 0 };
         b.push(
             format!("dw{}", i + 1),
-            LayerKind::Depthwise { kernel: 3, stride, padding },
+            LayerKind::Depthwise {
+                kernel: 3,
+                stride,
+                padding,
+            },
         )
-        .and_then(|b| b.push(format!("pw{}", i + 1), LayerKind::Pointwise { kernels: out_ch }))
+        .and_then(|b| {
+            b.push(
+                format!("pw{}", i + 1),
+                LayerKind::Pointwise { kernels: out_ch },
+            )
+        })
         .expect("MobileNet-0.5 block geometry is valid");
     }
-    b.push("avgpool", LayerKind::AvgPool { window: 7, stride: 7 })
-        .and_then(|b| b.push("fc", LayerKind::FullyConnected { outputs: 1000 }))
-        .expect("MobileNet-0.5 head geometry is valid");
+    b.push(
+        "avgpool",
+        LayerKind::AvgPool {
+            window: 7,
+            stride: 7,
+        },
+    )
+    .and_then(|b| b.push("fc", LayerKind::FullyConnected { outputs: 1000 }))
+    .expect("MobileNet-0.5 head geometry is valid");
     b.build().expect("MobileNet-0.5 builds")
 }
 
@@ -414,7 +501,15 @@ pub fn mobilenet_half() -> Model {
 pub fn tiny() -> Model {
     let mut b = Model::builder("Tiny", VolumeShape::new(1, 12, 12));
     b.push("conv1", LayerKind::conv(4, 3, 1, 0))
-        .and_then(|b| b.push("pool1", LayerKind::MaxPool { window: 2, stride: 2 }))
+        .and_then(|b| {
+            b.push(
+                "pool1",
+                LayerKind::MaxPool {
+                    window: 2,
+                    stride: 2,
+                },
+            )
+        })
         .and_then(|b| b.push("conv2", LayerKind::conv(6, 3, 1, 0)))
         .and_then(|b| b.push("fc", LayerKind::FullyConnected { outputs: 5 }))
         .expect("Tiny geometry is valid");
@@ -454,7 +549,10 @@ mod extension_tests {
         // Width multiplier 0.5 ⇒ ~0.25× MACs in pointwise-dominated nets.
         let ratio = half / full;
         assert!((0.2..0.35).contains(&ratio), "ratio = {ratio}");
-        assert_eq!(mobilenet_half().output_shape(), VolumeShape::new(1000, 1, 1));
+        assert_eq!(
+            mobilenet_half().output_shape(),
+            VolumeShape::new(1000, 1, 1)
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ impl Laser {
     ///
     /// Returns an error if the drive power is non-positive or the
     /// efficiency is outside `(0, 1]`.
-    pub fn new(electrical_w: f64, wall_plug_efficiency: f64, params: &LaserParams) -> Result<Laser> {
+    pub fn new(
+        electrical_w: f64,
+        wall_plug_efficiency: f64,
+        params: &LaserParams,
+    ) -> Result<Laser> {
         check_positive("electrical_w", electrical_w)?;
         check_unit_interval("wall_plug_efficiency", wall_plug_efficiency)?;
         check_positive("wall_plug_efficiency", wall_plug_efficiency)?;

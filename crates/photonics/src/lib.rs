@@ -41,12 +41,12 @@ pub mod mrr;
 pub mod mzm;
 pub mod noise;
 pub mod params;
-pub mod thermal;
 pub mod photodiode;
 pub mod precision;
+pub mod thermal;
 pub mod units;
-pub mod wdm;
 pub mod waveguide;
+pub mod wdm;
 pub mod ybranch;
 
 pub use params::OpticalParams;

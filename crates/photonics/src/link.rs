@@ -103,16 +103,18 @@ impl LinkBudget {
     ) -> LinkBudget {
         let tree = BroadcastTree::new(YBranch::from_params(params), ng.max(1));
         let star_split = Db::from_linear(1.0 / wx.max(1) as f64);
-        let wg_loss = Db::loss(
-            params.waveguide.straight_loss_db_per_cm * f64::from(waveguide_mm) / 10.0,
-        );
+        let wg_loss =
+            Db::loss(params.waveguide.straight_loss_db_per_cm * f64::from(waveguide_mm) / 10.0);
         let _ = nd; // nd shapes the star coupler inputs, not its per-port loss
         let mut b = LinkBudget::new();
         b.stage("modulator MRR drop", params.mrr_drop_loss())
             .stage("waveguide routing", wg_loss)
             .stage("broadcast tree", tree.per_output_transfer())
             .stage("AWG demux", params.awg_loss())
-            .stage("star coupler split", star_split + params.star_coupler_loss())
+            .stage(
+                "star coupler split",
+                star_split + params.star_coupler_loss(),
+            )
             .stage("MZM insertion", params.mzm_loss())
             .stage("switching MRR drop", params.mrr_drop_loss());
         b

@@ -480,7 +480,11 @@ mod tests {
     fn bandwidth_for_k2_003_supports_5ghz() {
         // The paper picks k² = 0.03 for "temporal performance" at 5 GHz.
         let r = ring();
-        assert!(r.bandwidth_hz() > 10e9, "bw = {} GHz", r.bandwidth_hz() / 1e9);
+        assert!(
+            r.bandwidth_hz() > 10e9,
+            "bw = {} GHz",
+            r.bandwidth_hz() / 1e9
+        );
         assert!(r.modulation_response(5e9) > 0.5);
     }
 

@@ -332,7 +332,10 @@ mod dac_tests {
         let edge_gap = dac.weight_of_code(1) - dac.weight_of_code(0);
         let mid_code = dac.codes() / 2;
         let mid_gap = dac.weight_of_code(mid_code + 1) - dac.weight_of_code(mid_code);
-        assert!(edge_gap < mid_gap / 10.0, "edge {edge_gap} vs mid {mid_gap}");
+        assert!(
+            edge_gap < mid_gap / 10.0,
+            "edge {edge_gap} vs mid {mid_gap}"
+        );
     }
 
     #[test]

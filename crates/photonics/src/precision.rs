@@ -149,8 +149,7 @@ impl PrecisionModel {
         n_wavelengths: usize,
         weight_rms: f64,
     ) -> f64 {
-        let sigma =
-            ring.rms_crosstalk_with_variance(n_wavelengths, weight_rms * weight_rms);
+        let sigma = ring.rms_crosstalk_with_variance(n_wavelengths, weight_rms * weight_rms);
         if sigma == 0.0 {
             return f64::INFINITY;
         }
@@ -457,8 +456,7 @@ mod extension_tests {
         let m = PrecisionModel::paper();
         let r = ring();
         let uniform = m.crosstalk_limited_levels(&r, 20);
-        let matched =
-            m.crosstalk_limited_levels_with_weight_rms(&r, 20, (1.0f64 / 12.0).sqrt());
+        let matched = m.crosstalk_limited_levels_with_weight_rms(&r, 20, (1.0f64 / 12.0).sqrt());
         assert!((uniform - matched).abs() / uniform < 1e-9);
     }
 

@@ -5,6 +5,7 @@
 
 use crate::shape::output_extent;
 use crate::{Tensor3, Tensor4};
+use albireo_parallel::Parallelism;
 
 /// Stride/padding specification for a convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,13 +50,7 @@ impl Default for ConvSpec {
 
 /// Dot product between a receptive field of the input volume anchored at
 /// `(x0, y0)` (top-left, in padded coordinates) and kernel `m`.
-fn receptive_field_dot(
-    input: &Tensor3,
-    kernels: &Tensor4,
-    m: usize,
-    x0: isize,
-    y0: isize,
-) -> f64 {
+fn receptive_field_dot(input: &Tensor3, kernels: &Tensor4, m: usize, x0: isize, y0: isize) -> f64 {
     let (_, wz, wy, wx) = kernels.dims();
     let mut acc = 0.0;
     for z in 0..wz {
@@ -89,6 +84,18 @@ fn receptive_field_dot(
 /// assert_eq!(out[(0, 0, 0)], 18.0);
 /// ```
 pub fn conv2d(input: &Tensor3, kernels: &Tensor4, spec: &ConvSpec) -> Tensor3 {
+    conv2d_with(input, kernels, spec, Parallelism::default())
+}
+
+/// [`conv2d`] under an explicit [`Parallelism`] policy. Output kernels are
+/// independent work items (kernel `m` owns the contiguous `By × Bx` output
+/// plane), so the result is bit-identical at any thread count.
+pub fn conv2d_with(
+    input: &Tensor3,
+    kernels: &Tensor4,
+    spec: &ConvSpec,
+    par: Parallelism,
+) -> Tensor3 {
     let (az, ay, ax) = input.dims();
     let (wm, wz, wy, wx) = kernels.dims();
     assert_eq!(wz, az, "kernel depth {wz} must equal input depth {az}");
@@ -96,14 +103,14 @@ pub fn conv2d(input: &Tensor3, kernels: &Tensor4, spec: &ConvSpec) -> Tensor3 {
     let by = output_extent(ay, wy, spec.padding, spec.stride);
     let mut out = Tensor3::zeros(wm, by, bx);
     let pad = spec.padding as isize;
-    for m in 0..wm {
+    par.fill_slices(out.as_mut_slice(), (by * bx).max(1), |m, plane| {
         for (yb, ya) in (0..by).zip((0..).step_by(spec.stride)) {
             for (xb, xa) in (0..bx).zip((0..).step_by(spec.stride)) {
-                let v = receptive_field_dot(input, kernels, m, xa as isize - pad, ya as isize - pad);
-                out.set(m, yb, xb, v);
+                plane[yb * bx + xb] =
+                    receptive_field_dot(input, kernels, m, xa as isize - pad, ya as isize - pad);
             }
         }
-    }
+    });
     out
 }
 
@@ -176,6 +183,17 @@ pub fn conv2d_grouped(
 /// Panics if the kernel count differs from the channel count or kernels are
 /// not single-channel.
 pub fn depthwise_conv(input: &Tensor3, kernels: &Tensor4, spec: &ConvSpec) -> Tensor3 {
+    depthwise_conv_with(input, kernels, spec, Parallelism::default())
+}
+
+/// [`depthwise_conv`] under an explicit [`Parallelism`] policy; channels
+/// are the independent work items.
+pub fn depthwise_conv_with(
+    input: &Tensor3,
+    kernels: &Tensor4,
+    spec: &ConvSpec,
+    par: Parallelism,
+) -> Tensor3 {
     let (az, ay, ax) = input.dims();
     let (wm, wz, wy, wx) = kernels.dims();
     assert_eq!(wm, az, "need one depthwise kernel per channel");
@@ -184,7 +202,7 @@ pub fn depthwise_conv(input: &Tensor3, kernels: &Tensor4, spec: &ConvSpec) -> Te
     let by = output_extent(ay, wy, spec.padding, spec.stride);
     let mut out = Tensor3::zeros(az, by, bx);
     let pad = spec.padding as isize;
-    for c in 0..az {
+    par.fill_slices(out.as_mut_slice(), (by * bx).max(1), |c, plane| {
         for (yb, ya) in (0..by).zip((0..).step_by(spec.stride)) {
             for (xb, xa) in (0..bx).zip((0..).step_by(spec.stride)) {
                 let mut acc = 0.0;
@@ -198,10 +216,10 @@ pub fn depthwise_conv(input: &Tensor3, kernels: &Tensor4, spec: &ConvSpec) -> Te
                         acc += a * kernels[(c, 0, ky, kx)];
                     }
                 }
-                out.set(c, yb, xb, acc);
+                plane[yb * bx + xb] = acc;
             }
         }
-    }
+    });
     out
 }
 
@@ -214,22 +232,28 @@ pub fn depthwise_conv(input: &Tensor3, kernels: &Tensor4, spec: &ConvSpec) -> Te
 ///
 /// Panics if the kernel spatial extent is not 1×1 or depths mismatch.
 pub fn pointwise_conv(input: &Tensor3, kernels: &Tensor4) -> Tensor3 {
+    pointwise_conv_with(input, kernels, Parallelism::default())
+}
+
+/// [`pointwise_conv`] under an explicit [`Parallelism`] policy; output
+/// channels are the independent work items.
+pub fn pointwise_conv_with(input: &Tensor3, kernels: &Tensor4, par: Parallelism) -> Tensor3 {
     let (az, ay, ax) = input.dims();
     let (wm, wz, wy, wx) = kernels.dims();
     assert_eq!((wy, wx), (1, 1), "pointwise kernels are 1x1");
     assert_eq!(wz, az, "kernel depth must equal input depth");
     let mut out = Tensor3::zeros(wm, ay, ax);
-    for m in 0..wm {
+    par.fill_slices(out.as_mut_slice(), (ay * ax).max(1), |m, plane| {
         for y in 0..ay {
             for x in 0..ax {
                 let mut acc = 0.0;
                 for z in 0..az {
                     acc += input[(z, y, x)] * kernels[(m, z, 0, 0)];
                 }
-                out.set(m, y, x, acc);
+                plane[y * ax + x] = acc;
             }
         }
-    }
+    });
     out
 }
 
@@ -256,7 +280,14 @@ pub fn fully_connected(input_flat: &[f64], weights: &[Vec<f64>]) -> Vec<f64> {
 ///
 /// Panics if the window does not fit the input.
 pub fn max_pool(input: &Tensor3, window: usize, stride: usize) -> Tensor3 {
-    pool(input, window, stride, f64::NEG_INFINITY, |acc, v| acc.max(v), |acc, _| acc)
+    pool(
+        input,
+        window,
+        stride,
+        f64::NEG_INFINITY,
+        |acc, v| acc.max(v),
+        |acc, _| acc,
+    )
 }
 
 /// 2-D average pooling with a square window and stride.
@@ -265,7 +296,14 @@ pub fn max_pool(input: &Tensor3, window: usize, stride: usize) -> Tensor3 {
 ///
 /// Panics if the window does not fit the input.
 pub fn avg_pool(input: &Tensor3, window: usize, stride: usize) -> Tensor3 {
-    pool(input, window, stride, 0.0, |acc, v| acc + v, |acc, n| acc / n as f64)
+    pool(
+        input,
+        window,
+        stride,
+        0.0,
+        |acc, v| acc + v,
+        |acc, n| acc / n as f64,
+    )
 }
 
 fn pool(
@@ -449,7 +487,13 @@ mod tests {
             for c in 0..3 {
                 for y in 0..3 {
                     for x in 0..3 {
-                        full.set(m, c, y, x, pointwise[(m, c, 0, 0)] * depthwise[(c, 0, y, x)]);
+                        full.set(
+                            m,
+                            c,
+                            y,
+                            x,
+                            pointwise[(m, c, 0, 0)] * depthwise[(c, 0, y, x)],
+                        );
                     }
                 }
             }

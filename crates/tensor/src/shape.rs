@@ -42,7 +42,11 @@ pub fn conv_macs(
     kernel_y: usize,
     in_channels: usize,
 ) -> u64 {
-    out_x as u64 * out_y as u64 * kernels as u64 * kernel_x as u64 * kernel_y as u64
+    out_x as u64
+        * out_y as u64
+        * kernels as u64
+        * kernel_x as u64
+        * kernel_y as u64
         * in_channels as u64
 }
 

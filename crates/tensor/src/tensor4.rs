@@ -240,8 +240,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let t = Tensor4::random_gaussian(8, 8, 3, 3, 0.1, &mut rng);
         let mean: f64 = t.as_slice().iter().sum::<f64>() / t.len() as f64;
-        let var: f64 =
-            t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / t.len() as f64;
+        let var: f64 = t
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / t.len() as f64;
         assert!(mean.abs() < 0.02, "mean = {mean}");
         assert!((var.sqrt() - 0.1).abs() < 0.02, "std = {}", var.sqrt());
     }

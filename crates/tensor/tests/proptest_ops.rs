@@ -15,13 +15,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn tensors(
-    seed: u64,
-    z: usize,
-    n: usize,
-    m: usize,
-    k: usize,
-) -> (Tensor3, Tensor4) {
+fn tensors(seed: u64, z: usize, n: usize, m: usize, k: usize) -> (Tensor3, Tensor4) {
     let mut rng = StdRng::seed_from_u64(seed);
     let input = Tensor3::random_uniform(z, n, n, -1.0, 1.0, &mut rng);
     let kernels = Tensor4::random_gaussian(m, z, k, k, 0.5, &mut rng);

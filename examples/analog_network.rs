@@ -86,7 +86,11 @@ fn main() {
 
     let mut rows = Vec::new();
     for (label, cfg, faults) in [
-        ("full analog (8-bit ADC)", AnalogSimConfig::default(), FaultSet::new()),
+        (
+            "full analog (8-bit ADC)",
+            AnalogSimConfig::default(),
+            FaultSet::new(),
+        ),
         (
             "with crosstalk compensation",
             AnalogSimConfig {
@@ -97,7 +101,11 @@ fn main() {
         ),
         ("one dead ring", AnalogSimConfig::default(), {
             let mut f = FaultSet::new();
-            f.push(Fault::DeadRing { row: 1, col: 1, output: 0 });
+            f.push(Fault::DeadRing {
+                row: 1,
+                col: 1,
+                output: 0,
+            });
             f
         }),
         ("one dead channel", AnalogSimConfig::default(), {
@@ -134,7 +142,11 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["configuration", "decision agreement", "max score error (rel)"],
+            &[
+                "configuration",
+                "decision agreement",
+                "max score error (rel)"
+            ],
             &rows
         )
     );

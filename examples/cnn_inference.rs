@@ -26,11 +26,7 @@ fn main() {
         );
 
         // Show the ten slowest layers — where the cycles go.
-        let mut layers: Vec<_> = eval
-            .per_layer
-            .iter()
-            .filter(|l| l.cycles > 0)
-            .collect();
+        let mut layers: Vec<_> = eval.per_layer.iter().filter(|l| l.cycles > 0).collect();
         layers.sort_by_key(|l| std::cmp::Reverse(l.cycles));
         let rows: Vec<Vec<String>> = layers
             .iter()
@@ -72,7 +68,14 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["network", "GMACs", "latency (ms)", "energy (mJ)", "EDP (mJ*ms)", "GOPS"],
+            &[
+                "network",
+                "GMACs",
+                "latency (ms)",
+                "energy (mJ)",
+                "EDP (mJ*ms)",
+                "GOPS"
+            ],
             &rows
         )
     );

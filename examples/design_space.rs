@@ -42,7 +42,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["Ng", "power (W)", "area (mm²)", "latency (ms)", "EDP (mJ*ms)"],
+            &[
+                "Ng",
+                "power (W)",
+                "area (mm²)",
+                "latency (ms)",
+                "EDP (mJ*ms)"
+            ],
             &rows
         )
     );

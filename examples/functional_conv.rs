@@ -48,7 +48,10 @@ fn main() {
                 ..AnalogSimConfig::default()
             },
         ),
-        ("full (noise+crosstalk, 8-bit ADC)", AnalogSimConfig::default()),
+        (
+            "full (noise+crosstalk, 8-bit ADC)",
+            AnalogSimConfig::default(),
+        ),
     ] {
         let mut engine = AnalogEngine::new(&chip, cfg);
         let analog = engine.conv2d(&input, &kernels, &spec);
@@ -73,7 +76,12 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["configuration", "max err (rel FS)", "RMS err (rel FS)", "effective bits"],
+            &[
+                "configuration",
+                "max err (rel FS)",
+                "RMS err (rel FS)",
+                "effective bits"
+            ],
             &rows
         )
     );

@@ -34,7 +34,14 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["k²", "FWHM (nm)", "finesse", "BW (GHz)", "5 GHz resp.", "bits @ 21 λ"],
+            &[
+                "k²",
+                "FWHM (nm)",
+                "finesse",
+                "BW (GHz)",
+                "5 GHz resp.",
+                "bits @ 21 λ"
+            ],
             &rows
         )
     );

@@ -17,6 +17,9 @@
 //!   simulation.
 //! * [`baselines`] — the accelerators Albireo is compared against: PIXEL,
 //!   DEAP-CNN, and the reported numbers for Eyeriss, ENVISION, and UNPU.
+//! * [`parallel`] — the deterministic parallel execution engine (chunked
+//!   thread pool + per-work-item seed splitting) every simulator layer
+//!   fans out through.
 //!
 //! # Quickstart
 //!
@@ -39,5 +42,6 @@
 pub use albireo_baselines as baselines;
 pub use albireo_core as core;
 pub use albireo_nn as nn;
+pub use albireo_parallel as parallel;
 pub use albireo_photonics as photonics;
 pub use albireo_tensor as tensor;

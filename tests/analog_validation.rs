@@ -16,7 +16,12 @@ fn relative_error(analog: &Tensor3, reference: &Tensor3, full_scale: f64) -> f64
 #[test]
 fn analog_matches_digital_across_shapes() {
     let chip = ChipConfig::albireo_9();
-    for (seed, z, n, kernels) in [(1u64, 1usize, 6usize, 1usize), (2, 3, 8, 2), (3, 7, 10, 4), (4, 12, 6, 3)] {
+    for (seed, z, n, kernels) in [
+        (1u64, 1usize, 6usize, 1usize),
+        (2, 3, 8, 2),
+        (3, 7, 10, 4),
+        (4, 12, 6, 3),
+    ] {
         let mut rng = StdRng::seed_from_u64(seed);
         let input = Tensor3::random_uniform(z, n, n, 0.0, 1.0, &mut rng);
         let weights = Tensor4::random_gaussian(kernels, z, 3, 3, 0.3, &mut rng);
@@ -54,7 +59,10 @@ fn error_decomposition_is_monotone() {
     let ideal = run(AnalogSimConfig::ideal());
     let full = run(AnalogSimConfig::default());
     assert!(ideal < 1e-3, "ideal error {ideal}");
-    assert!(full > ideal, "full error {full} should exceed ideal {ideal}");
+    assert!(
+        full > ideal,
+        "full error {full} should exceed ideal {ideal}"
+    );
     assert!(full < 0.1, "full error {full} stays within analog budget");
 }
 
@@ -154,7 +162,9 @@ fn measured_effective_bits_consistent_with_prediction() {
 fn fc_dot_large_vector() {
     let chip = ChipConfig::albireo_9();
     let mut rng = StdRng::seed_from_u64(55);
-    let a: Vec<f64> = (0..1000).map(|_| rand::Rng::random::<f64>(&mut rng)).collect();
+    let a: Vec<f64> = (0..1000)
+        .map(|_| rand::Rng::random::<f64>(&mut rng))
+        .collect();
     let w: Vec<f64> = (0..1000)
         .map(|_| rand::Rng::random::<f64>(&mut rng) - 0.5)
         .collect();

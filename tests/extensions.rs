@@ -32,7 +32,8 @@ fn the_paper_design_point_is_self_consistent() {
 
     // (a) wavelength plan fits.
     let plan = ChannelPlan::albireo(&ring);
-    plan.validate_against_awg(&params.awg).expect("plan fits AWG");
+    plan.validate_against_awg(&params.awg)
+        .expect("plan fits AWG");
     assert_eq!(plan.len(), chip.wavelengths_per_plcg());
 
     // (b) timing closes at 5 GHz.
@@ -125,7 +126,12 @@ fn compensation_and_faults_compose() {
 #[test]
 fn extension_networks_run_the_full_pipeline() {
     let chip = ChipConfig::albireo_9();
-    for model in [zoo::vgg19(), zoo::resnet34(), zoo::mobilenet_half(), zoo::tiny()] {
+    for model in [
+        zoo::vgg19(),
+        zoo::resnet34(),
+        zoo::mobilenet_half(),
+        zoo::tiny(),
+    ] {
         let e = NetworkEvaluation::evaluate(&chip, TechnologyEstimate::Conservative, &model);
         assert!(e.latency_s > 0.0, "{}", model.name());
         assert!(e.gops() > 0.0);

@@ -47,8 +47,9 @@ fn table_iii_totals() {
 
 #[test]
 fn albireo_27_fits_60w() {
-    let total = PowerBreakdown::for_chip(&ChipConfig::albireo_27(), TechnologyEstimate::Conservative)
-        .total_w();
+    let total =
+        PowerBreakdown::for_chip(&ChipConfig::albireo_27(), TechnologyEstimate::Conservative)
+            .total_w();
     assert!((total - 58.8).abs() < 0.6, "paper: 58.8 W, got {total}");
 }
 
@@ -86,8 +87,16 @@ fn table_iv_latency_shape() {
     let alex =
         NetworkEvaluation::evaluate(&chip, TechnologyEstimate::Conservative, &zoo::alexnet());
     // Paper: 2.55 ms VGG16, 0.13 ms AlexNet on Albireo-C.
-    assert!((vgg.latency_s * 1e3 - 2.55).abs() / 2.55 < 0.35, "{}", vgg.latency_s * 1e3);
-    assert!((alex.latency_s * 1e3 - 0.13).abs() / 0.13 < 1.0, "{}", alex.latency_s * 1e3);
+    assert!(
+        (vgg.latency_s * 1e3 - 2.55).abs() / 2.55 < 0.35,
+        "{}",
+        vgg.latency_s * 1e3
+    );
+    assert!(
+        (alex.latency_s * 1e3 - 0.13).abs() / 0.13 < 1.0,
+        "{}",
+        alex.latency_s * 1e3
+    );
     // VGG16 : AlexNet latency ratio ≈ 20 X in the paper.
     let ratio = vgg.latency_s / alex.latency_s;
     assert!((10.0..25.0).contains(&ratio), "ratio = {ratio}");
@@ -145,7 +154,11 @@ fn fig8_photonic_ordering_on_all_networks() {
         let d = deap.evaluate(&model);
         let a = NetworkEvaluation::evaluate(&a27, TechnologyEstimate::Conservative, &model);
         assert!(p.latency_s > d.latency_s, "{}: PIXEL slowest", model.name());
-        assert!(d.latency_s > a.latency_s, "{}: Albireo fastest", model.name());
+        assert!(
+            d.latency_s > a.latency_s,
+            "{}: Albireo fastest",
+            model.name()
+        );
         assert!(p.edp_mj_ms() > d.edp_mj_ms());
         assert!(d.edp_mj_ms() > a.edp_mj_ms());
     }
@@ -167,6 +180,9 @@ fn mzm_area_efficiency_claim() {
     // approximate multiplier.
     let p = OpticalParams::paper();
     let mzm_gops_per_mm2 = 5e9 / 1e9 / (p.mzm.area_m2 * 1e6);
-    assert!((mzm_gops_per_mm2 - 333.0).abs() / 333.0 < 0.01, "{mzm_gops_per_mm2}");
+    assert!(
+        (mzm_gops_per_mm2 - 333.0).abs() / 333.0 < 0.01,
+        "{mzm_gops_per_mm2}"
+    );
     assert!((mzm_gops_per_mm2 / 7.3 - 46.0).abs() < 1.0);
 }

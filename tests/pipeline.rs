@@ -117,7 +117,12 @@ fn utilization_identifies_fc_layers_as_inefficient() {
         .find(|l| l.name == "conv3_2")
         .unwrap()
         .utilization;
-    let fc_util = e.per_layer.iter().find(|l| l.name == "fc7").unwrap().utilization;
+    let fc_util = e
+        .per_layer
+        .iter()
+        .find(|l| l.name == "fc7")
+        .unwrap()
+        .utilization;
     assert!(
         conv_util > fc_util,
         "conv {conv_util} should exceed fc {fc_util}"

@@ -1,0 +1,457 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of proptest's API that Albireo's property tests use:
+//!
+//! * the [`proptest!`] macro wrapping `#[test]` functions whose arguments
+//!   are drawn from strategies (`x in 0u64..100`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//! * range strategies for the primitive numeric types,
+//! * [`bool::ANY`] and [`collection::vec`].
+//!
+//! No shrinking is performed: a failing case panics with the generated
+//! argument values so it can be reproduced directly. Case count defaults
+//! to 64 and is overridable via the `PROPTEST_CASES` environment variable.
+
+#![allow(clippy::all)] // vendored stand-in: keep close to upstream idiom, not lint-clean
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The generator handed to strategies. A thin newtype so strategy
+/// implementations do not depend on the generator's engine.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic per-(test, case) generator.
+    fn for_case(test_name: &str, case: u64) -> TestRng {
+        // FNV-1a over the test name keeps per-test streams distinct while
+        // staying reproducible across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.0.next_u64()
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of arbitrary values for one test argument.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_unsigned_range {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + (rng.next_u64() % (span + 1)) as $t
+                }
+            }
+        )+};
+    }
+
+    impl_unsigned_range!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_signed_range {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + (rng.next_u64() % (span + 1)) as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    impl_signed_range!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    lo + (rng.unit_f64() as $t) * (hi - lo)
+                }
+            }
+        )+};
+    }
+
+    impl_float_range!(f32, f64);
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// The uniform boolean strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Draws `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length specification for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of the element strategy's values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a vector strategy: `vec(1e-6f64..1e-2, 1..16)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % (span + 1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The per-test case loop.
+
+    use super::TestRng;
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the case is a genuine failure.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; draw a fresh case.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// A failure with a message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejection.
+        pub fn reject() -> TestCaseError {
+            TestCaseError::Reject
+        }
+    }
+
+    /// Number of cases per property, from `PROPTEST_CASES` (default 64).
+    pub fn case_count() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64)
+    }
+
+    /// Runs one property: `body` receives a per-case generator and returns
+    /// the case outcome plus a rendering of the generated arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing case (with the arguments that produced
+    /// it), or when too many cases are rejected by `prop_assume!`.
+    pub fn run(
+        test_name: &str,
+        mut body: impl FnMut(&mut TestRng) -> (Result<(), TestCaseError>, String),
+    ) {
+        let cases = case_count();
+        let max_attempts = cases.saturating_mul(16);
+        let mut passed = 0u64;
+        let mut attempt = 0u64;
+        while passed < cases {
+            if attempt >= max_attempts {
+                panic!(
+                    "{test_name}: gave up after {attempt} attempts \
+                     ({passed}/{cases} cases passed, rest rejected by prop_assume!)"
+                );
+            }
+            let mut rng = TestRng::for_case(test_name, attempt);
+            attempt += 1;
+            let (outcome, values) = body(&mut rng);
+            match outcome {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => continue,
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "{test_name}: property failed at case {attempt}\n  with {values}\n  {msg}"
+                ),
+            }
+        }
+    }
+}
+
+/// Wraps property functions: each argument is drawn from its strategy and
+/// the body is run for [`test_runner::case_count`] cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |prop_rng__| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), prop_rng__);)+
+                    let values__ = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome__: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            Ok(())
+                        })();
+                    (outcome__, values__)
+                });
+            }
+        )+
+    };
+}
+
+/// Fails the current case (without aborting the whole test run machinery)
+/// when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left__ = $left;
+        let right__ = $right;
+        if left__ != right__ {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left__,
+                right__
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+pub mod prelude {
+    //! The standard imports: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    #[allow(unused_imports)] // mirrors upstream's standard test preamble
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges respect their bounds.
+        #[test]
+        fn int_ranges_in_bounds(a in 3u64..17, b in -5i32..5, c in 1usize..2) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert_eq!(c, 1);
+        }
+
+        /// Float ranges respect their bounds.
+        #[test]
+        fn float_ranges_in_bounds(x in 0.25f64..0.75, y in 0.0f64..=1.0) {
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+
+        /// Assume rejects without failing.
+        #[test]
+        fn assume_filters(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        /// Vec strategy honours its size range.
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0.0f64..1.0, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        /// bool::ANY produces booleans (and the strategy compiles in place).
+        #[test]
+        fn bool_any(b in crate::bool::ANY, _x in 0u8..2) {
+            prop_assert!(b || !b);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_values() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run("always_fails", |rng| {
+                let v = rng.next_u64();
+                (
+                    Err(crate::test_runner::TestCaseError::fail("boom")),
+                    format!("v = {v}"),
+                )
+            });
+        });
+        let err = result.expect_err("must panic");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("boom") && msg.contains("v ="), "{msg}");
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let draw = || {
+            let mut rng = super::TestRng::for_case("determinism", 3);
+            (0..8).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+}
