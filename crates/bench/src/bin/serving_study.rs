@@ -1,0 +1,84 @@
+//! Runs the serving study and writes its three artifacts:
+//!
+//! * `results/serving_study.csv` — one row per (cell × replica);
+//! * `results/golden_serving_metrics.csv` — the same CSV for the pinned
+//!   golden grid ([`StudyOptions::golden`]), compared byte-exactly by
+//!   `tests/serving_golden.rs`;
+//! * `BENCH_serving.json` — the machine-readable study digest
+//!   (schema `albireo.bench.serving_study/v1`).
+//!
+//! ```text
+//! cargo run --release -p albireo-bench --bin serving_study -- \
+//!     [--out-dir results] [--json PATH] [--threads N]
+//! ```
+//!
+//! The study is bit-deterministic at any `--threads` value; the combined
+//! digest printed at the end is the value to compare across runs.
+
+use albireo_parallel::Parallelism;
+use albireo_runtime::{run_serving_study, StudyOptions};
+
+fn main() {
+    let mut out_dir = "results".to_string();
+    let mut json_path = "BENCH_serving.json".to_string();
+    let mut par = Parallelism::auto();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--out-dir" => out_dir = value("--out-dir"),
+            "--json" => json_path = value("--json"),
+            "--threads" => {
+                let threads: usize = value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("error: bad --threads value");
+                    std::process::exit(2);
+                });
+                par = Parallelism::with_threads(threads);
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: serving_study [--out-dir DIR] [--json PATH] [--threads N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let options = StudyOptions::golden();
+    let study = run_serving_study(&options, par);
+    let csv = study.to_csv();
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let study_csv = format!("{out_dir}/serving_study.csv");
+    let golden_csv = format!("{out_dir}/golden_serving_metrics.csv");
+    std::fs::write(&study_csv, &csv).expect("write serving_study.csv");
+    std::fs::write(&golden_csv, &csv).expect("write golden_serving_metrics.csv");
+    std::fs::write(&json_path, study.to_json()).expect("write BENCH_serving.json");
+
+    println!(
+        "serving study: {} cells x {} replicas = {} runs",
+        options.cells(),
+        options.replicas,
+        study.runs.len()
+    );
+    for run in &study.runs {
+        let r = &run.report;
+        println!(
+            "  {:<28} {:>6.0} rps {:<16} replica {}  p50 {:.4} ms  p99 {:.4} ms  shed {:.1}%  {:.3} mJ/req",
+            r.fleet_label,
+            r.offered_rate_rps,
+            r.policy_label,
+            run.replica,
+            r.p50_ms,
+            r.p99_ms,
+            r.shed_rate * 100.0,
+            r.energy_per_request_j * 1e3
+        );
+    }
+    println!("wrote {study_csv}, {golden_csv}, {json_path}");
+    println!("combined digest {}", study.combined_digest_hex());
+}

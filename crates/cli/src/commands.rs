@@ -64,6 +64,11 @@ COMMANDS:
     experiment <name>|all                     regenerate a paper experiment
     bench      [--thread-counts A,B,C] [--target-ms N] [--out FILE]
                                               parallel-scaling benchmark (JSON)
+    serve      [--requests N] [--seed S] [--rate RPS] [--arrival poisson|bursty]
+        [--fleet SPEC] [--policy immediate|size:N|deadline:USEC[:MAX]]
+        [--queue-cap N] [--networks A,B] [--replicas R] [--json] [--out FILE]
+        [--fail CHIP@T,...] [--degrade CHIP:K@T,...] [--recover CHIP@T,...]
+                                              multi-chip serving simulation
     help                                      show this message
 
 GLOBAL OPTIONS:
@@ -379,6 +384,207 @@ pub fn bench(args: &Args) -> Result<String, CliError> {
     }
 }
 
+/// Splits a fault-scenario token on `@`, returning the head and the time.
+fn parse_at(entry: &str, what: &str) -> Result<(String, f64), CliError> {
+    let (head, at) = entry
+        .split_once('@')
+        .ok_or_else(|| CliError::Unknown(format!("{what} entry `{entry}` needs `@<time_s>`")))?;
+    let at_s: f64 = at
+        .trim()
+        .parse()
+        .map_err(|_| CliError::Unknown(format!("bad time in {what} entry `{entry}`")))?;
+    if !(at_s.is_finite() && at_s >= 0.0) {
+        return Err(CliError::Unknown(format!(
+            "{what} time must be finite and non-negative in `{entry}`"
+        )));
+    }
+    Ok((head.trim().to_string(), at_s))
+}
+
+/// `albireo serve [...]` — run the multi-chip serving simulation.
+pub fn serve(args: &Args) -> Result<String, CliError> {
+    use albireo_runtime::{
+        replicate, AdmissionControl, ArrivalProcess, BatchPolicy, FaultKind, FaultScenario,
+        FleetConfig, ServeConfig, Workload,
+    };
+
+    let requests = args.get_parsed_or("requests", 1000usize, "a request count")?;
+    if requests == 0 {
+        return Err(CliError::Unknown("--requests must be at least 1".into()));
+    }
+    let seed = args.get_parsed_or("seed", 42u64, "a seed")?;
+    let rate = args.get_parsed_or("rate", 2000.0f64, "a rate in requests/s")?;
+    if !(rate.is_finite() && rate > 0.0) {
+        return Err(CliError::Unknown("--rate must be positive".into()));
+    }
+    let replicas = args.get_parsed_or("replicas", 1usize, "a replica count")?;
+    if replicas == 0 {
+        return Err(CliError::Unknown("--replicas must be at least 1".into()));
+    }
+
+    let models = zoo::all_benchmarks();
+    let fleet = FleetConfig::parse(args.get_or("fleet", "albireo_9:C,albireo_27:C"), models)
+        .map_err(CliError::Unknown)?;
+    let policy =
+        BatchPolicy::parse(args.get_or("policy", "immediate")).map_err(CliError::Unknown)?;
+    let queue_cap = args.get_parsed_or("queue-cap", 64usize, "a capacity (0 = unbounded)")?;
+    let admission = if queue_cap == 0 {
+        AdmissionControl::unbounded()
+    } else {
+        AdmissionControl::bounded(queue_cap)
+    };
+
+    // Equal-weight network mix by name, resolved against the fleet's
+    // model table.
+    let mut mix = Vec::new();
+    for name in args.get_or("networks", "alexnet").split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            continue;
+        }
+        let idx = fleet
+            .models
+            .iter()
+            .position(|m| m.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| {
+                CliError::Unknown(format!(
+                    "unknown network `{name}` (serving fleet offers: {})",
+                    fleet
+                        .models
+                        .iter()
+                        .map(|m| m.name())
+                        .collect::<Vec<&str>>()
+                        .join(", ")
+                ))
+            })?;
+        mix.push((idx, 1.0));
+    }
+    if mix.is_empty() {
+        return Err(CliError::Unknown("--networks names no network".into()));
+    }
+
+    let process = match args.get_or("arrival", "poisson") {
+        "poisson" => ArrivalProcess::Poisson { rate_rps: rate },
+        "bursty" => {
+            let burst = args.get_parsed_or("burst", 4.0f64, "a burst multiplier > 1")?;
+            if burst <= 1.0 || !burst.is_finite() {
+                return Err(CliError::Unknown("--burst must exceed 1".into()));
+            }
+            ArrivalProcess::Bursty {
+                rate_rps: rate,
+                burst,
+                on_s: 0.01,
+                off_s: 0.04,
+            }
+        }
+        other => {
+            return Err(CliError::Unknown(format!(
+                "unknown arrival process `{other}` (try: poisson, bursty)"
+            )))
+        }
+    };
+
+    let chip_index = |tok: &str, entry: &str| -> Result<usize, CliError> {
+        let idx: usize = tok
+            .parse()
+            .map_err(|_| CliError::Unknown(format!("bad chip index in `{entry}`")))?;
+        if idx >= fleet.chips.len() {
+            return Err(CliError::Unknown(format!(
+                "chip index {idx} outside the {}-chip fleet",
+                fleet.chips.len()
+            )));
+        }
+        Ok(idx)
+    };
+    let mut faults = FaultScenario::none();
+    if let Some(list) = args.get("fail") {
+        for entry in list.split(',').filter(|e| !e.trim().is_empty()) {
+            let (chip, at_s) = parse_at(entry, "--fail")?;
+            let chip = chip_index(&chip, entry)?;
+            faults = faults.with(at_s, FaultKind::ChipOffline { chip });
+        }
+    }
+    if let Some(list) = args.get("recover") {
+        for entry in list.split(',').filter(|e| !e.trim().is_empty()) {
+            let (chip, at_s) = parse_at(entry, "--recover")?;
+            let chip = chip_index(&chip, entry)?;
+            faults = faults.with(at_s, FaultKind::ChipOnline { chip });
+        }
+    }
+    if let Some(list) = args.get("degrade") {
+        for entry in list.split(',').filter(|e| !e.trim().is_empty()) {
+            let (head, at_s) = parse_at(entry, "--degrade")?;
+            let (chip, count) = head.split_once(':').ok_or_else(|| {
+                CliError::Unknown(format!("--degrade entry `{entry}` needs CHIP:K@T"))
+            })?;
+            let chip = chip_index(chip.trim(), entry)?;
+            let count: usize = count
+                .trim()
+                .parse()
+                .map_err(|_| CliError::Unknown(format!("bad PLCG count in `{entry}`")))?;
+            if count == 0 {
+                return Err(CliError::Unknown(
+                    "--degrade must retire at least one PLCG".into(),
+                ));
+            }
+            faults = faults.with(at_s, FaultKind::PlcgOffline { chip, count });
+        }
+    }
+
+    let cfg = ServeConfig {
+        workload: Workload { process, mix },
+        requests,
+        seed,
+        policy,
+        admission,
+        faults,
+    };
+    let reports = replicate(&fleet, &cfg, replicas, Parallelism::default());
+    let out = if args.flag("json") {
+        if reports.len() == 1 {
+            reports[0].to_json()
+        } else {
+            let mut s = String::from("[\n");
+            for (i, r) in reports.iter().enumerate() {
+                s.push_str(&r.to_json());
+                if i + 1 < reports.len() {
+                    s.truncate(s.trim_end().len());
+                    s.push_str(",\n");
+                }
+            }
+            s.push_str("]\n");
+            s
+        }
+    } else {
+        let mut s = String::new();
+        for (i, r) in reports.iter().enumerate() {
+            if reports.len() > 1 {
+                s.push_str(&format!("replica {i} (seed {}):\n", r.seed));
+            }
+            s.push_str(&r.render_text());
+        }
+        if reports.len() > 1 {
+            let combined = reports
+                .iter()
+                .fold(0xC0FF_EE00u64, |acc, r| acc.rotate_left(13) ^ r.digest());
+            s.push_str(&format!("combined digest {combined:016x}\n"));
+        }
+        s
+    };
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &out)
+                .map_err(|e| CliError::Unknown(format!("cannot write {path}: {e}")))?;
+            Ok(format!(
+                "wrote {path}: {} replica(s), digest {}\n",
+                reports.len(),
+                reports[0].digest_hex()
+            ))
+        }
+        None => Ok(out),
+    }
+}
+
 /// `albireo compare [...]`
 pub fn compare(args: &Args) -> Result<String, CliError> {
     let network = parse_network(args.get_or("network", "vgg16"))?;
@@ -563,6 +769,7 @@ pub fn dispatch(command: &str, args: &Args) -> Result<String, CliError> {
         "faults" => faults(args),
         "experiment" => experiment(args),
         "bench" => bench(args),
+        "serve" => serve(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Unknown(format!(
             "unknown command `{other}`; run `albireo help`"
@@ -743,6 +950,90 @@ mod tests {
             assert!(out.contains(key), "missing {key} in {out}");
         }
         assert!(bench(&args(&["--thread-counts", ""])).is_err());
+    }
+
+    #[test]
+    fn serve_reports_service_metrics() {
+        let out = serve(&args(&["--requests", "150", "--seed", "7"])).unwrap();
+        for key in [
+            "p50",
+            "p95",
+            "p99",
+            "shed",
+            "goodput",
+            "mJ/request",
+            "util",
+            "digest",
+            "albireo_9",
+            "albireo_27",
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+        // Same seed, same report.
+        assert_eq!(
+            out,
+            serve(&args(&["--requests", "150", "--seed", "7"])).unwrap()
+        );
+    }
+
+    #[test]
+    fn serve_json_carries_schema_and_digest() {
+        let out = serve(&args(&["--requests", "80", "--json"])).unwrap();
+        assert!(out.contains("albireo.bench.serving/v1"));
+        assert!(out.contains("\"digest\""));
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+    }
+
+    #[test]
+    fn serve_survives_chip_failure_mid_run() {
+        let out = serve(&args(&[
+            "--requests",
+            "200",
+            "--rate",
+            "4000",
+            "--fail",
+            "1@0.005",
+            "--degrade",
+            "0:4@0.002",
+        ]))
+        .unwrap();
+        assert!(out.contains("OFFLINE"), "{out}");
+        assert!(out.contains("PLCGs down"), "{out}");
+        assert!(
+            !out.contains("completed 0 "),
+            "goodput must be nonzero: {out}"
+        );
+    }
+
+    #[test]
+    fn serve_validates_inputs() {
+        assert!(serve(&args(&["--policy", "fifo"])).is_err());
+        assert!(serve(&args(&["--fleet", "pixel"])).is_err());
+        assert!(serve(&args(&["--networks", "lenet"])).is_err());
+        assert!(serve(&args(&["--rate", "0"])).is_err());
+        assert!(serve(&args(&["--fail", "7@0.1"])).is_err());
+        assert!(serve(&args(&["--fail", "0"])).is_err());
+        assert!(serve(&args(&["--degrade", "0:0@0.1"])).is_err());
+        assert!(serve(&args(&["--arrival", "fractal"])).is_err());
+    }
+
+    #[test]
+    fn serve_replicas_and_policies_run() {
+        let out = serve(&args(&[
+            "--requests",
+            "60",
+            "--replicas",
+            "2",
+            "--policy",
+            "size:4",
+            "--networks",
+            "alexnet,vgg16",
+        ]))
+        .unwrap();
+        assert!(out.contains("replica 0"));
+        assert!(out.contains("replica 1"));
+        assert!(out.contains("combined digest"));
+        assert!(out.contains("size4"));
     }
 
     #[test]

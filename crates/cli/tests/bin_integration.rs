@@ -177,6 +177,107 @@ fn bench_end_to_end_emits_schema() {
 }
 
 #[test]
+fn serve_end_to_end_prints_service_report() {
+    let (stdout, _, ok) = run(&["serve", "--requests", "200", "--seed", "7"]);
+    assert!(ok, "{stdout}");
+    for key in [
+        "serving report",
+        "p50",
+        "p95",
+        "p99",
+        "shed",
+        "goodput",
+        "mJ/request",
+        "util",
+        "albireo_9",
+        "albireo_27",
+        "digest",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+}
+
+#[test]
+fn serve_same_seed_is_byte_identical_at_any_thread_count() {
+    let (baseline, _, ok) = run(&[
+        "serve",
+        "--requests",
+        "200",
+        "--seed",
+        "7",
+        "--threads",
+        "1",
+    ]);
+    assert!(ok, "{baseline}");
+    for threads in ["2", "8"] {
+        let (other, _, ok) = run(&[
+            "serve",
+            "--requests",
+            "200",
+            "--seed",
+            "7",
+            "--threads",
+            threads,
+        ]);
+        assert!(ok);
+        assert_eq!(other, baseline, "serve diverged at {threads} threads");
+    }
+    // Replicated runs must also be thread-count invariant.
+    let (rep1, _, ok1) = run(&[
+        "serve",
+        "--requests",
+        "120",
+        "--replicas",
+        "3",
+        "--threads",
+        "1",
+    ]);
+    let (rep8, _, ok8) = run(&[
+        "serve",
+        "--requests",
+        "120",
+        "--replicas",
+        "3",
+        "--threads",
+        "8",
+    ]);
+    assert!(ok1 && ok8);
+    assert_eq!(rep1, rep8);
+}
+
+#[test]
+fn serve_json_end_to_end() {
+    let (stdout, _, ok) = run(&["serve", "--requests", "100", "--json"]);
+    assert!(ok, "{stdout}");
+    for key in [
+        "\"schema\": \"albireo.bench.serving/v1\"",
+        "\"latency_ms\"",
+        "\"goodput_rps\"",
+        "\"energy_per_request_mj\"",
+        "\"chips\"",
+        "\"digest\"",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+}
+
+#[test]
+fn serve_chip_failure_degrades_without_error() {
+    let (stdout, _, ok) = run(&[
+        "serve",
+        "--requests",
+        "300",
+        "--rate",
+        "4000",
+        "--fail",
+        "1@0.01",
+    ]);
+    assert!(ok, "a mid-run chip failure must not error: {stdout}");
+    assert!(stdout.contains("OFFLINE"), "{stdout}");
+    assert!(!stdout.contains("completed 0 "), "{stdout}");
+}
+
+#[test]
 fn bench_writes_json_file() {
     let dir = std::env::temp_dir().join("albireo_bench_test");
     std::fs::create_dir_all(&dir).unwrap();

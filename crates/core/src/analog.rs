@@ -149,6 +149,11 @@ impl FaultSet {
         self.faults.len()
     }
 
+    /// The injected faults, in insertion order.
+    pub fn as_slice(&self) -> &[Fault] {
+        &self.faults
+    }
+
     fn ring_dead(&self, row: usize, col: usize, output: usize) -> bool {
         self.faults.iter().any(|f| {
             matches!(f, Fault::DeadRing { row: r, col: c, output: o }

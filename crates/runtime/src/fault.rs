@@ -1,0 +1,189 @@
+//! The fault layer: timed availability events applied to the fleet
+//! mid-run, for graceful-degradation studies.
+//!
+//! Two granularities are modelled, mirroring the analog fault-injection
+//! extension (`albireo_core::analog::Fault`):
+//!
+//! * **chip-level** — a chip goes offline (and may later return): it
+//!   finishes its in-flight batch but accepts no new work;
+//! * **PLCG-level** — `count` of a chip's PLCGs are retired: the chip
+//!   keeps serving from a `ChipConfig` with fewer groups, so service
+//!   times degrade per the dataflow model (`⌈Wm/Ng⌉` grows).
+//!
+//! [`FaultKind::from_analog`] classifies an analog [`FaultSet`] into a
+//! service-level action using the conclusions of the fault-injection
+//! study (EXPERIMENTS.md): a dead *input channel* corrupts every output
+//! the PLCU produces, so the chip must be drained; a dead switching ring
+//! or a stuck MZM confines its damage to one output-column residue
+//! class, so retiring the affected PLCG (one group's worth of capacity)
+//! suffices.
+
+use albireo_core::analog::{Fault, FaultSet};
+
+/// What a fault event does to the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The chip stops accepting work (in-flight batch completes).
+    ChipOffline {
+        /// Fleet chip index.
+        chip: usize,
+    },
+    /// A previously offline chip returns to service (fully healed: all
+    /// PLCGs restored).
+    ChipOnline {
+        /// Fleet chip index.
+        chip: usize,
+    },
+    /// `count` additional PLCGs of the chip are retired. If every PLCG is
+    /// gone the chip behaves as offline.
+    PlcgOffline {
+        /// Fleet chip index.
+        chip: usize,
+        /// PLCGs newly retired.
+        count: usize,
+    },
+}
+
+impl FaultKind {
+    /// Classifies an analog fault set on `chip` into the service-level
+    /// action the serving layer takes (see module docs). Returns `None`
+    /// for an empty (healthy) set.
+    pub fn from_analog(chip: usize, faults: &FaultSet) -> Option<FaultKind> {
+        if faults.is_empty() {
+            return None;
+        }
+        if faults
+            .as_slice()
+            .iter()
+            .any(|f| matches!(f, Fault::DeadChannel { .. }))
+        {
+            Some(FaultKind::ChipOffline { chip })
+        } else {
+            // DeadRing / StuckMzm: damage is confined to one PLCG's
+            // output columns — retire that one group.
+            Some(FaultKind::PlcgOffline { chip, count: 1 })
+        }
+    }
+
+    /// The fleet chip index this event targets.
+    pub fn chip(&self) -> usize {
+        match *self {
+            FaultKind::ChipOffline { chip }
+            | FaultKind::ChipOnline { chip }
+            | FaultKind::PlcgOffline { chip, .. } => chip,
+        }
+    }
+}
+
+/// A fault event at an instant on the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the event fires, s.
+    pub at_s: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A timed fault scenario: the events applied during one simulation run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultScenario {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultScenario {
+    /// The healthy scenario (no faults).
+    pub fn none() -> FaultScenario {
+        FaultScenario::default()
+    }
+
+    /// Adds an event (builder style).
+    pub fn with(mut self, at_s: f64, kind: FaultKind) -> FaultScenario {
+        assert!(
+            at_s >= 0.0 && at_s.is_finite(),
+            "fault time must be finite and non-negative"
+        );
+        self.events.push(FaultEvent { at_s, kind });
+        self
+    }
+
+    /// Adds the service-level consequence of an analog fault set appearing
+    /// on `chip` at `at_s` (no-op for an empty set).
+    pub fn with_analog(self, at_s: f64, chip: usize, faults: &FaultSet) -> FaultScenario {
+        match FaultKind::from_analog(chip, faults) {
+            Some(kind) => self.with(at_s, kind),
+            None => self,
+        }
+    }
+
+    /// The events sorted by time (stable: same-time events keep insertion
+    /// order).
+    pub fn sorted_events(&self) -> Vec<FaultEvent> {
+        let mut events = self.events.clone();
+        events.sort_by(|a, b| a.at_s.partial_cmp(&b.at_s).expect("fault times are finite"));
+        events
+    }
+
+    /// Whether the scenario is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analog_classification_matches_fault_study() {
+        let mut dead_channel = FaultSet::new();
+        dead_channel.push(Fault::DeadChannel { column: 2 });
+        assert_eq!(
+            FaultKind::from_analog(1, &dead_channel),
+            Some(FaultKind::ChipOffline { chip: 1 })
+        );
+        let mut dead_ring = FaultSet::new();
+        dead_ring.push(Fault::DeadRing {
+            row: 0,
+            col: 1,
+            output: 2,
+        });
+        assert_eq!(
+            FaultKind::from_analog(0, &dead_ring),
+            Some(FaultKind::PlcgOffline { chip: 0, count: 1 })
+        );
+        let mut stuck = FaultSet::new();
+        stuck.push(Fault::StuckMzm {
+            row: 0,
+            col: 0,
+            weight: 0.5,
+        });
+        assert_eq!(
+            FaultKind::from_analog(2, &stuck),
+            Some(FaultKind::PlcgOffline { chip: 2, count: 1 })
+        );
+        assert_eq!(FaultKind::from_analog(0, &FaultSet::new()), None);
+    }
+
+    #[test]
+    fn scenario_sorts_by_time() {
+        let s = FaultScenario::none()
+            .with(2.0, FaultKind::ChipOnline { chip: 0 })
+            .with(1.0, FaultKind::ChipOffline { chip: 0 });
+        let events = s.sorted_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, FaultKind::ChipOffline { chip: 0 });
+        assert!(!s.is_empty());
+        assert!(FaultScenario::none().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_fault_time_rejected() {
+        let _ = FaultScenario::none().with(-1.0, FaultKind::ChipOffline { chip: 0 });
+    }
+}

@@ -1,0 +1,300 @@
+//! The service side of the simulator: a fleet of Albireo chips plus the
+//! per-request service-time oracle.
+//!
+//! Service times and energies are *not* invented here — they come from
+//! the validated performance models: `albireo_core::sched` supplies the
+//! cycle count of one inference (Algorithm 2 dataflow), and the Table III
+//! power model supplies the energy, via
+//! [`NetworkEvaluation`](albireo_core::energy::NetworkEvaluation). The
+//! one serving-specific term is the **batch setup time**: Albireo's
+//! depth-first dataflow reprograms every weight DAC once per inference,
+//! so consecutive same-network inferences in a micro-batch share one
+//! weight-programming pass. Setup is modelled as streaming the network's
+//! parameters through the chip's weight DACs at the converter clock:
+//! `setup_s = total_params / (dacs × clock)` — ~31% of AlexNet's
+//! inference latency, ~3% of VGG16's, which is exactly why batching pays
+//! on small networks.
+
+use albireo_core::config::{ChipConfig, TechnologyEstimate};
+use albireo_core::energy::NetworkEvaluation;
+use albireo_core::inventory::DeviceInventory;
+use albireo_nn::{zoo, Model};
+use std::collections::BTreeMap;
+
+/// One chip in the fleet: a named configuration plus the technology
+/// estimate its devices are built from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipSpec {
+    /// Display name (e.g. `albireo_9`).
+    pub name: String,
+    /// Chip geometry.
+    pub chip: ChipConfig,
+    /// Device-technology estimate (sets clock and power).
+    pub estimate: TechnologyEstimate,
+}
+
+impl ChipSpec {
+    /// The paper's 9-PLCG chip under an estimate.
+    pub fn albireo_9(estimate: TechnologyEstimate) -> ChipSpec {
+        ChipSpec {
+            name: "albireo_9".to_string(),
+            chip: ChipConfig::albireo_9(),
+            estimate,
+        }
+    }
+
+    /// The paper's 27-PLCG chip under an estimate.
+    pub fn albireo_27(estimate: TechnologyEstimate) -> ChipSpec {
+        ChipSpec {
+            name: "albireo_27".to_string(),
+            chip: ChipConfig::albireo_27(),
+            estimate,
+        }
+    }
+}
+
+/// The fleet: chips plus the model table network indices refer to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// The chips, in dispatch-preference order (ties in availability go to
+    /// the lowest index).
+    pub chips: Vec<ChipSpec>,
+    /// The networks served, indexed by [`Request::network`]
+    /// (`crate::workload::Request`).
+    pub models: Vec<Model>,
+}
+
+impl FleetConfig {
+    /// The acceptance-scenario fleet: one Albireo-9 and one Albireo-27
+    /// under the conservative estimate, serving the four benchmark
+    /// networks.
+    pub fn paper_pair() -> FleetConfig {
+        FleetConfig {
+            chips: vec![
+                ChipSpec::albireo_9(TechnologyEstimate::Conservative),
+                ChipSpec::albireo_27(TechnologyEstimate::Conservative),
+            ],
+            models: zoo::all_benchmarks(),
+        }
+    }
+
+    /// Parses a fleet spec like `albireo_9:C,albireo_27:A`. Each entry is
+    /// `<chip>[:<estimate>]` with chip ∈ {albireo_9, albireo_27, ng<N>}
+    /// and estimate ∈ {C, M, A} (default C).
+    pub fn parse(spec: &str, models: Vec<Model>) -> Result<FleetConfig, String> {
+        let mut chips = Vec::new();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (chip_name, est_tag) = match entry.split_once(':') {
+                Some((c, e)) => (c.trim(), e.trim()),
+                None => (entry, "C"),
+            };
+            let estimate = match est_tag.to_ascii_uppercase().as_str() {
+                "C" | "CONSERVATIVE" => TechnologyEstimate::Conservative,
+                "M" | "MODERATE" => TechnologyEstimate::Moderate,
+                "A" | "AGGRESSIVE" => TechnologyEstimate::Aggressive,
+                other => return Err(format!("unknown estimate `{other}` in fleet spec")),
+            };
+            let chip = match chip_name {
+                "albireo_9" | "albireo9" => ChipConfig::albireo_9(),
+                "albireo_27" | "albireo27" => ChipConfig::albireo_27(),
+                other => match other.strip_prefix("ng") {
+                    Some(n) => {
+                        let ng: usize = n
+                            .parse()
+                            .map_err(|_| format!("bad PLCG count in fleet entry `{entry}`"))?;
+                        if ng == 0 {
+                            return Err("fleet chips need at least one PLCG".to_string());
+                        }
+                        ChipConfig::with_ng(ng)
+                    }
+                    None => return Err(format!("unknown chip `{other}` in fleet spec")),
+                },
+            };
+            chips.push(ChipSpec {
+                name: format!("{}_{}", chip_name, estimate.suffix()),
+                chip,
+                estimate,
+            });
+        }
+        if chips.is_empty() {
+            return Err("fleet spec names no chips".to_string());
+        }
+        Ok(FleetConfig { chips, models })
+    }
+
+    /// A compact label for reports, e.g. `albireo_9_C+albireo_27_C`.
+    pub fn label(&self) -> String {
+        self.chips
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect::<Vec<&str>>()
+            .join("+")
+    }
+}
+
+/// The per-dispatch cost of serving one micro-batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceCost {
+    /// Latency of one inference, s.
+    pub item_latency_s: f64,
+    /// One-time weight-programming setup per batch, s.
+    pub batch_setup_s: f64,
+    /// Energy of one inference, J.
+    pub item_energy_j: f64,
+    /// Energy of the setup pass (chip power × setup time), J.
+    pub batch_setup_energy_j: f64,
+}
+
+impl ServiceCost {
+    /// Busy time of a batch of `n` requests, s.
+    pub fn batch_latency_s(&self, n: usize) -> f64 {
+        self.batch_setup_s + n as f64 * self.item_latency_s
+    }
+
+    /// Energy of a batch of `n` requests, J.
+    pub fn batch_energy_j(&self, n: usize) -> f64 {
+        self.batch_setup_energy_j + n as f64 * self.item_energy_j
+    }
+}
+
+/// Memoizing service-time oracle over `(chip, active PLCGs, network)`.
+///
+/// Degradation enters through the PLCG count: a chip with `k` of its
+/// PLCGs retired serves from a `ChipConfig` with `ng − k` groups, so the
+/// scheduler's `⌈Wm/Ng⌉` kernel-distribution term — and hence latency,
+/// power, and energy — degrade exactly as the dataflow model says they
+/// should, rather than by an ad-hoc slowdown factor.
+#[derive(Debug, Default)]
+pub struct ServiceOracle {
+    cache: BTreeMap<(usize, usize, usize), ServiceCost>,
+}
+
+impl ServiceOracle {
+    /// An empty oracle.
+    pub fn new() -> ServiceOracle {
+        ServiceOracle::default()
+    }
+
+    /// The cost of serving `models[network]` on fleet chip `chip_idx`
+    /// with `ng_active` healthy PLCGs.
+    pub fn cost(
+        &mut self,
+        fleet: &FleetConfig,
+        chip_idx: usize,
+        ng_active: usize,
+        network: usize,
+    ) -> ServiceCost {
+        assert!(ng_active > 0, "a chip with zero PLCGs cannot serve");
+        *self
+            .cache
+            .entry((chip_idx, ng_active, network))
+            .or_insert_with(|| {
+                let spec = &fleet.chips[chip_idx];
+                let mut chip = spec.chip;
+                chip.ng = ng_active;
+                let model = &fleet.models[network];
+                let eval = NetworkEvaluation::evaluate(&chip, spec.estimate, model);
+                let inv = DeviceInventory::for_chip(&chip);
+                let clock = spec.estimate.clock_hz();
+                let setup_s = model.total_params() as f64 / (inv.dacs as f64 * clock);
+                ServiceCost {
+                    item_latency_s: eval.latency_s,
+                    batch_setup_s: setup_s,
+                    item_energy_j: eval.energy_j,
+                    batch_setup_energy_j: eval.power_w * setup_s,
+                }
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pair_has_two_chips_and_four_networks() {
+        let fleet = FleetConfig::paper_pair();
+        assert_eq!(fleet.chips.len(), 2);
+        assert_eq!(fleet.models.len(), 4);
+        assert_eq!(fleet.label(), "albireo_9+albireo_27");
+    }
+
+    #[test]
+    fn parse_fleet_specs() {
+        let fleet = FleetConfig::parse("albireo_9:C, albireo_27:A", zoo::all_benchmarks()).unwrap();
+        assert_eq!(fleet.chips.len(), 2);
+        assert_eq!(fleet.chips[0].name, "albireo_9_C");
+        assert_eq!(fleet.chips[1].chip.ng, 27);
+        assert_eq!(fleet.chips[1].estimate, TechnologyEstimate::Aggressive);
+        let custom = FleetConfig::parse("ng18:M", zoo::all_benchmarks()).unwrap();
+        assert_eq!(custom.chips[0].chip.ng, 18);
+        assert!(FleetConfig::parse("", zoo::all_benchmarks()).is_err());
+        assert!(FleetConfig::parse("albireo_9:X", zoo::all_benchmarks()).is_err());
+        assert!(FleetConfig::parse("pixel", zoo::all_benchmarks()).is_err());
+        assert!(FleetConfig::parse("ng0", zoo::all_benchmarks()).is_err());
+    }
+
+    #[test]
+    fn oracle_matches_direct_evaluation() {
+        let fleet = FleetConfig::paper_pair();
+        let mut oracle = ServiceOracle::new();
+        let cost = oracle.cost(&fleet, 0, 9, 0);
+        let eval = NetworkEvaluation::evaluate(
+            &ChipConfig::albireo_9(),
+            TechnologyEstimate::Conservative,
+            &fleet.models[0],
+        );
+        assert_eq!(cost.item_latency_s, eval.latency_s);
+        assert_eq!(cost.item_energy_j, eval.energy_j);
+        assert!(cost.batch_setup_s > 0.0 && cost.batch_setup_energy_j > 0.0);
+    }
+
+    #[test]
+    fn degraded_chip_is_slower() {
+        let fleet = FleetConfig::paper_pair();
+        let mut oracle = ServiceOracle::new();
+        let healthy = oracle.cost(&fleet, 0, 9, 1);
+        let degraded = oracle.cost(&fleet, 0, 5, 1);
+        assert!(degraded.item_latency_s > healthy.item_latency_s);
+    }
+
+    #[test]
+    fn setup_amortization_favours_small_networks() {
+        // AlexNet (61M params, 0.13 ms) must have a much larger
+        // setup/latency ratio than VGG16 (138M params, 2.88 ms).
+        let fleet = FleetConfig::paper_pair();
+        let mut oracle = ServiceOracle::new();
+        let alex = oracle.cost(&fleet, 0, 9, 0);
+        let vgg = oracle.cost(&fleet, 0, 9, 1);
+        let (a_ratio, v_ratio) = (
+            alex.batch_setup_s / alex.item_latency_s,
+            vgg.batch_setup_s / vgg.item_latency_s,
+        );
+        assert!(a_ratio > 4.0 * v_ratio, "{a_ratio} vs {v_ratio}");
+        assert!(a_ratio > 0.1, "AlexNet setup should be material: {a_ratio}");
+    }
+
+    #[test]
+    fn batch_costs_scale_linearly_past_setup() {
+        let fleet = FleetConfig::paper_pair();
+        let mut oracle = ServiceOracle::new();
+        let c = oracle.cost(&fleet, 0, 9, 0);
+        let one = c.batch_latency_s(1);
+        let four = c.batch_latency_s(4);
+        assert!((four - one - 3.0 * c.item_latency_s).abs() < 1e-15);
+        // Batching 4 requests beats 4 singleton dispatches.
+        assert!(four < 4.0 * one);
+        assert!(c.batch_energy_j(4) < 4.0 * c.batch_energy_j(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero PLCGs")]
+    fn zero_active_plcgs_rejected() {
+        let fleet = FleetConfig::paper_pair();
+        ServiceOracle::new().cost(&fleet, 0, 0, 0);
+    }
+}

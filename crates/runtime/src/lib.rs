@@ -1,0 +1,50 @@
+//! `albireo-runtime` — a deterministic multi-chip inference-serving
+//! simulator on top of the Albireo performance models.
+//!
+//! The rest of the workspace answers "how fast is one inference on one
+//! chip?" (Tables II/IV, the device sweeps). This crate answers the
+//! *serving* question: what latency distribution, goodput, shed rate, and
+//! energy-per-request does a small fleet of Albireo chips deliver under a
+//! stochastic request stream — and how gracefully does service degrade
+//! when chips or individual PLCGs fail mid-run?
+//!
+//! Pieces:
+//!
+//! * [`workload`] — seeded arrival processes (Poisson, bursty, trace) and
+//!   the request mix;
+//! * [`fleet`] — chip specs, the fleet, and the memoizing
+//!   [`fleet::ServiceOracle`] that turns `(chip, active PLCGs, network)`
+//!   into latency/energy via `albireo_core`'s validated models;
+//! * [`policy`] — micro-batching policies and admission control;
+//! * [`fault`] — timed chip/PLCG fault scenarios, including
+//!   classification of analog fault sets;
+//! * [`sim`] — the discrete-event engine ([`sim::simulate`]);
+//! * [`report`] — service metrics, text/CSV/JSON renderings, digests;
+//! * [`study`] — the replicated (fleet × rate × policy) sweep, fanned
+//!   deterministically through `albireo-parallel`.
+//!
+//! # Determinism contract
+//!
+//! A run is a pure function of `(fleet, config)`: the event queue's
+//! ordering is total (time bits, event class, insertion sequence), every
+//! random draw comes from seeds derived with `albireo_parallel::split_seed`
+//! from the run's coordinates, and individual runs are single-threaded.
+//! Replica and sweep fan-out go through `Parallelism::map_indexed`, so
+//! study results — and their digests — are bit-identical at any thread
+//! count. DESIGN.md §8 states the full contract.
+
+pub mod fault;
+pub mod fleet;
+pub mod policy;
+pub mod report;
+pub mod sim;
+pub mod study;
+pub mod workload;
+
+pub use fault::{FaultEvent, FaultKind, FaultScenario};
+pub use fleet::{ChipSpec, FleetConfig, ServiceCost, ServiceOracle};
+pub use policy::{AdmissionControl, BatchPolicy};
+pub use report::{ChipReport, RequestRecord, ServiceReport};
+pub use sim::{simulate, ServeConfig};
+pub use study::{replicate, run_serving_study, ServingStudyReport, StudyOptions, StudyRun};
+pub use workload::{ArrivalProcess, Request, Workload};

@@ -1,0 +1,187 @@
+//! Batching and admission-control policy for the central dispatch queue.
+//!
+//! The queue is a single bounded FIFO shared by every chip in the fleet
+//! (Albireo has no intra-chip batching — one inference occupies the whole
+//! chip — so a "batch" is a *micro-batch*: consecutive same-network
+//! requests that share one weight-programming pass, see
+//! [`crate::fleet::ServiceCost`]). Batches are therefore always
+//! single-network; the queue head defines the network and the batch takes
+//! the earliest queued requests of that network, preserving FIFO order
+//! (head-of-line semantics are intentional and documented — a released
+//! chip never skips the oldest waiting request's network).
+
+/// When the dispatcher may form a batch from the queue head.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchPolicy {
+    /// Dispatch a single request as soon as a chip is free.
+    Immediate,
+    /// Wait until `size` same-network requests are queued (or the arrival
+    /// stream has ended, which flushes partial batches).
+    SizeN {
+        /// Target batch size (≥ 1).
+        size: usize,
+    },
+    /// Dispatch when `max_size` same-network requests are queued **or**
+    /// the queue head has waited `max_wait_s`, whichever comes first.
+    Deadline {
+        /// Longest the queue head may wait before a partial batch is
+        /// forced out, s.
+        max_wait_s: f64,
+        /// Upper bound on batch size.
+        max_size: usize,
+    },
+}
+
+impl BatchPolicy {
+    /// A short stable label for reports and CSV keys, e.g. `size4`,
+    /// `deadline100us`.
+    pub fn label(&self) -> String {
+        match self {
+            BatchPolicy::Immediate => "immediate".to_string(),
+            BatchPolicy::SizeN { size } => format!("size{size}"),
+            BatchPolicy::Deadline {
+                max_wait_s,
+                max_size,
+            } => format!("deadline{:.0}us_max{max_size}", max_wait_s * 1e6),
+        }
+    }
+
+    /// Parses a policy spec: `immediate`, `size:<N>`, or
+    /// `deadline:<USEC>[:<MAX>]` (deadline in microseconds, default max
+    /// batch 8).
+    pub fn parse(spec: &str) -> Result<BatchPolicy, String> {
+        let spec = spec.trim();
+        if spec.eq_ignore_ascii_case("immediate") {
+            return Ok(BatchPolicy::Immediate);
+        }
+        if let Some(n) = spec
+            .strip_prefix("size:")
+            .or_else(|| spec.strip_prefix("size"))
+        {
+            let size: usize = n
+                .parse()
+                .map_err(|_| format!("bad batch size in policy `{spec}`"))?;
+            if size == 0 {
+                return Err("batch size must be at least 1".to_string());
+            }
+            return Ok(BatchPolicy::SizeN { size });
+        }
+        if let Some(rest) = spec.strip_prefix("deadline:") {
+            let mut parts = rest.split(':');
+            let usec: f64 = parts
+                .next()
+                .unwrap_or("")
+                .parse()
+                .map_err(|_| format!("bad deadline in policy `{spec}`"))?;
+            if usec <= 0.0 {
+                return Err("deadline must be positive".to_string());
+            }
+            let max_size: usize = match parts.next() {
+                Some(m) => m
+                    .parse()
+                    .map_err(|_| format!("bad max batch size in policy `{spec}`"))?,
+                None => 8,
+            };
+            if max_size == 0 {
+                return Err("max batch size must be at least 1".to_string());
+            }
+            return Ok(BatchPolicy::Deadline {
+                max_wait_s: usec / 1e6,
+                max_size,
+            });
+        }
+        Err(format!(
+            "unknown policy `{spec}` (try: immediate, size:<N>, deadline:<USEC>[:<MAX>])"
+        ))
+    }
+
+    /// The largest batch this policy ever dispatches.
+    pub fn max_batch(&self) -> usize {
+        match self {
+            BatchPolicy::Immediate => 1,
+            BatchPolicy::SizeN { size } => *size,
+            BatchPolicy::Deadline { max_size, .. } => *max_size,
+        }
+    }
+}
+
+/// Admission control for the shared queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionControl {
+    /// Requests the queue holds before arrivals are shed. `usize::MAX`
+    /// disables shedding.
+    pub queue_capacity: usize,
+}
+
+impl Default for AdmissionControl {
+    /// A bounded queue of 64 requests — deep enough to ride a burst,
+    /// shallow enough that shed rate (not unbounded queueing delay)
+    /// absorbs sustained overload.
+    fn default() -> AdmissionControl {
+        AdmissionControl { queue_capacity: 64 }
+    }
+}
+
+impl AdmissionControl {
+    /// An unbounded queue (no shedding).
+    pub fn unbounded() -> AdmissionControl {
+        AdmissionControl {
+            queue_capacity: usize::MAX,
+        }
+    }
+
+    /// A bounded queue.
+    pub fn bounded(queue_capacity: usize) -> AdmissionControl {
+        assert!(queue_capacity > 0, "queue capacity must be at least 1");
+        AdmissionControl { queue_capacity }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(
+            BatchPolicy::parse("immediate").unwrap(),
+            BatchPolicy::Immediate
+        );
+        assert_eq!(
+            BatchPolicy::parse("size:4").unwrap(),
+            BatchPolicy::SizeN { size: 4 }
+        );
+        let d = BatchPolicy::parse("deadline:100:6").unwrap();
+        assert_eq!(
+            d,
+            BatchPolicy::Deadline {
+                max_wait_s: 100e-6,
+                max_size: 6
+            }
+        );
+        assert_eq!(d.label(), "deadline100us_max6");
+        assert_eq!(BatchPolicy::parse("deadline:50").unwrap().max_batch(), 8);
+        assert!(BatchPolicy::parse("size:0").is_err());
+        assert!(BatchPolicy::parse("deadline:0").is_err());
+        assert!(BatchPolicy::parse("fifo").is_err());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(BatchPolicy::Immediate.label(), "immediate");
+        assert_eq!(BatchPolicy::SizeN { size: 8 }.label(), "size8");
+    }
+
+    #[test]
+    fn admission_defaults() {
+        assert_eq!(AdmissionControl::default().queue_capacity, 64);
+        assert_eq!(AdmissionControl::unbounded().queue_capacity, usize::MAX);
+        assert_eq!(AdmissionControl::bounded(8).queue_capacity, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_rejected() {
+        AdmissionControl::bounded(0);
+    }
+}

@@ -1,0 +1,451 @@
+//! Service metrics: the per-run report, its text/CSV/JSON renderings,
+//! and the order-sensitive digest used by the determinism checks.
+//!
+//! Conventions mirror `albireo-bench`'s `BENCH_parallel.json`: floats are
+//! rendered with `{:.6}`, the digest folds values with
+//! `digest.rotate_left(7) ^ bits` (order-sensitive, so it also certifies
+//! *dispatch order*, not just the multiset of results), and the JSON is
+//! hand-rolled against a versioned schema string
+//! (`albireo.bench.serving/v1`). The full field list is documented in
+//! DESIGN.md §8.
+
+use crate::fleet::FleetConfig;
+use crate::sim::ServeConfig;
+
+/// One served request's lifecycle, in dispatch order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestRecord {
+    /// Request id (arrival order within the workload).
+    pub id: u64,
+    /// Network index into the fleet's model table.
+    pub network: usize,
+    /// Fleet chip that served it.
+    pub chip: usize,
+    /// Arrival on the virtual clock, s.
+    pub arrival_s: f64,
+    /// Batch dispatch instant, s.
+    pub start_s: f64,
+    /// Completion instant, s.
+    pub finish_s: f64,
+}
+
+/// Per-chip serving totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipReport {
+    /// Chip name from the fleet spec.
+    pub name: String,
+    /// Requests completed on this chip.
+    pub served: u64,
+    /// Micro-batches dispatched to this chip.
+    pub batches: u64,
+    /// Total busy time, s.
+    pub busy_s: f64,
+    /// Total energy, J.
+    pub energy_j: f64,
+    /// Whether the chip could still accept work when the run ended.
+    pub online_at_end: bool,
+    /// PLCGs retired by the fault scenario.
+    pub plcgs_down: usize,
+}
+
+impl ChipReport {
+    /// Fraction of the run this chip spent serving.
+    pub fn utilization(&self, makespan_s: f64) -> f64 {
+        if makespan_s > 0.0 {
+            self.busy_s / makespan_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The service report of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// Fleet label (e.g. `albireo_9+albireo_27`).
+    pub fleet_label: String,
+    /// Batching-policy label.
+    pub policy_label: String,
+    /// Arrival-process label.
+    pub arrival_label: String,
+    /// Mean offered rate, requests/s.
+    pub offered_rate_rps: f64,
+    /// Queue capacity (`usize::MAX` = unbounded).
+    pub queue_capacity: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Requests offered.
+    pub offered: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed (admission control or stranded at end of run).
+    pub shed: u64,
+    /// `shed / offered`.
+    pub shed_rate: f64,
+    /// Median service latency (arrival → completion), ms.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, ms.
+    pub p99_ms: f64,
+    /// 99.9th-percentile latency, ms.
+    pub p999_ms: f64,
+    /// Mean latency, ms.
+    pub mean_latency_ms: f64,
+    /// Mean queueing delay (arrival → dispatch), ms.
+    pub mean_wait_ms: f64,
+    /// Completed requests per second of makespan.
+    pub goodput_rps: f64,
+    /// Virtual time from first arrival to last completion, s.
+    pub makespan_s: f64,
+    /// Total fleet energy, J.
+    pub energy_total_j: f64,
+    /// `energy_total / completed`, J.
+    pub energy_per_request_j: f64,
+    /// Mean requests per dispatched micro-batch.
+    pub mean_batch_size: f64,
+    /// Deepest the queue got.
+    pub max_queue_depth: usize,
+    /// Per-chip totals, in fleet order.
+    pub per_chip: Vec<ChipReport>,
+    /// Per-request records, in dispatch order.
+    pub records: Vec<RequestRecord>,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn fold(digest: u64, bits: u64) -> u64 {
+    digest.rotate_left(7) ^ bits
+}
+
+impl ServiceReport {
+    /// Builds the report from a finished run's raw state.
+    pub(crate) fn from_run(
+        cfg: &ServeConfig,
+        fleet: &FleetConfig,
+        records: Vec<RequestRecord>,
+        per_chip: Vec<ChipReport>,
+        shed: u64,
+        max_queue_depth: usize,
+        last_arrival_s: f64,
+    ) -> ServiceReport {
+        let completed = records.len() as u64;
+        let offered = cfg.requests as u64;
+        let makespan_s = records
+            .iter()
+            .map(|r| r.finish_s)
+            .fold(last_arrival_s, f64::max);
+        let mut latencies_ms: Vec<f64> = records
+            .iter()
+            .map(|r| (r.finish_s - r.arrival_s) * 1e3)
+            .collect();
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let mean_latency_ms = if completed > 0 {
+            latencies_ms.iter().sum::<f64>() / completed as f64
+        } else {
+            0.0
+        };
+        let mean_wait_ms = if completed > 0 {
+            records
+                .iter()
+                .map(|r| (r.start_s - r.arrival_s) * 1e3)
+                .sum::<f64>()
+                / completed as f64
+        } else {
+            0.0
+        };
+        let energy_total_j: f64 = per_chip.iter().map(|c| c.energy_j).sum();
+        let batches: u64 = per_chip.iter().map(|c| c.batches).sum();
+        ServiceReport {
+            fleet_label: fleet.label(),
+            policy_label: cfg.policy.label(),
+            arrival_label: cfg.workload.process.label().to_string(),
+            offered_rate_rps: cfg.workload.process.mean_rate_rps(),
+            queue_capacity: cfg.admission.queue_capacity,
+            seed: cfg.seed,
+            offered,
+            completed,
+            shed,
+            shed_rate: if offered > 0 {
+                shed as f64 / offered as f64
+            } else {
+                0.0
+            },
+            p50_ms: percentile(&latencies_ms, 0.50),
+            p95_ms: percentile(&latencies_ms, 0.95),
+            p99_ms: percentile(&latencies_ms, 0.99),
+            p999_ms: percentile(&latencies_ms, 0.999),
+            mean_latency_ms,
+            mean_wait_ms,
+            goodput_rps: if makespan_s > 0.0 {
+                completed as f64 / makespan_s
+            } else {
+                0.0
+            },
+            makespan_s,
+            energy_total_j,
+            energy_per_request_j: if completed > 0 {
+                energy_total_j / completed as f64
+            } else {
+                0.0
+            },
+            mean_batch_size: if batches > 0 {
+                completed as f64 / batches as f64
+            } else {
+                0.0
+            },
+            max_queue_depth,
+            per_chip,
+            records,
+        }
+    }
+
+    /// Order-sensitive digest over the full run outcome: every request
+    /// record in dispatch order, the shed count, and the per-chip totals.
+    /// Two runs with the same digest served the same requests on the same
+    /// chips at the same virtual instants.
+    pub fn digest(&self) -> u64 {
+        let mut d = 0xA1B1_9E0Au64;
+        d = fold(d, self.offered);
+        d = fold(d, self.completed);
+        d = fold(d, self.shed);
+        for r in &self.records {
+            d = fold(d, r.id);
+            d = fold(d, r.network as u64);
+            d = fold(d, r.chip as u64);
+            d = fold(d, r.arrival_s.to_bits());
+            d = fold(d, r.start_s.to_bits());
+            d = fold(d, r.finish_s.to_bits());
+        }
+        for c in &self.per_chip {
+            d = fold(d, c.served);
+            d = fold(d, c.batches);
+            d = fold(d, c.busy_s.to_bits());
+            d = fold(d, c.energy_j.to_bits());
+            d = fold(d, c.plcgs_down as u64);
+            d = fold(d, c.online_at_end as u64);
+        }
+        d
+    }
+
+    /// The digest as a fixed-width hex string (what reports print).
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest())
+    }
+
+    fn capacity_label(&self) -> String {
+        if self.queue_capacity == usize::MAX {
+            "unbounded".to_string()
+        } else {
+            self.queue_capacity.to_string()
+        }
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "serving report  fleet={}  policy={}  arrival={}  seed={}\n",
+            self.fleet_label, self.policy_label, self.arrival_label, self.seed
+        ));
+        out.push_str(&format!(
+            "  offered {} req at {:.1} rps  queue_cap {}\n",
+            self.offered,
+            self.offered_rate_rps,
+            self.capacity_label()
+        ));
+        out.push_str(&format!(
+            "  completed {}  shed {} ({:.2}%)  goodput {:.1} rps  makespan {:.6} s\n",
+            self.completed,
+            self.shed,
+            self.shed_rate * 100.0,
+            self.goodput_rps,
+            self.makespan_s
+        ));
+        out.push_str(&format!(
+            "  latency ms  p50 {:.6}  p95 {:.6}  p99 {:.6}  p99.9 {:.6}  mean {:.6}  wait {:.6}\n",
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.p999_ms,
+            self.mean_latency_ms,
+            self.mean_wait_ms
+        ));
+        out.push_str(&format!(
+            "  energy {:.6} J total  {:.6} mJ/request  mean batch {:.3}  max queue {}\n",
+            self.energy_total_j,
+            self.energy_per_request_j * 1e3,
+            self.mean_batch_size,
+            self.max_queue_depth
+        ));
+        for c in &self.per_chip {
+            out.push_str(&format!(
+                "  chip {:<14} served {:>6}  batches {:>6}  util {:>6.2}%  energy {:.6} J  {}{}\n",
+                c.name,
+                c.served,
+                c.batches,
+                c.utilization(self.makespan_s) * 100.0,
+                c.energy_j,
+                if c.online_at_end { "online" } else { "OFFLINE" },
+                if c.plcgs_down > 0 {
+                    format!(" ({} PLCGs down)", c.plcgs_down)
+                } else {
+                    String::new()
+                }
+            ));
+        }
+        out.push_str(&format!("  digest {}\n", self.digest_hex()));
+        out
+    }
+
+    /// Header row for the serving-study CSV.
+    pub fn csv_header() -> &'static str {
+        "fleet,policy,arrival,rate_rps,queue_cap,seed,offered,completed,shed,shed_rate,\
+         p50_ms,p95_ms,p99_ms,p999_ms,mean_latency_ms,mean_wait_ms,goodput_rps,\
+         makespan_s,energy_total_j,energy_per_request_mj,mean_batch_size,digest"
+    }
+
+    /// One CSV row matching [`ServiceReport::csv_header`].
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{:.3},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3},{:.6},{:.6},{:.6},{:.3},{}",
+            self.fleet_label,
+            self.policy_label,
+            self.arrival_label,
+            self.offered_rate_rps,
+            self.capacity_label(),
+            self.seed,
+            self.offered,
+            self.completed,
+            self.shed,
+            self.shed_rate,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.p999_ms,
+            self.mean_latency_ms,
+            self.mean_wait_ms,
+            self.goodput_rps,
+            self.makespan_s,
+            self.energy_total_j,
+            self.energy_per_request_j * 1e3,
+            self.mean_batch_size,
+            self.digest_hex()
+        )
+    }
+
+    /// Hand-rolled JSON digest of the run (schema
+    /// `albireo.bench.serving/v1`, documented in DESIGN.md §8). Does not
+    /// embed per-request records; the digest covers them.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"albireo.bench.serving/v1\",\n");
+        s.push_str(&format!("  \"fleet\": \"{}\",\n", self.fleet_label));
+        s.push_str(&format!("  \"policy\": \"{}\",\n", self.policy_label));
+        s.push_str(&format!("  \"arrival\": \"{}\",\n", self.arrival_label));
+        s.push_str(&format!("  \"rate_rps\": {:.6},\n", self.offered_rate_rps));
+        s.push_str(&format!(
+            "  \"queue_capacity\": \"{}\",\n",
+            self.capacity_label()
+        ));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"offered\": {},\n", self.offered));
+        s.push_str(&format!("  \"completed\": {},\n", self.completed));
+        s.push_str(&format!("  \"shed\": {},\n", self.shed));
+        s.push_str(&format!("  \"shed_rate\": {:.6},\n", self.shed_rate));
+        s.push_str("  \"latency_ms\": {\n");
+        s.push_str(&format!("    \"p50\": {:.6},\n", self.p50_ms));
+        s.push_str(&format!("    \"p95\": {:.6},\n", self.p95_ms));
+        s.push_str(&format!("    \"p99\": {:.6},\n", self.p99_ms));
+        s.push_str(&format!("    \"p999\": {:.6},\n", self.p999_ms));
+        s.push_str(&format!("    \"mean\": {:.6},\n", self.mean_latency_ms));
+        s.push_str(&format!("    \"mean_wait\": {:.6}\n", self.mean_wait_ms));
+        s.push_str("  },\n");
+        s.push_str(&format!("  \"goodput_rps\": {:.6},\n", self.goodput_rps));
+        s.push_str(&format!("  \"makespan_s\": {:.6},\n", self.makespan_s));
+        s.push_str(&format!(
+            "  \"energy_total_j\": {:.6},\n",
+            self.energy_total_j
+        ));
+        s.push_str(&format!(
+            "  \"energy_per_request_mj\": {:.6},\n",
+            self.energy_per_request_j * 1e3
+        ));
+        s.push_str(&format!(
+            "  \"mean_batch_size\": {:.6},\n",
+            self.mean_batch_size
+        ));
+        s.push_str(&format!(
+            "  \"max_queue_depth\": {},\n",
+            self.max_queue_depth
+        ));
+        s.push_str("  \"chips\": [\n");
+        for (i, c) in self.per_chip.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"served\": {}, \"batches\": {}, \"utilization\": {:.6}, \"energy_j\": {:.6}, \"online\": {}, \"plcgs_down\": {}}}{}\n",
+                c.name,
+                c.served,
+                c.batches,
+                c.utilization(self.makespan_s),
+                c.energy_j,
+                c.online_at_end,
+                c.plcgs_down,
+                if i + 1 < self.per_chip.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"digest\": \"{}\"\n", self.digest_hex()));
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.50), 2.0);
+        assert_eq!(percentile(&v, 0.95), 4.0);
+        assert_eq!(percentile(&v, 0.001), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.999), 7.0);
+    }
+
+    #[test]
+    fn renderings_carry_the_digest() {
+        let fleet = FleetConfig::paper_pair();
+        let cfg = ServeConfig::poisson(3000.0, 120, 9, 0);
+        let report = crate::sim::simulate(&fleet, &cfg);
+        let hex = report.digest_hex();
+        assert_eq!(hex.len(), 16);
+        assert!(report.render_text().contains(&hex));
+        assert!(report.csv_row().ends_with(&hex));
+        let json = report.to_json();
+        assert!(json.contains("albireo.bench.serving/v1"));
+        assert!(json.contains(&hex));
+        assert_eq!(
+            ServiceReport::csv_header().split(',').count(),
+            report.csv_row().split(',').count()
+        );
+    }
+
+    #[test]
+    fn json_is_stable_across_identical_runs() {
+        let fleet = FleetConfig::paper_pair();
+        let cfg = ServeConfig::poisson(3000.0, 120, 9, 0);
+        let a = crate::sim::simulate(&fleet, &cfg).to_json();
+        let b = crate::sim::simulate(&fleet, &cfg).to_json();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,582 @@
+//! The deterministic discrete-event serving engine.
+//!
+//! One simulation run processes a seeded request stream against a fleet
+//! on a virtual clock. Events live in a binary heap keyed by
+//! `(time, class, sequence)`:
+//!
+//! * `time` — the f64 virtual instant, compared through its IEEE-754 bit
+//!   pattern (all event times are non-negative and finite, where that
+//!   ordering is exact);
+//! * `class` — a fixed tie-break between same-instant events: fleet
+//!   **faults** apply first (a chip failing at *t* never picks up work
+//!   arriving at *t*), then batch **completions** (freed chips are
+//!   visible to same-instant arrivals), then **arrivals**, then batching
+//!   **timers**;
+//! * `sequence` — insertion order, making the whole ordering total.
+//!
+//! Because the ordering is total and every stochastic choice draws from
+//! the seeded workload generator, a run is a pure function of
+//! `(fleet, config)` — byte-identical across hosts, thread counts, and
+//! repetitions. Parallelism happens one level up (replica and sweep
+//! fan-out in [`crate::study`]), never inside a run.
+//!
+//! Dispatch model: a single bounded FIFO feeds every chip. Whenever a
+//! chip is free and the queue head is *ready* under the batching policy,
+//! the dispatcher forms a single-network micro-batch from the earliest
+//! queued requests of the head's network and places it on the
+//! lowest-indexed free chip. Chips taken offline finish their in-flight
+//! batch; requests still queued when the run ends with no serviceable
+//! chip are counted as shed, so total chip loss degrades goodput instead
+//! of erroring.
+
+use crate::fault::{FaultKind, FaultScenario};
+use crate::fleet::{FleetConfig, ServiceOracle};
+use crate::policy::{AdmissionControl, BatchPolicy};
+use crate::report::{ChipReport, RequestRecord, ServiceReport};
+use crate::workload::{Request, Workload};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Everything one simulation run needs besides the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// The request stream.
+    pub workload: Workload,
+    /// Requests offered before the stream ends.
+    pub requests: usize,
+    /// Master seed for the run.
+    pub seed: u64,
+    /// Batching policy.
+    pub policy: BatchPolicy,
+    /// Admission control.
+    pub admission: AdmissionControl,
+    /// Timed fault scenario.
+    pub faults: FaultScenario,
+}
+
+impl ServeConfig {
+    /// A seeded Poisson run with immediate dispatch and default admission
+    /// control, serving network index `network`.
+    pub fn poisson(rate_rps: f64, requests: usize, seed: u64, network: usize) -> ServeConfig {
+        ServeConfig {
+            workload: Workload::poisson(rate_rps, network),
+            requests,
+            seed,
+            policy: BatchPolicy::Immediate,
+            admission: AdmissionControl::default(),
+            faults: FaultScenario::none(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum EventKind {
+    Fault(FaultKind),
+    Completion { chip: usize },
+    Arrival(Request),
+    Timer,
+}
+
+impl EventKind {
+    fn class(&self) -> u8 {
+        match self {
+            EventKind::Fault(_) => 0,
+            EventKind::Completion { .. } => 1,
+            EventKind::Arrival(_) => 2,
+            EventKind::Timer => 3,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Event {
+    /// `time_s.to_bits()` — exact total order for non-negative finite
+    /// times.
+    time_bits: u64,
+    class: u8,
+    seq: u64,
+    time_s: f64,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Event) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Event) -> std::cmp::Ordering {
+        (self.time_bits, self.class, self.seq).cmp(&(other.time_bits, other.class, other.seq))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ChipState {
+    online: bool,
+    plcgs_down: usize,
+    busy: bool,
+    busy_s: f64,
+    energy_j: f64,
+    served: u64,
+    batches: u64,
+}
+
+struct Sim<'a> {
+    fleet: &'a FleetConfig,
+    cfg: &'a ServeConfig,
+    oracle: ServiceOracle,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    queue: VecDeque<Request>,
+    chips: Vec<ChipState>,
+    arrivals_pending: usize,
+    records: Vec<RequestRecord>,
+    shed: u64,
+    max_queue_depth: usize,
+    last_arrival_s: f64,
+}
+
+impl<'a> Sim<'a> {
+    fn push(&mut self, time_s: f64, kind: EventKind) {
+        debug_assert!(time_s.is_finite() && time_s >= 0.0);
+        let event = Event {
+            time_bits: time_s.to_bits(),
+            class: kind.class(),
+            seq: self.seq,
+            time_s,
+            kind,
+        };
+        self.seq += 1;
+        self.heap.push(Reverse(event));
+    }
+
+    fn ng_active(&self, chip: usize) -> usize {
+        self.fleet.chips[chip]
+            .chip
+            .ng
+            .saturating_sub(self.chips[chip].plcgs_down)
+    }
+
+    fn serviceable(&self, chip: usize) -> bool {
+        let c = &self.chips[chip];
+        c.online && !c.busy && self.ng_active(chip) > 0
+    }
+
+    /// Whether the queue head may be dispatched now under the policy.
+    fn head_ready(&self, now: f64) -> bool {
+        let Some(head) = self.queue.front() else {
+            return false;
+        };
+        let same_network = self
+            .queue
+            .iter()
+            .filter(|r| r.network == head.network)
+            .count();
+        let drained = self.arrivals_pending == 0;
+        match self.cfg.policy {
+            BatchPolicy::Immediate => true,
+            BatchPolicy::SizeN { size } => same_network >= size || drained,
+            BatchPolicy::Deadline {
+                max_wait_s,
+                max_size,
+            } => same_network >= max_size || now >= head.arrival_s + max_wait_s || drained,
+        }
+    }
+
+    /// Removes the queue head's micro-batch: the earliest queued requests
+    /// of the head's network, up to the policy's batch bound.
+    fn take_batch(&mut self) -> Vec<Request> {
+        let network = self.queue.front().expect("head exists").network;
+        let max = self.cfg.policy.max_batch();
+        let mut batch = Vec::with_capacity(max);
+        let mut rest = VecDeque::with_capacity(self.queue.len());
+        while let Some(r) = self.queue.pop_front() {
+            if r.network == network && batch.len() < max {
+                batch.push(r);
+            } else {
+                rest.push_back(r);
+            }
+        }
+        self.queue = rest;
+        batch
+    }
+
+    /// Dispatches ready work onto free chips until one side is exhausted.
+    fn try_dispatch(&mut self, now: f64) {
+        loop {
+            if !self.head_ready(now) {
+                return;
+            }
+            let Some(chip) = (0..self.chips.len()).find(|&c| self.serviceable(c)) else {
+                return;
+            };
+            let batch = self.take_batch();
+            let cost = self
+                .oracle
+                .cost(self.fleet, chip, self.ng_active(chip), batch[0].network);
+            let busy = cost.batch_latency_s(batch.len());
+            let energy = cost.batch_energy_j(batch.len());
+            let state = &mut self.chips[chip];
+            state.busy = true;
+            state.busy_s += busy;
+            state.energy_j += energy;
+            state.served += batch.len() as u64;
+            state.batches += 1;
+            for (i, req) in batch.iter().enumerate() {
+                // Depth-first execution is sequential within the batch:
+                // request i completes after setup + (i+1) inferences.
+                let finish_s = now + cost.batch_setup_s + (i + 1) as f64 * cost.item_latency_s;
+                self.records.push(RequestRecord {
+                    id: req.id,
+                    network: req.network,
+                    chip,
+                    arrival_s: req.arrival_s,
+                    start_s: now,
+                    finish_s,
+                });
+            }
+            self.push(now + busy, EventKind::Completion { chip });
+        }
+    }
+
+    fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::ChipOffline { chip } => {
+                if let Some(c) = self.chips.get_mut(chip) {
+                    c.online = false;
+                }
+            }
+            FaultKind::ChipOnline { chip } => {
+                if let Some(c) = self.chips.get_mut(chip) {
+                    c.online = true;
+                    c.plcgs_down = 0;
+                }
+            }
+            FaultKind::PlcgOffline { chip, count } => {
+                if let Some(c) = self.chips.get_mut(chip) {
+                    c.plcgs_down += count;
+                }
+            }
+        }
+    }
+
+    fn run(mut self) -> ServiceReport {
+        while let Some(Reverse(event)) = self.heap.pop() {
+            let now = event.time_s;
+            match event.kind {
+                EventKind::Fault(kind) => {
+                    self.apply_fault(kind);
+                    self.try_dispatch(now);
+                }
+                EventKind::Completion { chip } => {
+                    self.chips[chip].busy = false;
+                    self.try_dispatch(now);
+                }
+                EventKind::Arrival(req) => {
+                    self.arrivals_pending -= 1;
+                    self.last_arrival_s = now;
+                    if self.queue.len() >= self.cfg.admission.queue_capacity {
+                        self.shed += 1;
+                    } else {
+                        if let BatchPolicy::Deadline { max_wait_s, .. } = self.cfg.policy {
+                            // The timer recomputes the readiness deadline
+                            // with the same expression head_ready uses, so
+                            // the comparison is exact.
+                            self.push(req.arrival_s + max_wait_s, EventKind::Timer);
+                        }
+                        self.queue.push_back(req);
+                        self.max_queue_depth = self.max_queue_depth.max(self.queue.len());
+                    }
+                    self.try_dispatch(now);
+                }
+                EventKind::Timer => {
+                    self.try_dispatch(now);
+                }
+            }
+        }
+        // Requests stranded in the queue (every chip offline or fully
+        // degraded, no event left to free one) are shed, not an error:
+        // the service degrades to whatever the surviving fleet completed.
+        self.shed += self.queue.len() as u64;
+        self.finish()
+    }
+
+    fn finish(self) -> ServiceReport {
+        let per_chip: Vec<ChipReport> = self
+            .fleet
+            .chips
+            .iter()
+            .zip(&self.chips)
+            .map(|(spec, state)| ChipReport {
+                name: spec.name.clone(),
+                served: state.served,
+                batches: state.batches,
+                busy_s: state.busy_s,
+                energy_j: state.energy_j,
+                online_at_end: state.online && spec.chip.ng > state.plcgs_down,
+                plcgs_down: state.plcgs_down,
+            })
+            .collect();
+        ServiceReport::from_run(
+            self.cfg,
+            self.fleet,
+            self.records,
+            per_chip,
+            self.shed,
+            self.max_queue_depth,
+            self.last_arrival_s,
+        )
+    }
+}
+
+/// Runs one serving simulation to completion.
+pub fn simulate(fleet: &FleetConfig, cfg: &ServeConfig) -> ServiceReport {
+    assert!(!fleet.chips.is_empty(), "fleet must contain a chip");
+    assert!(!fleet.models.is_empty(), "fleet must serve a network");
+    let requests = cfg.workload.generate(cfg.requests, cfg.seed);
+    for r in &requests {
+        assert!(
+            r.network < fleet.models.len(),
+            "request network {} outside the fleet's model table",
+            r.network
+        );
+    }
+    let mut sim = Sim {
+        fleet,
+        cfg,
+        oracle: ServiceOracle::new(),
+        heap: BinaryHeap::new(),
+        seq: 0,
+        queue: VecDeque::new(),
+        chips: vec![
+            ChipState {
+                online: true,
+                plcgs_down: 0,
+                busy: false,
+                busy_s: 0.0,
+                energy_j: 0.0,
+                served: 0,
+                batches: 0,
+            };
+            fleet.chips.len()
+        ],
+        arrivals_pending: requests.len(),
+        records: Vec::with_capacity(requests.len()),
+        shed: 0,
+        max_queue_depth: 0,
+        last_arrival_s: 0.0,
+    };
+    for fault in cfg.faults.sorted_events() {
+        sim.push(fault.at_s, EventKind::Fault(fault.kind));
+    }
+    for req in requests {
+        let at = req.arrival_s;
+        sim.push(at, EventKind::Arrival(req));
+    }
+    sim.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultKind;
+
+    fn small_fleet() -> FleetConfig {
+        FleetConfig::paper_pair()
+    }
+
+    #[test]
+    fn every_offered_request_is_completed_or_shed() {
+        let fleet = small_fleet();
+        let cfg = ServeConfig::poisson(5000.0, 400, 7, 0);
+        let report = simulate(&fleet, &cfg);
+        assert_eq!(report.offered, 400);
+        assert_eq!(report.completed + report.shed, 400);
+        assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let fleet = small_fleet();
+        let cfg = ServeConfig::poisson(3000.0, 300, 42, 0);
+        let a = simulate(&fleet, &cfg);
+        let b = simulate(&fleet, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn latencies_are_causal_and_ordered() {
+        let fleet = small_fleet();
+        let cfg = ServeConfig::poisson(2000.0, 200, 3, 1);
+        let report = simulate(&fleet, &cfg);
+        for r in &report.records {
+            assert!(r.start_s >= r.arrival_s);
+            assert!(r.finish_s > r.start_s);
+        }
+        assert!(report.p50_ms > 0.0);
+        assert!(report.p50_ms <= report.p95_ms);
+        assert!(report.p95_ms <= report.p99_ms);
+        assert!(report.p99_ms <= report.p999_ms);
+    }
+
+    #[test]
+    fn overload_sheds_instead_of_queueing_forever() {
+        let fleet = small_fleet();
+        // VGG16 at ~2.9 ms/inference on two chips sustains well under
+        // 1000 rps; offering 50k rps must shed hard.
+        let mut cfg = ServeConfig::poisson(50_000.0, 500, 5, 1);
+        cfg.admission = AdmissionControl::bounded(16);
+        let report = simulate(&fleet, &cfg);
+        assert!(report.shed > 0, "expected shedding under overload");
+        assert!(report.shed_rate > 0.3, "shed rate {}", report.shed_rate);
+        assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn batching_amortizes_setup_for_small_networks() {
+        let fleet = small_fleet();
+        // AlexNet has a ~31% weight-programming overhead per dispatch:
+        // size-8 micro-batching must beat immediate dispatch on energy
+        // per request and sustain a backlog with less total busy time.
+        let mut immediate = ServeConfig::poisson(12_000.0, 600, 11, 0);
+        immediate.admission = AdmissionControl::unbounded();
+        let mut batched = immediate.clone();
+        batched.policy = BatchPolicy::SizeN { size: 8 };
+        let a = simulate(&fleet, &immediate);
+        let b = simulate(&fleet, &batched);
+        assert_eq!(a.completed, 600);
+        assert_eq!(b.completed, 600);
+        assert!(
+            b.energy_per_request_j < a.energy_per_request_j,
+            "batched {} vs immediate {}",
+            b.energy_per_request_j,
+            a.energy_per_request_j
+        );
+        assert!(b.mean_batch_size > 2.0);
+    }
+
+    #[test]
+    fn deadline_policy_bounds_head_waiting() {
+        let fleet = small_fleet();
+        let mut cfg = ServeConfig::poisson(100.0, 50, 13, 0);
+        cfg.policy = BatchPolicy::Deadline {
+            max_wait_s: 200e-6,
+            max_size: 8,
+        };
+        cfg.admission = AdmissionControl::unbounded();
+        let report = simulate(&fleet, &cfg);
+        assert_eq!(report.completed, 50);
+        // At 100 rps the stream is sparse: batches time out rather than
+        // fill, and no request waits unboundedly for batch-mates.
+        for r in &report.records {
+            let wait = r.start_s - r.arrival_s;
+            assert!(
+                wait <= 201e-6 + 8.0 * 0.2e-3 + 1e-6,
+                "request {} waited {wait}",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn chip_failure_degrades_gracefully() {
+        let fleet = small_fleet();
+        let mut cfg = ServeConfig::poisson(2000.0, 400, 17, 0);
+        cfg.faults = FaultScenario::none().with(0.02, FaultKind::ChipOffline { chip: 1 });
+        let healthy = simulate(&fleet, &ServeConfig::poisson(2000.0, 400, 17, 0));
+        let faulty = simulate(&fleet, &cfg);
+        assert!(faulty.completed > 0, "goodput must stay nonzero");
+        assert!(faulty.goodput_rps > 0.0);
+        assert!(
+            faulty.per_chip[1].served <= healthy.per_chip[1].served,
+            "offline chip cannot serve more"
+        );
+        assert!(!faulty.per_chip[1].online_at_end);
+    }
+
+    #[test]
+    fn total_fleet_loss_sheds_the_remainder_without_error() {
+        let fleet = small_fleet();
+        let mut cfg = ServeConfig::poisson(2000.0, 300, 19, 0);
+        cfg.faults = FaultScenario::none()
+            .with(0.01, FaultKind::ChipOffline { chip: 0 })
+            .with(0.01, FaultKind::ChipOffline { chip: 1 });
+        let report = simulate(&fleet, &cfg);
+        assert_eq!(report.completed + report.shed, 300);
+        assert!(report.completed > 0, "work before the failure completes");
+        assert!(report.shed > 0, "work after the failure is shed");
+    }
+
+    #[test]
+    fn plcg_degradation_slows_but_keeps_serving() {
+        let fleet = small_fleet();
+        let mut cfg = ServeConfig::poisson(1500.0, 300, 23, 1);
+        cfg.faults = FaultScenario::none().with(0.0, FaultKind::PlcgOffline { chip: 0, count: 6 });
+        let healthy = simulate(&fleet, &ServeConfig::poisson(1500.0, 300, 23, 1));
+        let degraded = simulate(&fleet, &cfg);
+        assert_eq!(degraded.completed + degraded.shed, 300);
+        assert!(degraded.completed > 0);
+        assert!(
+            degraded.p99_ms >= healthy.p99_ms,
+            "degradation cannot improve tails: {} < {}",
+            degraded.p99_ms,
+            healthy.p99_ms
+        );
+        assert!(degraded.per_chip[0].plcgs_down == 6);
+    }
+
+    #[test]
+    fn chip_recovery_restores_capacity() {
+        let fleet = small_fleet();
+        let mut cfg = ServeConfig::poisson(2000.0, 400, 29, 0);
+        cfg.faults = FaultScenario::none()
+            .with(0.01, FaultKind::ChipOffline { chip: 1 })
+            .with(0.05, FaultKind::ChipOnline { chip: 1 });
+        let report = simulate(&fleet, &cfg);
+        assert_eq!(report.completed, 400 - report.shed);
+        assert!(report.per_chip[1].online_at_end);
+        assert!(report.per_chip[1].served > 0);
+    }
+
+    #[test]
+    fn utilization_is_bounded_and_energy_positive() {
+        let fleet = small_fleet();
+        let report = simulate(&fleet, &ServeConfig::poisson(4000.0, 300, 31, 0));
+        for chip in &report.per_chip {
+            let util = chip.busy_s / report.makespan_s;
+            assert!((0.0..=1.0 + 1e-9).contains(&util), "utilization {util}");
+        }
+        assert!(report.energy_per_request_j > 0.0);
+        assert!(report.mean_batch_size >= 1.0);
+    }
+
+    #[test]
+    fn mixed_network_batches_stay_single_network() {
+        let fleet = small_fleet();
+        let mut cfg = ServeConfig::poisson(8000.0, 400, 37, 0);
+        cfg.workload.mix = vec![(0, 1.0), (3, 1.0)];
+        cfg.policy = BatchPolicy::SizeN { size: 4 };
+        cfg.admission = AdmissionControl::unbounded();
+        let report = simulate(&fleet, &cfg);
+        // Group records by (chip, start): each dispatch must be
+        // single-network.
+        use std::collections::BTreeMap;
+        let mut batches: BTreeMap<(usize, u64), Vec<usize>> = BTreeMap::new();
+        for r in &report.records {
+            batches
+                .entry((r.chip, r.start_s.to_bits()))
+                .or_default()
+                .push(r.network);
+        }
+        for (key, networks) in batches {
+            assert!(
+                networks.windows(2).all(|w| w[0] == w[1]),
+                "mixed batch at {key:?}: {networks:?}"
+            );
+        }
+    }
+}

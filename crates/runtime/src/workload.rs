@@ -1,0 +1,309 @@
+//! Seeded request-stream generation: the arrival side of the serving
+//! simulator.
+//!
+//! A [`Workload`] turns `(seed, request count)` into a deterministic,
+//! time-sorted vector of [`Request`]s. Three arrival processes are
+//! provided:
+//!
+//! * **Poisson** — i.i.d. exponential interarrival gaps at a fixed mean
+//!   rate, the standard open-loop service model;
+//! * **Bursty** — a two-phase modulated Poisson process (an MMPP-2): the
+//!   generator alternates between an *on* phase at `burst × rate` and an
+//!   *off* phase at a compensating low rate, so the long-run mean rate is
+//!   preserved while arrivals cluster — the tail-latency stressor;
+//! * **Trace** — explicit arrival instants, for replaying measured
+//!   traffic.
+//!
+//! Determinism contract: generation draws from a `StdRng` seeded with
+//! `split_seed(seed, stream)` per concern (one stream for gaps, one for
+//! network choice), so a workload is a pure function of `(spec, seed)` —
+//! independent of thread count, host, or call site.
+
+use albireo_parallel::{split_seed, stream_id};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Stream-id pass tag for interarrival-gap draws.
+const GAP_PASS: u64 = 0x5E1;
+/// Stream-id pass tag for network-mix draws.
+const MIX_PASS: u64 = 0x5E2;
+
+/// One inference request offered to the service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Monotone request id (arrival order).
+    pub id: u64,
+    /// Index into the workload's network mix.
+    pub network: usize,
+    /// Arrival instant on the virtual clock, s.
+    pub arrival_s: f64,
+}
+
+/// The arrival process shaping request interarrival times.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Exponential interarrival gaps at `rate_rps` requests per second.
+    Poisson {
+        /// Mean arrival rate, requests/s.
+        rate_rps: f64,
+    },
+    /// Two-phase modulated Poisson: `on_s` seconds at `burst × rate_rps`,
+    /// then `off_s` seconds at the compensating low rate that keeps the
+    /// long-run mean at `rate_rps`.
+    Bursty {
+        /// Long-run mean arrival rate, requests/s.
+        rate_rps: f64,
+        /// On-phase rate multiplier (> 1).
+        burst: f64,
+        /// On-phase duration, s.
+        on_s: f64,
+        /// Off-phase duration, s.
+        off_s: f64,
+    },
+    /// Explicit arrival instants (need not be sorted; they are sorted
+    /// during generation).
+    Trace {
+        /// Arrival times, s.
+        times_s: Vec<f64>,
+    },
+}
+
+impl ArrivalProcess {
+    /// The long-run mean arrival rate this process aims at, requests/s
+    /// (for traces, the empirical rate over the trace span).
+    pub fn mean_rate_rps(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate_rps } => *rate_rps,
+            ArrivalProcess::Bursty { rate_rps, .. } => *rate_rps,
+            ArrivalProcess::Trace { times_s } => {
+                let span = times_s
+                    .iter()
+                    .cloned()
+                    .fold(0.0f64, f64::max)
+                    .max(f64::MIN_POSITIVE);
+                times_s.len() as f64 / span
+            }
+        }
+    }
+
+    /// A short label for reports (`poisson`, `bursty`, `trace`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::Bursty { .. } => "bursty",
+            ArrivalProcess::Trace { .. } => "trace",
+        }
+    }
+}
+
+/// A request stream specification: the arrival process plus the network
+/// mix requests draw from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// The arrival process.
+    pub process: ArrivalProcess,
+    /// Weighted network mix: `(network index, weight)`. Weights need not
+    /// sum to one; they are normalized at draw time. Network indices refer
+    /// to the fleet's model table.
+    pub mix: Vec<(usize, f64)>,
+}
+
+impl Workload {
+    /// A single-network Poisson workload — the common case.
+    pub fn poisson(rate_rps: f64, network: usize) -> Workload {
+        Workload {
+            process: ArrivalProcess::Poisson { rate_rps },
+            mix: vec![(network, 1.0)],
+        }
+    }
+
+    /// Generates the first `n` requests of the stream, deterministically
+    /// from `seed`. Returned requests are sorted by arrival time; ids are
+    /// assigned in arrival order.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Request> {
+        assert!(
+            !self.mix.is_empty() && self.mix.iter().all(|&(_, w)| w >= 0.0),
+            "network mix must be non-empty with non-negative weights"
+        );
+        let total_weight: f64 = self.mix.iter().map(|&(_, w)| w).sum();
+        assert!(total_weight > 0.0, "network mix weights must not all be 0");
+        let mut gap_rng = StdRng::seed_from_u64(split_seed(seed, stream_id(GAP_PASS, 0, 0)));
+        let mut mix_rng = StdRng::seed_from_u64(split_seed(seed, stream_id(MIX_PASS, 0, 0)));
+        let mut times = match &self.process {
+            ArrivalProcess::Poisson { rate_rps } => {
+                assert!(*rate_rps > 0.0, "arrival rate must be positive");
+                let mut t = 0.0f64;
+                (0..n)
+                    .map(|_| {
+                        t += exp_gap(&mut gap_rng, *rate_rps);
+                        t
+                    })
+                    .collect::<Vec<f64>>()
+            }
+            ArrivalProcess::Bursty {
+                rate_rps,
+                burst,
+                on_s,
+                off_s,
+            } => {
+                assert!(*rate_rps > 0.0, "arrival rate must be positive");
+                assert!(*burst > 1.0, "burst factor must exceed 1");
+                assert!(
+                    *on_s > 0.0 && *off_s > 0.0,
+                    "phase durations must be positive"
+                );
+                // Low rate chosen so the duty-cycle-weighted mean is rate_rps;
+                // clamped at a trickle so the off phase still terminates.
+                let period = on_s + off_s;
+                let low =
+                    ((rate_rps * period - burst * rate_rps * on_s) / off_s).max(rate_rps * 1e-3);
+                let mut t = 0.0f64;
+                let mut in_on = true;
+                let mut phase_end = *on_s;
+                (0..n)
+                    .map(|_| {
+                        loop {
+                            let rate = if in_on { burst * rate_rps } else { low };
+                            let gap = exp_gap(&mut gap_rng, rate);
+                            if t + gap <= phase_end {
+                                t += gap;
+                                break;
+                            }
+                            // The gap crosses the phase boundary: jump to
+                            // the boundary and re-draw at the new phase's
+                            // rate, which keeps the process properly
+                            // modulated. The boundary advances by a full
+                            // phase each redraw, so the loop always
+                            // terminates.
+                            t = phase_end;
+                            in_on = !in_on;
+                            phase_end += if in_on { *on_s } else { *off_s };
+                        }
+                        t
+                    })
+                    .collect::<Vec<f64>>()
+            }
+            ArrivalProcess::Trace { times_s } => {
+                let mut t: Vec<f64> = times_s.iter().take(n).cloned().collect();
+                t.sort_by(|a, b| a.partial_cmp(b).expect("trace times must be finite"));
+                t
+            }
+        };
+        times.truncate(n);
+        times
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival_s)| Request {
+                id: i as u64,
+                network: self.pick_network(&mut mix_rng, total_weight),
+                arrival_s,
+            })
+            .collect()
+    }
+
+    fn pick_network(&self, rng: &mut StdRng, total_weight: f64) -> usize {
+        let mut u: f64 = rng.random::<f64>() * total_weight;
+        for &(network, w) in &self.mix {
+            if u < w {
+                return network;
+            }
+            u -= w;
+        }
+        self.mix.last().expect("mix is non-empty").0
+    }
+}
+
+/// One exponential interarrival gap at `rate` (inverse-CDF sampling).
+fn exp_gap(rng: &mut StdRng, rate: f64) -> f64 {
+    let u: f64 = rng.random();
+    // 1 - u ∈ (0, 1], so the log is finite.
+    -(1.0 - u).ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_deterministic_and_sorted() {
+        let w = Workload::poisson(1000.0, 0);
+        let a = w.generate(500, 42);
+        let b = w.generate(500, 42);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|p| p[0].arrival_s <= p[1].arrival_s));
+        assert!(a.iter().all(|r| r.arrival_s > 0.0));
+        assert_eq!(a.len(), 500);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let w = Workload::poisson(1000.0, 0);
+        assert_ne!(w.generate(100, 1), w.generate(100, 2));
+    }
+
+    #[test]
+    fn poisson_mean_rate_is_close() {
+        let w = Workload::poisson(2000.0, 0);
+        let reqs = w.generate(4000, 7);
+        let span = reqs.last().unwrap().arrival_s;
+        let rate = reqs.len() as f64 / span;
+        assert!((rate / 2000.0 - 1.0).abs() < 0.1, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn bursty_preserves_mean_rate_and_clusters() {
+        let w = Workload {
+            process: ArrivalProcess::Bursty {
+                rate_rps: 1000.0,
+                burst: 4.0,
+                on_s: 0.01,
+                off_s: 0.04,
+            },
+            mix: vec![(0, 1.0)],
+        };
+        let reqs = w.generate(4000, 11);
+        let span = reqs.last().unwrap().arrival_s;
+        let rate = reqs.len() as f64 / span;
+        assert!((rate / 1000.0 - 1.0).abs() < 0.25, "empirical rate {rate}");
+        // Burstiness: the gap distribution has a higher coefficient of
+        // variation than exponential (CV = 1).
+        let gaps: Vec<f64> = reqs
+            .windows(2)
+            .map(|p| p[1].arrival_s - p[0].arrival_s)
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        assert!(var.sqrt() / mean > 1.1, "CV = {}", var.sqrt() / mean);
+    }
+
+    #[test]
+    fn trace_replays_sorted() {
+        let w = Workload {
+            process: ArrivalProcess::Trace {
+                times_s: vec![0.3, 0.1, 0.2],
+            },
+            mix: vec![(0, 1.0)],
+        };
+        let reqs = w.generate(3, 0);
+        let times: Vec<f64> = reqs.iter().map(|r| r.arrival_s).collect();
+        assert_eq!(times, vec![0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn mix_draws_all_networks() {
+        let w = Workload {
+            process: ArrivalProcess::Poisson { rate_rps: 100.0 },
+            mix: vec![(0, 1.0), (3, 1.0)],
+        };
+        let reqs = w.generate(200, 9);
+        assert!(reqs.iter().any(|r| r.network == 0));
+        assert!(reqs.iter().any(|r| r.network == 3));
+        assert!(reqs.iter().all(|r| r.network == 0 || r.network == 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        Workload::poisson(0.0, 0).generate(1, 0);
+    }
+}

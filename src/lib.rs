@@ -20,6 +20,10 @@
 //! * [`parallel`] — the deterministic parallel execution engine (chunked
 //!   thread pool + per-work-item seed splitting) every simulator layer
 //!   fans out through.
+//! * [`runtime`] — the multi-chip inference-serving simulator: a
+//!   deterministic discrete-event engine with seeded arrival processes,
+//!   micro-batching, admission control, fault-aware degradation, and
+//!   service metrics (latency percentiles, goodput, energy/request).
 //!
 //! # Quickstart
 //!
@@ -44,4 +48,5 @@ pub use albireo_core as core;
 pub use albireo_nn as nn;
 pub use albireo_parallel as parallel;
 pub use albireo_photonics as photonics;
+pub use albireo_runtime as runtime;
 pub use albireo_tensor as tensor;
