@@ -16,7 +16,7 @@
 //!
 //! The engine produces one output activation per cycle per pass.
 
-use crate::BaselineEvaluation;
+use albireo_core::accel::{Accelerator, NetworkCost};
 use albireo_core::config::TechnologyEstimate;
 use albireo_nn::layer::LayerKind;
 use albireo_nn::Model;
@@ -114,19 +114,59 @@ impl DeapCnn {
         }
         cycles.div_ceil(self.engines as u64)
     }
+}
 
-    /// Evaluates one network.
-    pub fn evaluate(&self, model: &Model) -> BaselineEvaluation {
-        let latency_s = self.total_cycles(model) as f64 / self.clock_hz;
-        BaselineEvaluation {
-            accelerator: "DEAP-CNN".into(),
+impl Accelerator for DeapCnn {
+    fn name(&self) -> &str {
+        "DEAP-CNN"
+    }
+
+    fn description(&self) -> String {
+        format!("DEAP-CNN ({:.0} W)", self.power_w)
+    }
+
+    /// Each dot-product engine is an interchangeable compute group.
+    fn compute_groups(&self) -> usize {
+        self.engines
+    }
+
+    fn cost_with_groups(&self, model: &Model, active_groups: usize) -> NetworkCost {
+        assert!(
+            active_groups > 0 && active_groups <= self.engines,
+            "DEAP-CNN: active groups {active_groups} outside 1..={}",
+            self.engines
+        );
+        let design = if active_groups == self.engines {
+            *self
+        } else {
+            DeapCnn {
+                engines: active_groups,
+                power_w: self.power_w * active_groups as f64 / self.engines as f64,
+                ..*self
+            }
+        };
+        let cycles = design.total_cycles(model);
+        let latency_s = cycles as f64 / design.clock_hz;
+        // DEAP-CNN is weight-stationary: the MRR weight banks are
+        // reprogrammed through the engines' DACs before a network runs, so
+        // a micro-batch of same-network inferences shares one programming
+        // pass — the same streaming model as Albireo's weight DACs.
+        let dacs = 2034.0 * design.engines as f64;
+        let setup_s = model.total_params() as f64 / (dacs * design.clock_hz);
+        NetworkCost {
+            accelerator: "DEAP-CNN".to_string(),
             network: model.name().to_string(),
+            cycles,
             latency_s,
-            energy_j: self.power_w * latency_s,
+            energy_j: design.power_w * latency_s,
+            power_w: design.power_w,
             // The engine's weight bank spans 1017 microrings but signals
             // share 9 input wavelength groups; the paper's WDM-efficiency
             // metric counts the wavelengths used for computation.
-            wavelengths: self.taps * self.engines,
+            wavelengths: design.taps * design.engines,
+            setup_s,
+            setup_energy_j: design.power_w * setup_s,
+            per_layer: Vec::new(),
         }
     }
 }
@@ -155,10 +195,11 @@ mod tests {
     #[test]
     fn vgg_latency_is_single_digit_ms() {
         let d = DeapCnn::paper_60w();
-        let e = d.evaluate(&zoo::vgg16());
+        let e = d.cost(&zoo::vgg16());
         let ms = e.latency_s * 1e3;
         // Slower than Albireo-9 (2.9 ms) but far faster than PIXEL.
         assert!((4.0..12.0).contains(&ms), "latency = {ms} ms");
+        assert_eq!(e.cycles, d.total_cycles(&zoo::vgg16()));
     }
 
     #[test]
@@ -178,6 +219,20 @@ mod tests {
         b.push("conv", LayerKind::conv(2, 3, 1, 1)).unwrap();
         let shallow = b.build().unwrap();
         assert_eq!(d.total_cycles(&shallow), 2 * 16 * 16);
+    }
+
+    #[test]
+    fn setup_amortizes_like_a_weight_stationary_design() {
+        let d = DeapCnn::paper_60w();
+        let alex = d.cost(&zoo::alexnet());
+        assert!(alex.setup_s > 0.0);
+        assert!(
+            alex.setup_s < alex.latency_s,
+            "setup {} should not dominate latency {}",
+            alex.setup_s,
+            alex.latency_s
+        );
+        assert!((alex.setup_energy_j - d.power_w * alex.setup_s).abs() < 1e-12);
     }
 
     #[test]

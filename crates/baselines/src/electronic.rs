@@ -6,6 +6,8 @@
 //! dynamic-voltage-accuracy-frequency scaling), and UNPU (65 nm, bit-serial
 //! lookup tables). This module embeds exactly those Table IV numbers.
 
+use albireo_core::accel::{Accelerator, NetworkCost};
+use albireo_nn::Model;
 use std::collections::BTreeMap;
 
 /// One accelerator's reported per-network results.
@@ -36,6 +38,53 @@ impl ReportedResult {
     /// Energy-delay product in the paper's units, mJ·ms.
     pub fn edp_mj_ms(&self) -> f64 {
         (self.energy_j * 1e3) * (self.latency_s * 1e3)
+    }
+}
+
+impl Accelerator for ReportedAccelerator {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn description(&self) -> String {
+        format!("{} ({} nm, reported)", self.name, self.technology_nm)
+    }
+
+    /// Reported numbers describe a monolithic design: one compute group,
+    /// no partial-degradation model.
+    fn compute_groups(&self) -> usize {
+        1
+    }
+
+    /// Only the networks the source papers measured are supported.
+    fn supports(&self, model: &Model) -> bool {
+        self.results.contains_key(model.name())
+    }
+
+    fn cost_with_groups(&self, model: &Model, active_groups: usize) -> NetworkCost {
+        assert_eq!(
+            active_groups, 1,
+            "{}: reported designs have exactly one compute group",
+            self.name
+        );
+        let r = self
+            .results
+            .get(model.name())
+            .unwrap_or_else(|| panic!("{} has no reported result for {}", self.name, model.name()));
+        NetworkCost {
+            accelerator: self.name.to_string(),
+            network: model.name().to_string(),
+            // Published results carry no cycle counts, wavelengths, or
+            // per-layer resolution; power is implied by energy/latency.
+            cycles: 0,
+            latency_s: r.latency_s,
+            energy_j: r.energy_j,
+            power_w: r.energy_j / r.latency_s,
+            wavelengths: 0,
+            setup_s: 0.0,
+            setup_energy_j: 0.0,
+            per_layer: Vec::new(),
+        }
     }
 }
 
@@ -164,6 +213,26 @@ mod tests {
             .map(|a| a.results["AlexNet"].latency_s)
             .collect();
         assert!(lat[2] < lat[0] && lat[2] < lat[1]);
+    }
+
+    #[test]
+    fn trait_cost_carries_the_reported_numbers() {
+        let accs = reported_accelerators();
+        let unpu = &accs[2];
+        let c = unpu.cost(&albireo_nn::zoo::alexnet());
+        assert_eq!(c.latency_s, unpu.results["AlexNet"].latency_s);
+        assert_eq!(c.energy_j, unpu.results["AlexNet"].energy_j);
+        assert!((c.power_w - c.energy_j / c.latency_s).abs() < 1e-15);
+        assert_eq!(c.setup_s, 0.0);
+        // Zero reported wavelengths must not break the WDM metric.
+        assert!(c.energy_per_wavelength().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "no reported result")]
+    fn unsupported_network_panics() {
+        let accs = reported_accelerators();
+        let _ = accs[0].cost(&albireo_nn::zoo::resnet18());
     }
 
     #[test]

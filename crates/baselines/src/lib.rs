@@ -14,71 +14,49 @@
 //! * [`electronic`] — Eyeriss, ENVISION, and UNPU, using the reported
 //!   numbers the paper itself compares against (Table IV).
 //!
-//! All photonic baselines share [`BaselineEvaluation`] so the Fig. 8
-//! harness can tabulate them uniformly.
+//! Every baseline implements the workspace-wide
+//! [`Accelerator`] trait and returns the
+//! canonical [`NetworkCost`], so the
+//! Fig. 8 harness, the CLI `compare` command, and the `albireo-runtime`
+//! serving simulator consume them interchangeably with Albireo itself.
 
 pub mod deap;
 pub mod electronic;
 pub mod pixel;
 
+pub use albireo_core::accel::{Accelerator, LayerCost, NetworkCost};
 pub use deap::DeapCnn;
 pub use electronic::{reported_accelerators, ReportedAccelerator, ReportedResult};
 pub use pixel::Pixel;
 
-/// Latency/energy result of running one network on a baseline.
-#[derive(Debug, Clone, PartialEq)]
-pub struct BaselineEvaluation {
-    /// Accelerator name.
-    pub accelerator: String,
-    /// Network name.
-    pub network: String,
-    /// Inference latency, s.
-    pub latency_s: f64,
-    /// Inference energy, J.
-    pub energy_j: f64,
-    /// Wavelengths the design uses for computation (the paper's WDM
-    /// efficiency metric divides energy by this).
-    pub wavelengths: usize,
-}
-
-impl BaselineEvaluation {
-    /// Energy-delay product in the paper's units, mJ·ms.
-    pub fn edp_mj_ms(&self) -> f64 {
-        (self.energy_j * 1e3) * (self.latency_s * 1e3)
-    }
-
-    /// The paper's WDM efficiency metric: energy per wavelength used, J.
-    pub fn energy_per_wavelength(&self) -> f64 {
-        self.energy_j / self.wavelengths.max(1) as f64
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use albireo_nn::zoo;
 
     #[test]
-    fn edp_units() {
-        let e = BaselineEvaluation {
-            accelerator: "x".into(),
-            network: "y".into(),
-            latency_s: 2e-3,
-            energy_j: 3e-3,
-            wavelengths: 10,
-        };
-        assert!((e.edp_mj_ms() - 6.0).abs() < 1e-12);
-        assert!((e.energy_per_wavelength() - 3e-4).abs() < 1e-15);
+    fn all_baselines_are_trait_objects() {
+        let accels: Vec<Box<dyn Accelerator>> =
+            vec![Box::new(Pixel::paper_60w()), Box::new(DeapCnn::paper_60w())];
+        for model in zoo::all_benchmarks() {
+            for a in &accels {
+                assert!(a.supports(&model));
+                let c = a.cost(&model);
+                assert_eq!(c.network, model.name());
+                assert!(c.latency_s > 0.0 && c.energy_j > 0.0);
+                assert!((c.edp_mj_ms() - c.energy_j * c.latency_s * 1e6).abs() < 1e-9);
+            }
+        }
     }
 
     #[test]
-    fn zero_wavelengths_does_not_divide_by_zero() {
-        let e = BaselineEvaluation {
-            accelerator: "x".into(),
-            network: "y".into(),
-            latency_s: 1.0,
-            energy_j: 1.0,
-            wavelengths: 0,
-        };
-        assert!(e.energy_per_wavelength().is_finite());
+    fn reported_accelerators_support_only_their_networks() {
+        for acc in reported_accelerators() {
+            let a: &dyn Accelerator = &acc;
+            assert!(a.supports(&zoo::alexnet()));
+            assert!(a.supports(&zoo::vgg16()));
+            assert!(!a.supports(&zoo::resnet18()));
+            assert!(!a.supports(&zoo::mobilenet()));
+        }
     }
 }

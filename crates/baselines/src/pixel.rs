@@ -16,7 +16,7 @@
 //! datapath; with it, the reproduced Albireo-vs-PIXEL ratios land on the
 //! paper's reported 79.5× (Albireo-9) / 225× (Albireo-27) latency factors.
 
-use crate::BaselineEvaluation;
+use albireo_core::accel::{Accelerator, NetworkCost};
 use albireo_core::config::TechnologyEstimate;
 use albireo_nn::Model;
 
@@ -69,20 +69,58 @@ impl Pixel {
     pub fn macs_per_second(&self) -> f64 {
         self.units as f64 * self.clock_hz / self.cycles_per_mac as f64
     }
+}
 
-    /// Evaluates one network.
-    pub fn evaluate(&self, model: &Model) -> BaselineEvaluation {
-        let latency_s = model.total_macs() as f64 / self.macs_per_second();
-        BaselineEvaluation {
-            accelerator: "PIXEL".into(),
+impl Accelerator for Pixel {
+    fn name(&self) -> &str {
+        "PIXEL"
+    }
+
+    fn description(&self) -> String {
+        format!("PIXEL ({:.0} W)", self.power_w)
+    }
+
+    /// Each OO MAC unit is an interchangeable compute group.
+    fn compute_groups(&self) -> usize {
+        self.units
+    }
+
+    fn cost_with_groups(&self, model: &Model, active_groups: usize) -> NetworkCost {
+        assert!(
+            active_groups > 0 && active_groups <= self.units,
+            "PIXEL: active groups {active_groups} outside 1..={}",
+            self.units
+        );
+        // A degraded design is the same unit at the surviving count; power
+        // scales with the per-unit inventory.
+        let design = if active_groups == self.units {
+            *self
+        } else {
+            Pixel {
+                units: active_groups,
+                power_w: self.power_w * active_groups as f64 / self.units as f64,
+                ..*self
+            }
+        };
+        let latency_s = model.total_macs() as f64 / design.macs_per_second();
+        NetworkCost {
+            accelerator: "PIXEL".to_string(),
             network: model.name().to_string(),
+            cycles: (model.total_macs() * design.cycles_per_mac).div_ceil(design.units as u64),
             latency_s,
-            energy_j: self.power_w * latency_s,
+            energy_j: design.power_w * latency_s,
+            power_w: design.power_w,
             // PIXEL does not exploit WDM: each MZM accumulates a single
             // wavelength, and the design reuses the same 8 bit-lane
             // wavelengths across units, so only 8 distinct wavelengths are
             // used for computation.
             wavelengths: 8,
+            // Weights stream into the OO datapath cycle-by-cycle with the
+            // activations — nothing is programmed and held, so a batch has
+            // no one-time setup pass.
+            setup_s: 0.0,
+            setup_energy_j: 0.0,
+            per_layer: Vec::new(),
         }
     }
 }
@@ -117,10 +155,11 @@ mod tests {
     #[test]
     fn vgg_latency_is_hundreds_of_ms() {
         let pixel = Pixel::paper_60w();
-        let e = pixel.evaluate(&zoo::vgg16());
+        let e = pixel.cost(&zoo::vgg16());
         let ms = e.latency_s * 1e3;
         assert!((150.0..350.0).contains(&ms), "latency = {ms} ms");
         assert_eq!(e.network, "VGG16");
+        assert_eq!(e.accelerator, "PIXEL");
         assert!((e.energy_j - pixel.power_w * e.latency_s).abs() < 1e-12);
     }
 
@@ -128,9 +167,18 @@ mod tests {
     fn latency_scales_inverse_with_units() {
         let a = Pixel::scaled_to_power(30.0, TechnologyEstimate::Conservative);
         let b = Pixel::scaled_to_power(60.0, TechnologyEstimate::Conservative);
-        let la = a.evaluate(&zoo::alexnet()).latency_s;
-        let lb = b.evaluate(&zoo::alexnet()).latency_s;
+        let la = a.cost(&zoo::alexnet()).latency_s;
+        let lb = b.cost(&zoo::alexnet()).latency_s;
         assert!(la > 1.9 * lb && la < 2.1 * lb);
+    }
+
+    #[test]
+    fn degraded_design_matches_a_smaller_build() {
+        let pixel = Pixel::paper_60w();
+        let half = pixel.cost_with_groups(&zoo::alexnet(), pixel.units / 2);
+        let full = pixel.cost(&zoo::alexnet());
+        assert!(half.latency_s > 1.9 * full.latency_s);
+        assert!(half.power_w < 0.6 * full.power_w);
     }
 
     #[test]

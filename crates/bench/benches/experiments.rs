@@ -1,7 +1,7 @@
 //! Criterion benches — one group per paper experiment, measuring the
 //! simulator kernels that regenerate each table/figure.
 
-use albireo_baselines::{DeapCnn, Pixel};
+use albireo_baselines::{Accelerator, DeapCnn, Pixel};
 use albireo_core::analog::{AnalogEngine, AnalogSimConfig};
 use albireo_core::area::AreaBreakdown;
 use albireo_core::config::{ChipConfig, TechnologyEstimate};
@@ -73,11 +73,9 @@ fn bench_network_evaluation(c: &mut Criterion) {
     let pixel = Pixel::paper_60w();
     let deap = DeapCnn::paper_60w();
     c.bench_function("fig8/pixel_vgg16", |b| {
-        b.iter(|| pixel.evaluate(black_box(&vgg)))
+        b.iter(|| pixel.cost(black_box(&vgg)))
     });
-    c.bench_function("fig8/deap_vgg16", |b| {
-        b.iter(|| deap.evaluate(black_box(&vgg)))
-    });
+    c.bench_function("fig8/deap_vgg16", |b| b.iter(|| deap.cost(black_box(&vgg))));
 }
 
 /// Analog-simulation kernels: the functional photonic conv vs the digital

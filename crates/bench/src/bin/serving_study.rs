@@ -1,11 +1,12 @@
-//! Runs the serving study and writes its three artifacts:
+//! Runs the serving studies and writes their three artifacts:
 //!
-//! * `results/serving_study.csv` — one row per (cell × replica);
-//! * `results/golden_serving_metrics.csv` — the same CSV for the pinned
-//!   golden grid ([`StudyOptions::golden`]), compared byte-exactly by
-//!   `tests/serving_golden.rs`;
-//! * `BENCH_serving.json` — the machine-readable study digest
-//!   (schema `albireo.bench.serving_study/v1`).
+//! * `results/serving_study.csv` — one row per (cell × replica), covering
+//!   the pinned golden grid ([`StudyOptions::golden`]) followed by the
+//!   mixed photonic/electronic grid ([`StudyOptions::heterogeneous`]);
+//! * `results/golden_serving_metrics.csv` — the golden grid alone,
+//!   compared byte-exactly by `tests/serving_golden.rs`;
+//! * `BENCH_serving.json` — the machine-readable study digest over both
+//!   grids (schema `albireo.bench.serving_study/v1`).
 //!
 //! ```text
 //! cargo run --release -p albireo-bench --bin serving_study -- \
@@ -48,21 +49,31 @@ fn main() {
         }
     }
 
-    let options = StudyOptions::golden();
-    let study = run_serving_study(&options, par);
-    let csv = study.to_csv();
+    let golden_options = StudyOptions::golden();
+    let golden = run_serving_study(&golden_options, par);
+    let hetero_options = StudyOptions::heterogeneous();
+    let hetero = run_serving_study(&hetero_options, par);
+
+    // The combined report: golden rows first (so the pinned artifact is a
+    // prefix of the full study), then the mixed-backend rows.
+    let mut runs = golden.runs.clone();
+    runs.extend(hetero.runs.iter().cloned());
+    let study = albireo_runtime::ServingStudyReport {
+        replicas: golden.replicas,
+        runs,
+    };
 
     std::fs::create_dir_all(&out_dir).expect("create output directory");
     let study_csv = format!("{out_dir}/serving_study.csv");
     let golden_csv = format!("{out_dir}/golden_serving_metrics.csv");
-    std::fs::write(&study_csv, &csv).expect("write serving_study.csv");
-    std::fs::write(&golden_csv, &csv).expect("write golden_serving_metrics.csv");
+    std::fs::write(&study_csv, study.to_csv()).expect("write serving_study.csv");
+    std::fs::write(&golden_csv, golden.to_csv()).expect("write golden_serving_metrics.csv");
     std::fs::write(&json_path, study.to_json()).expect("write BENCH_serving.json");
 
     println!(
-        "serving study: {} cells x {} replicas = {} runs",
-        options.cells(),
-        options.replicas,
+        "serving study: {} golden + {} heterogeneous runs = {} total",
+        golden.runs.len(),
+        hetero.runs.len(),
         study.runs.len()
     );
     for run in &study.runs {

@@ -8,7 +8,7 @@
 //! the exit-code integration test to exercise the failing path against
 //! the real oracle set).
 
-use albireo_baselines::{reported_accelerators, DeapCnn, Pixel};
+use albireo_baselines::{reported_accelerators, Accelerator, DeapCnn, Pixel};
 use albireo_core::area::AreaBreakdown;
 use albireo_core::config::{ChipConfig, TechnologyEstimate};
 use albireo_core::energy::NetworkEvaluation;
@@ -190,8 +190,8 @@ fn main() {
     let a27 = ChipConfig::albireo_27();
     let mut ordering_ok = true;
     for network in zoo::all_benchmarks() {
-        let p = pixel.evaluate(&network);
-        let d = deap.evaluate(&network);
+        let p = pixel.cost(&network);
+        let d = deap.cost(&network);
         let a = NetworkEvaluation::evaluate(&a27, TechnologyEstimate::Conservative, &network);
         ordering_ok &= p.latency_s > d.latency_s && d.latency_s > a.latency_s;
     }

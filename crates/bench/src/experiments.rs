@@ -1,7 +1,8 @@
 //! The experiments of the paper's evaluation section, one function per
 //! table/figure.
 
-use albireo_baselines::{BaselineEvaluation, DeapCnn, Pixel};
+use albireo_baselines::{Accelerator, DeapCnn, Pixel};
+use albireo_core::accel::{AlbireoAccelerator, NetworkCost};
 use albireo_core::area::AreaBreakdown;
 use albireo_core::config::{ChipConfig, TechnologyEstimate};
 use albireo_core::energy::NetworkEvaluation;
@@ -280,38 +281,28 @@ pub fn table3_power_breakdown() -> String {
 }
 
 /// Structured data behind Fig. 8: photonic accelerator comparison at 60 W.
+/// Every column is produced through the shared [`Accelerator`] trait, so
+/// Albireo and the baselines flow through identical code.
 pub fn photonic_comparison_data() -> (
-    Vec<NetworkEvaluation>,
-    Vec<NetworkEvaluation>,
-    Vec<BaselineEvaluation>,
-    Vec<BaselineEvaluation>,
+    Vec<NetworkCost>,
+    Vec<NetworkCost>,
+    Vec<NetworkCost>,
+    Vec<NetworkCost>,
 ) {
     let networks = zoo::all_benchmarks();
-    let albireo9: Vec<NetworkEvaluation> = networks
-        .iter()
-        .map(|m| {
-            NetworkEvaluation::evaluate(
-                &ChipConfig::albireo_9(),
-                TechnologyEstimate::Conservative,
-                m,
-            )
-        })
-        .collect();
-    let albireo27: Vec<NetworkEvaluation> = networks
-        .iter()
-        .map(|m| {
-            NetworkEvaluation::evaluate(
-                &ChipConfig::albireo_27(),
-                TechnologyEstimate::Conservative,
-                m,
-            )
-        })
-        .collect();
-    let pixel = Pixel::paper_60w();
-    let deap = DeapCnn::paper_60w();
-    let pixel_evals: Vec<BaselineEvaluation> = networks.iter().map(|m| pixel.evaluate(m)).collect();
-    let deap_evals: Vec<BaselineEvaluation> = networks.iter().map(|m| deap.evaluate(m)).collect();
-    (albireo9, albireo27, pixel_evals, deap_evals)
+    let costs = |accel: &dyn Accelerator| -> Vec<NetworkCost> {
+        networks.iter().map(|m| accel.cost(m)).collect()
+    };
+    (
+        costs(&AlbireoAccelerator::albireo_9(
+            TechnologyEstimate::Conservative,
+        )),
+        costs(&AlbireoAccelerator::albireo_27(
+            TechnologyEstimate::Conservative,
+        )),
+        costs(&Pixel::paper_60w()),
+        costs(&DeapCnn::paper_60w()),
+    )
 }
 
 /// Fig. 8 — latency / energy / EDP vs PIXEL and DEAP-CNN at the 60 W
@@ -321,33 +312,23 @@ pub fn fig8_photonic_comparison() -> String {
     let mut out = String::from(
         "Figure 8: photonic accelerator comparison (conservative devices, 60 W budget)\n\n",
     );
-    for (metric, f_albireo, f_baseline) in [
-        (
-            "(a) latency (ms)",
-            Box::new(|e: &NetworkEvaluation| e.latency_s * 1e3)
-                as Box<dyn Fn(&NetworkEvaluation) -> f64>,
-            Box::new(|e: &BaselineEvaluation| e.latency_s * 1e3)
-                as Box<dyn Fn(&BaselineEvaluation) -> f64>,
-        ),
-        (
-            "(b) energy (mJ)",
-            Box::new(|e: &NetworkEvaluation| e.energy_j * 1e3),
-            Box::new(|e: &BaselineEvaluation| e.energy_j * 1e3),
-        ),
-        (
-            "(c) EDP (mJ·ms)",
-            Box::new(|e: &NetworkEvaluation| e.edp_mj_ms()),
-            Box::new(|e: &BaselineEvaluation| e.edp_mj_ms()),
-        ),
-    ] {
+    // One metric extractor per panel — the trait's canonical NetworkCost
+    // lets Albireo and baseline columns share it.
+    type Metric = fn(&NetworkCost) -> f64;
+    let panels: [(&str, Metric); 3] = [
+        ("(a) latency (ms)", |e| e.latency_s * 1e3),
+        ("(b) energy (mJ)", |e| e.energy_j * 1e3),
+        ("(c) EDP (mJ·ms)", |e| e.edp_mj_ms()),
+    ];
+    for (metric, f) in panels {
         let mut rows = Vec::new();
         for i in 0..a9.len() {
             rows.push(vec![
                 a9[i].network.clone(),
-                format!("{:.4}", f_baseline(&pixel[i])),
-                format!("{:.4}", f_baseline(&deap[i])),
-                format!("{:.4}", f_albireo(&a9[i])),
-                format!("{:.4}", f_albireo(&a27[i])),
+                format!("{:.4}", f(&pixel[i])),
+                format!("{:.4}", f(&deap[i])),
+                format!("{:.4}", f(&a9[i])),
+                format!("{:.4}", f(&a27[i])),
             ]);
         }
         out.push_str(&format!("{metric}\n"));
@@ -541,12 +522,13 @@ pub fn table4_electronic_comparison() -> String {
 /// WDM efficiency — energy per wavelength used (§IV-B).
 pub fn wdm_efficiency() -> String {
     let (_, a27, pixel, deap) = photonic_comparison_data();
-    let albireo_wavelengths = ChipConfig::albireo_27().wavelengths_per_plcg();
     let mut rows = Vec::new();
     let mut pixel_ratio_sum = 0.0;
     let mut deap_ratio_sum = 0.0;
     for i in 0..a27.len() {
-        let albireo_epw = a27[i].energy_per_wavelength(albireo_wavelengths);
+        // Each NetworkCost carries its design's computation wavelengths,
+        // so the metric needs no side-channel chip knowledge.
+        let albireo_epw = a27[i].energy_per_wavelength();
         let pixel_epw = pixel[i].energy_per_wavelength();
         let deap_epw = deap[i].energy_per_wavelength();
         pixel_ratio_sum += pixel_epw / albireo_epw;
@@ -1195,7 +1177,56 @@ pub fn export_csv(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathB
     // counts, for the regression tests in `tests/golden_values.rs`.
     write("golden_network_metrics.csv", golden_network_metrics_csv())?;
 
+    // Golden baselines: every trait-costed baseline × supported network,
+    // for the regression tests in `tests/baseline_golden.rs`.
+    write("golden_baseline_metrics.csv", golden_baseline_metrics_csv())?;
+
     Ok(written)
+}
+
+/// The baseline golden-value artifact: PIXEL, DEAP-CNN, and the three
+/// reported electronic designs costed through the [`Accelerator`] trait
+/// on every benchmark network they support. `tests/baseline_golden.rs`
+/// pins the baseline models against the committed copy in `results/`.
+pub fn golden_baseline_metrics_csv() -> String {
+    use albireo_core::report::to_csv;
+    let mut accels: Vec<Box<dyn Accelerator>> =
+        vec![Box::new(Pixel::paper_60w()), Box::new(DeapCnn::paper_60w())];
+    for reported in albireo_baselines::reported_accelerators() {
+        accels.push(Box::new(reported));
+    }
+    let mut rows = Vec::new();
+    for model in zoo::all_benchmarks() {
+        for accel in &accels {
+            if !accel.supports(&model) {
+                continue;
+            }
+            let c = accel.cost(&model);
+            rows.push(vec![
+                c.network.clone(),
+                c.accelerator.clone(),
+                c.cycles.to_string(),
+                format!("{:.6}", c.latency_s * 1e3),
+                format!("{:.6}", c.energy_j * 1e3),
+                format!("{:.6}", c.edp_mj_ms()),
+                format!("{:.6}", c.setup_s * 1e3),
+                c.wavelengths.to_string(),
+            ]);
+        }
+    }
+    to_csv(
+        &[
+            "network",
+            "accelerator",
+            "cycles",
+            "latency_ms",
+            "energy_mj",
+            "edp_mj_ms",
+            "setup_ms",
+            "wavelengths",
+        ],
+        &rows,
+    )
 }
 
 /// The golden-value regression artifact: every (chip × estimate × network)
@@ -1590,9 +1621,12 @@ mod tests {
     #[test]
     fn wdm_efficiency_favors_albireo() {
         let (_, a27, pixel, deap) = photonic_comparison_data();
-        let w = ChipConfig::albireo_27().wavelengths_per_plcg();
+        assert_eq!(
+            a27[0].wavelengths,
+            ChipConfig::albireo_27().wavelengths_per_plcg()
+        );
         for i in 0..a27.len() {
-            let albireo = a27[i].energy_per_wavelength(w);
+            let albireo = a27[i].energy_per_wavelength();
             assert!(pixel[i].energy_per_wavelength() > albireo);
             assert!(deap[i].energy_per_wavelength() > albireo);
         }

@@ -25,6 +25,7 @@ use std::time::Instant;
 use albireo_core::analog::{AnalogEngine, AnalogSimConfig};
 use albireo_core::config::ChipConfig;
 use albireo_core::engine::{paper_grid, EvalEngine};
+use albireo_core::report::json;
 use albireo_parallel::Parallelism;
 use albireo_photonics::precision::{fig3_noise_sweep, fig4c_crosstalk_sweep, PrecisionModel};
 use albireo_photonics::OpticalParams;
@@ -146,7 +147,7 @@ impl SweepReport {
                \"available_parallelism\": {},\n  \
                \"thread_counts\": {},\n",
             self.available_parallelism,
-            json_usize_array(&self.thread_counts)
+            json::usize_array(&self.thread_counts)
         ));
         out.push_str("  \"experiments\": [\n");
         for (i, e) in self.experiments.iter().enumerate() {
@@ -156,52 +157,35 @@ impl SweepReport {
                 e.name,
                 e.items,
                 e.reps,
-                json_f64(e.serial_wall_ms)
+                json::num(e.serial_wall_ms)
             ));
             for (j, r) in e.runs.iter().enumerate() {
                 out.push_str(&format!(
                     "      {{\"threads\": {}, \"wall_ms\": {}, \"speedup\": {}, \
                      \"deterministic\": {}}}{}\n",
                     r.threads,
-                    json_f64(r.wall_ms),
-                    json_f64(r.speedup),
+                    json::num(r.wall_ms),
+                    json::num(r.speedup),
                     r.deterministic,
-                    if j + 1 < e.runs.len() { "," } else { "" }
+                    json::sep(j, e.runs.len())
                 ));
             }
             out.push_str(&format!(
                 "     ]}}{}\n",
-                if i + 1 < self.experiments.len() {
-                    ","
-                } else {
-                    ""
-                }
+                json::sep(i, self.experiments.len())
             ));
         }
         out.push_str("  ],\n");
         out.push_str(&format!(
             "  \"total\": {{\"serial_wall_ms\": {}, \"best_speedup\": {}, \
              \"deterministic\": {}}}\n",
-            json_f64(self.total_serial_wall_ms()),
-            json_f64(self.best_total_speedup()),
+            json::num(self.total_serial_wall_ms()),
+            json::num(self.best_total_speedup()),
             self.all_deterministic()
         ));
         out.push_str("}\n");
         out
     }
-}
-
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.6}")
-    } else {
-        "null".to_string()
-    }
-}
-
-fn json_usize_array(values: &[usize]) -> String {
-    let inner: Vec<String> = values.iter().map(|v| v.to_string()).collect();
-    format!("[{}]", inner.join(", "))
 }
 
 /// Folds one value into a result digest (order-sensitive, so it also

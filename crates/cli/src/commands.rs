@@ -24,6 +24,24 @@ pub enum CliError {
     Args(ArgError),
     /// Unknown subcommand or entity name.
     Unknown(String),
+    /// An output file could not be written.
+    Io(String),
+}
+
+impl CliError {
+    /// Process exit code: usage-class errors exit 2 (and print a usage
+    /// hint), runtime I/O failures exit 1.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Args(_) | CliError::Unknown(_) => 2,
+            CliError::Io(_) => 1,
+        }
+    }
+
+    /// Whether the error should be followed by the usage hint.
+    pub fn is_usage(&self) -> bool {
+        matches!(self, CliError::Args(_) | CliError::Unknown(_))
+    }
 }
 
 impl fmt::Display for CliError {
@@ -31,6 +49,7 @@ impl fmt::Display for CliError {
         match self {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::Unknown(msg) => write!(f, "{msg}"),
+            CliError::Io(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -373,7 +392,7 @@ pub fn bench(args: &Args) -> Result<String, CliError> {
     match args.get("out") {
         Some(path) => {
             std::fs::write(path, &json)
-                .map_err(|e| CliError::Unknown(format!("cannot write {path}: {e}")))?;
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
             Ok(format!(
                 "wrote {path}: best whole-sweep speedup {:.2}x, deterministic: {}\n",
                 report.best_total_speedup(),
@@ -457,6 +476,13 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
                         .join(", ")
                 ))
             })?;
+        if !fleet.supports(&fleet.models[idx]) {
+            return Err(CliError::Unknown(format!(
+                "no chip in fleet `{}` supports network `{name}` \
+                 (reported-number chips only serve their published benchmarks)",
+                fleet.label()
+            )));
+        }
         mix.push((idx, 1.0));
     }
     if mix.is_empty() {
@@ -574,7 +600,7 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
     match args.get("out") {
         Some(path) => {
             std::fs::write(path, &out)
-                .map_err(|e| CliError::Unknown(format!("cannot write {path}: {e}")))?;
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
             Ok(format!(
                 "wrote {path}: {} replica(s), digest {}\n",
                 reports.len(),
@@ -585,46 +611,37 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
     }
 }
 
-/// `albireo compare [...]`
+/// `albireo compare [...]` — every backend flows through the same
+/// [`Accelerator`](albireo_baselines::Accelerator) trait, so adding a
+/// backend adds a row here for free.
 pub fn compare(args: &Args) -> Result<String, CliError> {
+    use albireo_baselines::{reported_accelerators, Accelerator, DeapCnn, Pixel};
+    use albireo_core::accel::AlbireoAccelerator;
+
     let network = parse_network(args.get_or("network", "vgg16"))?;
-    let pixel = albireo_baselines::Pixel::paper_60w().evaluate(&network);
-    let deap = albireo_baselines::DeapCnn::paper_60w().evaluate(&network);
-    let a27 = NetworkEvaluation::evaluate(
-        &ChipConfig::albireo_27(),
-        TechnologyEstimate::Conservative,
-        &network,
-    );
-    let mut rows = vec![
-        vec![
-            "PIXEL (60 W)".to_string(),
-            format_seconds(pixel.latency_s),
-            format_joules(pixel.energy_j),
-            format!("{:.3}", pixel.edp_mj_ms()),
-        ],
-        vec![
-            "DEAP-CNN (60 W)".to_string(),
-            format_seconds(deap.latency_s),
-            format_joules(deap.energy_j),
-            format!("{:.3}", deap.edp_mj_ms()),
-        ],
-        vec![
-            "Albireo-27 (58.9 W)".to_string(),
-            format_seconds(a27.latency_s),
-            format_joules(a27.energy_j),
-            format!("{:.3}", a27.edp_mj_ms()),
-        ],
+    let mut accels: Vec<Box<dyn Accelerator>> = vec![
+        Box::new(Pixel::paper_60w()),
+        Box::new(DeapCnn::paper_60w()),
+        Box::new(AlbireoAccelerator::albireo_27(
+            TechnologyEstimate::Conservative,
+        )),
     ];
-    for acc in albireo_baselines::reported_accelerators() {
-        if let Some(r) = acc.results.get(network.name()) {
-            rows.push(vec![
-                format!("{} ({} nm, reported)", acc.name, acc.technology_nm),
-                format_seconds(r.latency_s),
-                format_joules(r.energy_j),
-                format!("{:.3}", r.edp_mj_ms()),
-            ]);
-        }
+    for acc in reported_accelerators() {
+        accels.push(Box::new(acc));
     }
+    let rows: Vec<Vec<String>> = accels
+        .iter()
+        .filter(|a| a.supports(&network))
+        .map(|a| {
+            let c = a.cost(&network);
+            vec![
+                a.description(),
+                format_seconds(c.latency_s),
+                format_joules(c.energy_j),
+                format!("{:.3}", c.edp_mj_ms()),
+            ]
+        })
+        .collect();
     Ok(format!(
         "{}:\n{}",
         network.name(),
@@ -652,12 +669,13 @@ pub fn faults(args: &Args) -> Result<String, CliError> {
             output: parts[2],
         });
     }
-    if let Some(c) = args
-        .get_parsed_or("dead-channel", usize::MAX, "a column index")
-        .ok()
-        .filter(|&c| c != usize::MAX)
-    {
-        set.push(Fault::DeadChannel { column: c });
+    if let Some(raw) = args.get("dead-channel") {
+        let column: usize = raw.trim().parse().map_err(|_| {
+            CliError::Unknown(format!(
+                "bad --dead-channel value `{raw}` (need a column index)"
+            ))
+        })?;
+        set.push(Fault::DeadChannel { column });
     }
     if let Some(raw) = args.get("stuck-mzm") {
         let parts: Vec<&str> = raw.split(',').collect();
@@ -908,6 +926,23 @@ mod tests {
     }
 
     #[test]
+    fn faults_command_rejects_bad_dead_channel() {
+        let err = faults(&args(&["--dead-channel", "broken"])).unwrap_err();
+        assert!(err.to_string().contains("dead-channel"), "{err}");
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn errors_carry_exit_codes() {
+        let usage = CliError::Unknown("nope".into());
+        assert_eq!(usage.exit_code(), 2);
+        assert!(usage.is_usage());
+        let io = CliError::Io("cannot write /nope: denied".into());
+        assert_eq!(io.exit_code(), 1);
+        assert!(!io.is_usage());
+    }
+
+    #[test]
     fn extension_networks_evaluate() {
         for name in ["vgg19", "resnet34", "mobilenet-0.5", "tiny"] {
             let out = evaluate(&args(&[name])).unwrap();
@@ -1008,13 +1043,43 @@ mod tests {
     #[test]
     fn serve_validates_inputs() {
         assert!(serve(&args(&["--policy", "fifo"])).is_err());
-        assert!(serve(&args(&["--fleet", "pixel"])).is_err());
+        assert!(serve(&args(&["--fleet", "tpu"])).is_err());
         assert!(serve(&args(&["--networks", "lenet"])).is_err());
         assert!(serve(&args(&["--rate", "0"])).is_err());
         assert!(serve(&args(&["--fail", "7@0.1"])).is_err());
         assert!(serve(&args(&["--fail", "0"])).is_err());
         assert!(serve(&args(&["--degrade", "0:0@0.1"])).is_err());
         assert!(serve(&args(&["--arrival", "fractal"])).is_err());
+        // A fleet of reported-number chips cannot serve a network outside
+        // their published benchmark set.
+        let err = serve(&args(&["--fleet", "eyeriss", "--networks", "resnet18"])).unwrap_err();
+        assert!(err.to_string().contains("resnet18"), "{err}");
+    }
+
+    #[test]
+    fn serve_heterogeneous_fleet_end_to_end() {
+        let run = |extra: &[&str]| {
+            let mut argv = vec![
+                "--fleet",
+                "albireo_27:A, deap:M, eyeriss",
+                "--networks",
+                "alexnet,vgg16",
+                "--requests",
+                "200",
+                "--seed",
+                "11",
+            ];
+            argv.extend_from_slice(extra);
+            serve(&args(&argv)).unwrap()
+        };
+        let out = run(&[]);
+        for key in ["albireo_27_A", "deap_M", "eyeriss", "digest"] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+        // Deterministic across repeat runs.
+        assert_eq!(out, run(&[]));
+        let json = run(&["--json"]);
+        assert!(json.contains("albireo.bench.serving/v1"));
     }
 
     #[test]

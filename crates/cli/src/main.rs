@@ -32,7 +32,10 @@ fn main() {
         Ok(output) => print!("{output}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            if e.is_usage() {
+                eprintln!("run `albireo help` for usage");
+            }
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -14,22 +14,9 @@ use albireo_nn::stats::workload_stats;
 use albireo_nn::Model;
 use albireo_parallel::Parallelism;
 
-/// Per-layer evaluation result.
-#[derive(Debug, Clone, PartialEq)]
-pub struct LayerEvaluation {
-    /// Layer name.
-    pub name: String,
-    /// Cycles.
-    pub cycles: u64,
-    /// Latency, s.
-    pub latency_s: f64,
-    /// Energy, J.
-    pub energy_j: f64,
-    /// MACs performed.
-    pub macs: u64,
-    /// Datapath utilization.
-    pub utilization: f64,
-}
+/// Per-layer evaluation result — the canonical
+/// [`LayerCost`](crate::accel::LayerCost) under its historical name.
+pub type LayerEvaluation = crate::accel::LayerCost;
 
 /// Whole-network evaluation result.
 #[derive(Debug, Clone, PartialEq)]

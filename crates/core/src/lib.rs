@@ -17,6 +17,10 @@
 //!
 //! The crate provides:
 //!
+//! * [`accel`] — the unified [`Accelerator`] cost-model
+//!   trait every accelerator (Albireo and the baselines in
+//!   `albireo-baselines`) implements, plus the canonical
+//!   [`NetworkCost`] vocabulary.
 //! * [`config`] — architecture parameters and the Table I device-power
 //!   estimates (conservative / moderate / aggressive).
 //! * [`inventory`] — device-count derivation (306 DACs, 45 TIAs, 63 lasers,
@@ -48,6 +52,7 @@
 //! ```
 
 pub mod ablation;
+pub mod accel;
 pub mod analog;
 pub mod area;
 pub mod config;
@@ -64,6 +69,7 @@ pub mod sched;
 pub mod timing;
 pub mod trace;
 
+pub use accel::{Accelerator, AlbireoAccelerator, LayerCost, NetworkCost};
 pub use config::{ChipConfig, PlcuConfig, TechnologyEstimate};
 pub use energy::NetworkEvaluation;
 pub use inventory::DeviceInventory;

@@ -1,45 +1,72 @@
-//! The service side of the simulator: a fleet of Albireo chips plus the
+//! The service side of the simulator: a fleet of accelerators plus the
 //! per-request service-time oracle.
 //!
 //! Service times and energies are *not* invented here — they come from
-//! the validated performance models: `albireo_core::sched` supplies the
-//! cycle count of one inference (Algorithm 2 dataflow), and the Table III
-//! power model supplies the energy, via
-//! [`NetworkEvaluation`](albireo_core::energy::NetworkEvaluation). The
-//! one serving-specific term is the **batch setup time**: Albireo's
-//! depth-first dataflow reprograms every weight DAC once per inference,
-//! so consecutive same-network inferences in a micro-batch share one
-//! weight-programming pass. Setup is modelled as streaming the network's
-//! parameters through the chip's weight DACs at the converter clock:
-//! `setup_s = total_params / (dacs × clock)` — ~31% of AlexNet's
-//! inference latency, ~3% of VGG16's, which is exactly why batching pays
-//! on small networks.
+//! the unified [`Accelerator`] cost models: each fleet chip is an
+//! `Arc<dyn Accelerator>` (Albireo under any estimate, the photonic
+//! PIXEL / DEAP-CNN baselines, or a reported electronic design), and the
+//! oracle consumes the [`NetworkCost`](albireo_core::accel::NetworkCost)
+//! it returns. The one serving-specific term is the **batch setup time**
+//! the cost model reports: weight-stationary designs (Albireo, DEAP-CNN)
+//! reprogram their weight DACs once per inference, so consecutive
+//! same-network inferences in a micro-batch share one weight-programming
+//! pass — ~31% of AlexNet's inference latency on Albireo-9, ~3% of
+//! VGG16's, which is exactly why batching pays on small networks.
 
+use albireo_baselines::{reported_accelerators, DeapCnn, Pixel};
+use albireo_core::accel::{Accelerator, AlbireoAccelerator};
 use albireo_core::config::{ChipConfig, TechnologyEstimate};
-use albireo_core::energy::NetworkEvaluation;
-use albireo_core::inventory::DeviceInventory;
 use albireo_nn::{zoo, Model};
 use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
 
-/// One chip in the fleet: a named configuration plus the technology
-/// estimate its devices are built from.
-#[derive(Debug, Clone, PartialEq)]
+/// The shared power budget (W) the photonic baselines are built to in the
+/// paper's comparison (§IV-A), reused when a fleet spec names one.
+pub const BASELINE_BUDGET_W: f64 = 60.0;
+
+/// One chip in the fleet: a display name plus the accelerator cost model
+/// behind it.
+#[derive(Clone)]
 pub struct ChipSpec {
-    /// Display name (e.g. `albireo_9`).
+    /// Display name (e.g. `albireo_9`, `deap_M`).
     pub name: String,
-    /// Chip geometry.
-    pub chip: ChipConfig,
-    /// Device-technology estimate (sets clock and power).
-    pub estimate: TechnologyEstimate,
+    /// The cost model serving this slot.
+    pub accel: Arc<dyn Accelerator>,
+}
+
+impl fmt::Debug for ChipSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChipSpec")
+            .field("name", &self.name)
+            .field("compute_groups", &self.accel.compute_groups())
+            .finish()
+    }
+}
+
+/// Chip specs are compared by name: fleet parsing derives the name from
+/// the full `(chip, estimate)` coordinate, so equal names mean equal
+/// configurations everywhere a fleet can come from.
+impl PartialEq for ChipSpec {
+    fn eq(&self, other: &ChipSpec) -> bool {
+        self.name == other.name
+    }
 }
 
 impl ChipSpec {
+    /// A chip from any accelerator cost model.
+    pub fn from_accelerator(name: impl Into<String>, accel: Arc<dyn Accelerator>) -> ChipSpec {
+        ChipSpec {
+            name: name.into(),
+            accel,
+        }
+    }
+
     /// The paper's 9-PLCG chip under an estimate.
     pub fn albireo_9(estimate: TechnologyEstimate) -> ChipSpec {
         ChipSpec {
             name: "albireo_9".to_string(),
-            chip: ChipConfig::albireo_9(),
-            estimate,
+            accel: Arc::new(AlbireoAccelerator::albireo_9(estimate)),
         }
     }
 
@@ -47,8 +74,7 @@ impl ChipSpec {
     pub fn albireo_27(estimate: TechnologyEstimate) -> ChipSpec {
         ChipSpec {
             name: "albireo_27".to_string(),
-            chip: ChipConfig::albireo_27(),
-            estimate,
+            accel: Arc::new(AlbireoAccelerator::albireo_27(estimate)),
         }
     }
 }
@@ -59,8 +85,8 @@ pub struct FleetConfig {
     /// The chips, in dispatch-preference order (ties in availability go to
     /// the lowest index).
     pub chips: Vec<ChipSpec>,
-    /// The networks served, indexed by [`Request::network`]
-    /// (`crate::workload::Request`).
+    /// The networks served, indexed by
+    /// [`Request::network`](crate::workload::Request::network).
     pub models: Vec<Model>,
 }
 
@@ -78,9 +104,19 @@ impl FleetConfig {
         }
     }
 
-    /// Parses a fleet spec like `albireo_9:C,albireo_27:A`. Each entry is
-    /// `<chip>[:<estimate>]` with chip ∈ {albireo_9, albireo_27, ng<N>}
-    /// and estimate ∈ {C, M, A} (default C).
+    /// Parses a fleet spec like `albireo_9:C, deap:M, eyeriss`. Each entry
+    /// is `<chip>[:<estimate>]` with chip one of
+    ///
+    /// * `albireo_9`, `albireo_27`, `ng<N>` — Albireo chips;
+    /// * `pixel`, `deap` — the photonic baselines at the shared 60 W
+    ///   budget built from the estimate's device powers;
+    /// * `eyeriss`, `envision`, `unpu` — reported electronic designs
+    ///   (these take no estimate: their numbers are published, not
+    ///   modelled).
+    ///
+    /// Estimate ∈ {C, M, A} (default C). Entries that accept an estimate
+    /// are named `<chip>_<suffix>` (e.g. `deap_M`); electronic entries
+    /// keep their bare name.
     pub fn parse(spec: &str, models: Vec<Model>) -> Result<FleetConfig, String> {
         let mut chips = Vec::new();
         for entry in spec.split(',') {
@@ -89,18 +125,54 @@ impl FleetConfig {
                 continue;
             }
             let (chip_name, est_tag) = match entry.split_once(':') {
-                Some((c, e)) => (c.trim(), e.trim()),
-                None => (entry, "C"),
+                Some((c, e)) => (c.trim(), Some(e.trim())),
+                None => (entry, None),
             };
-            let estimate = match est_tag.to_ascii_uppercase().as_str() {
+            let estimate = match est_tag.unwrap_or("C").to_ascii_uppercase().as_str() {
                 "C" | "CONSERVATIVE" => TechnologyEstimate::Conservative,
                 "M" | "MODERATE" => TechnologyEstimate::Moderate,
                 "A" | "AGGRESSIVE" => TechnologyEstimate::Aggressive,
                 other => return Err(format!("unknown estimate `{other}` in fleet spec")),
             };
-            let chip = match chip_name {
-                "albireo_9" | "albireo9" => ChipConfig::albireo_9(),
-                "albireo_27" | "albireo27" => ChipConfig::albireo_27(),
+            let named = |accel: Arc<dyn Accelerator>| ChipSpec {
+                name: format!("{}_{}", chip_name, estimate.suffix()),
+                accel,
+            };
+            let lower = chip_name.to_ascii_lowercase();
+            let spec = match lower.as_str() {
+                "albireo_9" | "albireo9" => named(Arc::new(AlbireoAccelerator::new(
+                    chip_name,
+                    ChipConfig::albireo_9(),
+                    estimate,
+                ))),
+                "albireo_27" | "albireo27" => named(Arc::new(AlbireoAccelerator::new(
+                    chip_name,
+                    ChipConfig::albireo_27(),
+                    estimate,
+                ))),
+                "pixel" => named(Arc::new(Pixel::scaled_to_power(
+                    BASELINE_BUDGET_W,
+                    estimate,
+                ))),
+                "deap" | "deap-cnn" | "deapcnn" => named(Arc::new(DeapCnn::scaled_to_power(
+                    BASELINE_BUDGET_W,
+                    estimate,
+                ))),
+                "eyeriss" | "envision" | "unpu" => {
+                    if est_tag.is_some() {
+                        return Err(format!(
+                            "`{chip_name}` uses reported numbers and takes no estimate tag"
+                        ));
+                    }
+                    let accel = reported_accelerators()
+                        .into_iter()
+                        .find(|a| a.name.eq_ignore_ascii_case(chip_name))
+                        .expect("reported accelerator exists");
+                    ChipSpec {
+                        name: lower.clone(),
+                        accel: Arc::new(accel),
+                    }
+                }
                 other => match other.strip_prefix("ng") {
                     Some(n) => {
                         let ng: usize = n
@@ -109,16 +181,16 @@ impl FleetConfig {
                         if ng == 0 {
                             return Err("fleet chips need at least one PLCG".to_string());
                         }
-                        ChipConfig::with_ng(ng)
+                        named(Arc::new(AlbireoAccelerator::new(
+                            chip_name,
+                            ChipConfig::with_ng(ng),
+                            estimate,
+                        )))
                     }
                     None => return Err(format!("unknown chip `{other}` in fleet spec")),
                 },
             };
-            chips.push(ChipSpec {
-                name: format!("{}_{}", chip_name, estimate.suffix()),
-                chip,
-                estimate,
-            });
+            chips.push(spec);
         }
         if chips.is_empty() {
             return Err("fleet spec names no chips".to_string());
@@ -133,6 +205,11 @@ impl FleetConfig {
             .map(|c| c.name.as_str())
             .collect::<Vec<&str>>()
             .join("+")
+    }
+
+    /// Whether at least one chip in the fleet can run `model`.
+    pub fn supports(&self, model: &Model) -> bool {
+        self.chips.iter().any(|c| c.accel.supports(model))
     }
 }
 
@@ -161,13 +238,15 @@ impl ServiceCost {
     }
 }
 
-/// Memoizing service-time oracle over `(chip, active PLCGs, network)`.
+/// Memoizing service-time oracle over `(chip, active groups, network)`.
 ///
-/// Degradation enters through the PLCG count: a chip with `k` of its
-/// PLCGs retired serves from a `ChipConfig` with `ng − k` groups, so the
-/// scheduler's `⌈Wm/Ng⌉` kernel-distribution term — and hence latency,
-/// power, and energy — degrade exactly as the dataflow model says they
-/// should, rather than by an ad-hoc slowdown factor.
+/// Degradation enters through the accelerator's compute-group count: an
+/// Albireo chip with `k` of its PLCGs retired serves from a `ChipConfig`
+/// with `ng − k` groups (so the scheduler's `⌈Wm/Ng⌉` kernel-distribution
+/// term — and hence latency, power, and energy — degrade exactly as the
+/// dataflow model says they should), and a PIXEL/DEAP-CNN baseline serves
+/// from the surviving unit/engine count. There is no ad-hoc slowdown
+/// factor anywhere.
 #[derive(Debug, Default)]
 pub struct ServiceOracle {
     cache: BTreeMap<(usize, usize, usize), ServiceCost>,
@@ -180,32 +259,30 @@ impl ServiceOracle {
     }
 
     /// The cost of serving `models[network]` on fleet chip `chip_idx`
-    /// with `ng_active` healthy PLCGs.
+    /// with `groups_active` healthy compute groups.
     pub fn cost(
         &mut self,
         fleet: &FleetConfig,
         chip_idx: usize,
-        ng_active: usize,
+        groups_active: usize,
         network: usize,
     ) -> ServiceCost {
-        assert!(ng_active > 0, "a chip with zero PLCGs cannot serve");
+        assert!(
+            groups_active > 0,
+            "a chip with zero compute groups cannot serve"
+        );
         *self
             .cache
-            .entry((chip_idx, ng_active, network))
+            .entry((chip_idx, groups_active, network))
             .or_insert_with(|| {
                 let spec = &fleet.chips[chip_idx];
-                let mut chip = spec.chip;
-                chip.ng = ng_active;
                 let model = &fleet.models[network];
-                let eval = NetworkEvaluation::evaluate(&chip, spec.estimate, model);
-                let inv = DeviceInventory::for_chip(&chip);
-                let clock = spec.estimate.clock_hz();
-                let setup_s = model.total_params() as f64 / (inv.dacs as f64 * clock);
+                let cost = spec.accel.cost_with_groups(model, groups_active);
                 ServiceCost {
-                    item_latency_s: eval.latency_s,
-                    batch_setup_s: setup_s,
-                    item_energy_j: eval.energy_j,
-                    batch_setup_energy_j: eval.power_w * setup_s,
+                    item_latency_s: cost.latency_s,
+                    batch_setup_s: cost.setup_s,
+                    item_energy_j: cost.energy_j,
+                    batch_setup_energy_j: cost.setup_energy_j,
                 }
             })
     }
@@ -214,6 +291,7 @@ impl ServiceOracle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use albireo_core::energy::NetworkEvaluation;
 
     #[test]
     fn paper_pair_has_two_chips_and_four_networks() {
@@ -228,14 +306,37 @@ mod tests {
         let fleet = FleetConfig::parse("albireo_9:C, albireo_27:A", zoo::all_benchmarks()).unwrap();
         assert_eq!(fleet.chips.len(), 2);
         assert_eq!(fleet.chips[0].name, "albireo_9_C");
-        assert_eq!(fleet.chips[1].chip.ng, 27);
-        assert_eq!(fleet.chips[1].estimate, TechnologyEstimate::Aggressive);
+        assert_eq!(fleet.chips[1].name, "albireo_27_A");
+        assert_eq!(fleet.chips[1].accel.compute_groups(), 27);
         let custom = FleetConfig::parse("ng18:M", zoo::all_benchmarks()).unwrap();
-        assert_eq!(custom.chips[0].chip.ng, 18);
+        assert_eq!(custom.chips[0].accel.compute_groups(), 18);
         assert!(FleetConfig::parse("", zoo::all_benchmarks()).is_err());
         assert!(FleetConfig::parse("albireo_9:X", zoo::all_benchmarks()).is_err());
-        assert!(FleetConfig::parse("pixel", zoo::all_benchmarks()).is_err());
         assert!(FleetConfig::parse("ng0", zoo::all_benchmarks()).is_err());
+        assert!(FleetConfig::parse("tpu", zoo::all_benchmarks()).is_err());
+    }
+
+    #[test]
+    fn parse_mixed_photonic_electronic_fleet() {
+        let fleet = FleetConfig::parse(
+            "albireo_27:A, pixel, deap:M, eyeriss, unpu",
+            zoo::all_benchmarks(),
+        )
+        .unwrap();
+        assert_eq!(fleet.chips.len(), 5);
+        assert_eq!(fleet.chips[1].name, "pixel_C");
+        assert_eq!(fleet.chips[2].name, "deap_M");
+        assert_eq!(fleet.chips[3].name, "eyeriss");
+        assert_eq!(fleet.label(), "albireo_27_A+pixel_C+deap_M+eyeriss+unpu");
+        // PIXEL at 60 W has hundreds of units; eyeriss is monolithic.
+        assert!(fleet.chips[1].accel.compute_groups() > 100);
+        assert_eq!(fleet.chips[3].accel.compute_groups(), 1);
+        // Electronic baselines only support their reported networks.
+        assert!(fleet.chips[3].accel.supports(&zoo::vgg16()));
+        assert!(!fleet.chips[3].accel.supports(&zoo::mobilenet()));
+        assert!(fleet.supports(&zoo::mobilenet()), "albireo covers the rest");
+        // Estimate tags are meaningless for reported numbers.
+        assert!(FleetConfig::parse("eyeriss:A", zoo::all_benchmarks()).is_err());
     }
 
     #[test]
@@ -251,6 +352,20 @@ mod tests {
         assert_eq!(cost.item_latency_s, eval.latency_s);
         assert_eq!(cost.item_energy_j, eval.energy_j);
         assert!(cost.batch_setup_s > 0.0 && cost.batch_setup_energy_j > 0.0);
+    }
+
+    #[test]
+    fn oracle_costs_baseline_chips_through_the_trait() {
+        let fleet = FleetConfig::parse("deap:C, pixel:C", zoo::all_benchmarks()).unwrap();
+        let mut oracle = ServiceOracle::new();
+        let deap = oracle.cost(&fleet, 0, fleet.chips[0].accel.compute_groups(), 1);
+        let direct = DeapCnn::paper_60w().cost(&fleet.models[1]);
+        assert_eq!(deap.item_latency_s, direct.latency_s);
+        assert_eq!(deap.item_energy_j, direct.energy_j);
+        assert_eq!(deap.batch_setup_s, direct.setup_s);
+        let pixel = oracle.cost(&fleet, 1, fleet.chips[1].accel.compute_groups(), 1);
+        assert_eq!(pixel.batch_setup_s, 0.0, "PIXEL streams weights");
+        assert!(pixel.item_latency_s > deap.item_latency_s);
     }
 
     #[test]
@@ -292,8 +407,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "zero PLCGs")]
-    fn zero_active_plcgs_rejected() {
+    #[should_panic(expected = "zero compute groups")]
+    fn zero_active_groups_rejected() {
         let fleet = FleetConfig::paper_pair();
         ServiceOracle::new().cost(&fleet, 0, 0, 0);
     }

@@ -4,17 +4,23 @@
 //! The rest of the workspace answers "how fast is one inference on one
 //! chip?" (Tables II/IV, the device sweeps). This crate answers the
 //! *serving* question: what latency distribution, goodput, shed rate, and
-//! energy-per-request does a small fleet of Albireo chips deliver under a
+//! energy-per-request does a small fleet of accelerators deliver under a
 //! stochastic request stream — and how gracefully does service degrade
-//! when chips or individual PLCGs fail mid-run?
+//! when chips or individual compute groups fail mid-run?
+//!
+//! Fleets are heterogeneous: every chip is a `dyn
+//! albireo_core::accel::Accelerator`, so Albireo designs, the photonic
+//! baselines (PIXEL, DEAP-CNN), and the reported electronic accelerators
+//! (Eyeriss, ENVISION, UNPU) can serve side by side — e.g.
+//! [`FleetConfig::parse`]`("albireo_27:A, deap:M, eyeriss", ..)`.
 //!
 //! Pieces:
 //!
 //! * [`workload`] — seeded arrival processes (Poisson, bursty, trace) and
 //!   the request mix;
 //! * [`fleet`] — chip specs, the fleet, and the memoizing
-//!   [`fleet::ServiceOracle`] that turns `(chip, active PLCGs, network)`
-//!   into latency/energy via `albireo_core`'s validated models;
+//!   [`fleet::ServiceOracle`] that turns `(chip, active groups, network)`
+//!   into latency/energy through the `Accelerator` trait;
 //! * [`policy`] — micro-batching policies and admission control;
 //! * [`fault`] — timed chip/PLCG fault scenarios, including
 //!   classification of analog fault sets;

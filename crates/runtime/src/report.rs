@@ -2,7 +2,8 @@
 //! and the order-sensitive digest used by the determinism checks.
 //!
 //! Conventions mirror `albireo-bench`'s `BENCH_parallel.json`: floats are
-//! rendered with `{:.6}`, the digest folds values with
+//! rendered through the shared [`albireo_core::report::json`] helpers
+//! (`{:.6}`), the digest folds values with
 //! `digest.rotate_left(7) ^ bits` (order-sensitive, so it also certifies
 //! *dispatch order*, not just the multiset of results), and the JSON is
 //! hand-rolled against a versioned schema string
@@ -11,6 +12,7 @@
 
 use crate::fleet::FleetConfig;
 use crate::sim::ServeConfig;
+use albireo_core::report::json;
 
 /// One served request's lifecycle, in dispatch order.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -351,7 +353,10 @@ impl ServiceReport {
         s.push_str(&format!("  \"fleet\": \"{}\",\n", self.fleet_label));
         s.push_str(&format!("  \"policy\": \"{}\",\n", self.policy_label));
         s.push_str(&format!("  \"arrival\": \"{}\",\n", self.arrival_label));
-        s.push_str(&format!("  \"rate_rps\": {:.6},\n", self.offered_rate_rps));
+        s.push_str(&format!(
+            "  \"rate_rps\": {},\n",
+            json::num(self.offered_rate_rps)
+        ));
         s.push_str(&format!(
             "  \"queue_capacity\": \"{}\",\n",
             self.capacity_label()
@@ -360,28 +365,43 @@ impl ServiceReport {
         s.push_str(&format!("  \"offered\": {},\n", self.offered));
         s.push_str(&format!("  \"completed\": {},\n", self.completed));
         s.push_str(&format!("  \"shed\": {},\n", self.shed));
-        s.push_str(&format!("  \"shed_rate\": {:.6},\n", self.shed_rate));
+        s.push_str(&format!(
+            "  \"shed_rate\": {},\n",
+            json::num(self.shed_rate)
+        ));
         s.push_str("  \"latency_ms\": {\n");
-        s.push_str(&format!("    \"p50\": {:.6},\n", self.p50_ms));
-        s.push_str(&format!("    \"p95\": {:.6},\n", self.p95_ms));
-        s.push_str(&format!("    \"p99\": {:.6},\n", self.p99_ms));
-        s.push_str(&format!("    \"p999\": {:.6},\n", self.p999_ms));
-        s.push_str(&format!("    \"mean\": {:.6},\n", self.mean_latency_ms));
-        s.push_str(&format!("    \"mean_wait\": {:.6}\n", self.mean_wait_ms));
+        s.push_str(&format!("    \"p50\": {},\n", json::num(self.p50_ms)));
+        s.push_str(&format!("    \"p95\": {},\n", json::num(self.p95_ms)));
+        s.push_str(&format!("    \"p99\": {},\n", json::num(self.p99_ms)));
+        s.push_str(&format!("    \"p999\": {},\n", json::num(self.p999_ms)));
+        s.push_str(&format!(
+            "    \"mean\": {},\n",
+            json::num(self.mean_latency_ms)
+        ));
+        s.push_str(&format!(
+            "    \"mean_wait\": {}\n",
+            json::num(self.mean_wait_ms)
+        ));
         s.push_str("  },\n");
-        s.push_str(&format!("  \"goodput_rps\": {:.6},\n", self.goodput_rps));
-        s.push_str(&format!("  \"makespan_s\": {:.6},\n", self.makespan_s));
         s.push_str(&format!(
-            "  \"energy_total_j\": {:.6},\n",
-            self.energy_total_j
+            "  \"goodput_rps\": {},\n",
+            json::num(self.goodput_rps)
         ));
         s.push_str(&format!(
-            "  \"energy_per_request_mj\": {:.6},\n",
-            self.energy_per_request_j * 1e3
+            "  \"makespan_s\": {},\n",
+            json::num(self.makespan_s)
         ));
         s.push_str(&format!(
-            "  \"mean_batch_size\": {:.6},\n",
-            self.mean_batch_size
+            "  \"energy_total_j\": {},\n",
+            json::num(self.energy_total_j)
+        ));
+        s.push_str(&format!(
+            "  \"energy_per_request_mj\": {},\n",
+            json::num(self.energy_per_request_j * 1e3)
+        ));
+        s.push_str(&format!(
+            "  \"mean_batch_size\": {},\n",
+            json::num(self.mean_batch_size)
         ));
         s.push_str(&format!(
             "  \"max_queue_depth\": {},\n",
@@ -390,15 +410,15 @@ impl ServiceReport {
         s.push_str("  \"chips\": [\n");
         for (i, c) in self.per_chip.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"name\": \"{}\", \"served\": {}, \"batches\": {}, \"utilization\": {:.6}, \"energy_j\": {:.6}, \"online\": {}, \"plcgs_down\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"served\": {}, \"batches\": {}, \"utilization\": {}, \"energy_j\": {}, \"online\": {}, \"plcgs_down\": {}}}{}\n",
                 c.name,
                 c.served,
                 c.batches,
-                c.utilization(self.makespan_s),
-                c.energy_j,
+                json::num(c.utilization(self.makespan_s)),
+                json::num(c.energy_j),
                 c.online_at_end,
                 c.plcgs_down,
-                if i + 1 < self.per_chip.len() { "," } else { "" }
+                json::sep(i, self.per_chip.len())
             ));
         }
         s.push_str("  ],\n");

@@ -24,10 +24,13 @@
 //! chip is free and the queue head is *ready* under the batching policy,
 //! the dispatcher forms a single-network micro-batch from the earliest
 //! queued requests of the head's network and places it on the
-//! lowest-indexed free chip. Chips taken offline finish their in-flight
-//! batch; requests still queued when the run ends with no serviceable
-//! chip are counted as shed, so total chip loss degrades goodput instead
-//! of erroring.
+//! lowest-indexed free chip **that supports the head's network** — in a
+//! heterogeneous fleet a reported electronic design only serves the
+//! networks its source paper measured, so dispatch is FIFO with
+//! head-of-line blocking, never reordering. Chips taken offline finish
+//! their in-flight batch; requests still queued when the run ends with no
+//! serviceable chip are counted as shed, so total chip loss degrades
+//! goodput instead of erroring.
 
 use crate::fault::{FaultKind, FaultScenario};
 use crate::fleet::{FleetConfig, ServiceOracle};
@@ -153,16 +156,24 @@ impl<'a> Sim<'a> {
         self.heap.push(Reverse(event));
     }
 
-    fn ng_active(&self, chip: usize) -> usize {
+    /// Surviving compute groups on `chip` (PLCGs for Albireo, MAC units
+    /// for PIXEL, engines for DEAP-CNN; the state field keeps its
+    /// historical `plcgs_down` name).
+    fn groups_active(&self, chip: usize) -> usize {
         self.fleet.chips[chip]
-            .chip
-            .ng
+            .accel
+            .compute_groups()
             .saturating_sub(self.chips[chip].plcgs_down)
     }
 
-    fn serviceable(&self, chip: usize) -> bool {
+    fn serviceable(&self, chip: usize, network: usize) -> bool {
         let c = &self.chips[chip];
-        c.online && !c.busy && self.ng_active(chip) > 0
+        c.online
+            && !c.busy
+            && self.groups_active(chip) > 0
+            && self.fleet.chips[chip]
+                .accel
+                .supports(&self.fleet.models[network])
     }
 
     /// Whether the queue head may be dispatched now under the policy.
@@ -210,13 +221,14 @@ impl<'a> Sim<'a> {
             if !self.head_ready(now) {
                 return;
             }
-            let Some(chip) = (0..self.chips.len()).find(|&c| self.serviceable(c)) else {
+            let network = self.queue.front().expect("head exists").network;
+            let Some(chip) = (0..self.chips.len()).find(|&c| self.serviceable(c, network)) else {
                 return;
             };
             let batch = self.take_batch();
-            let cost = self
-                .oracle
-                .cost(self.fleet, chip, self.ng_active(chip), batch[0].network);
+            let cost =
+                self.oracle
+                    .cost(self.fleet, chip, self.groups_active(chip), batch[0].network);
             let busy = cost.batch_latency_s(batch.len());
             let energy = cost.batch_energy_j(batch.len());
             let state = &mut self.chips[chip];
@@ -316,7 +328,7 @@ impl<'a> Sim<'a> {
                 batches: state.batches,
                 busy_s: state.busy_s,
                 energy_j: state.energy_j,
-                online_at_end: state.online && spec.chip.ng > state.plcgs_down,
+                online_at_end: state.online && spec.accel.compute_groups() > state.plcgs_down,
                 plcgs_down: state.plcgs_down,
             })
             .collect();
@@ -552,6 +564,48 @@ mod tests {
         }
         assert!(report.energy_per_request_j > 0.0);
         assert!(report.mean_batch_size >= 1.0);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_serves_end_to_end() {
+        let fleet = FleetConfig::parse(
+            "albireo_27:A, deap:M, eyeriss",
+            albireo_nn::zoo::all_benchmarks(),
+        )
+        .unwrap();
+        let mut cfg = ServeConfig::poisson(2000.0, 300, 41, 0);
+        cfg.workload.mix = vec![(0, 1.0), (1, 1.0)];
+        let a = simulate(&fleet, &cfg);
+        let b = simulate(&fleet, &cfg);
+        assert_eq!(a, b, "mixed fleets must stay deterministic");
+        assert_eq!(a.completed + a.shed, 300);
+        assert!(a.completed > 0);
+        assert!(
+            a.per_chip[0].served > 0,
+            "the fast Albireo chip should pick up work"
+        );
+    }
+
+    #[test]
+    fn unsupported_networks_never_land_on_reported_chips() {
+        // Eyeriss reports AlexNet/VGG16 only; ResNet18 and MobileNetV1
+        // requests must route past it to the Albireo chip.
+        let fleet =
+            FleetConfig::parse("eyeriss, albireo_9:C", albireo_nn::zoo::all_benchmarks()).unwrap();
+        let mut cfg = ServeConfig::poisson(1500.0, 200, 43, 0);
+        cfg.workload.mix = vec![(0, 1.0), (2, 1.0), (3, 1.0)];
+        let report = simulate(&fleet, &cfg);
+        assert_eq!(report.completed + report.shed, 200);
+        for r in &report.records {
+            if r.chip == 0 {
+                assert_eq!(r.network, 0, "eyeriss served network {}", r.network);
+            }
+        }
+        let resnet_served = report.records.iter().filter(|r| r.network == 2).count();
+        assert!(
+            resnet_served > 0,
+            "albireo must absorb unsupported networks"
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::policy::{AdmissionControl, BatchPolicy};
 use crate::report::ServiceReport;
 use crate::sim::{simulate, ServeConfig};
 use crate::workload::{ArrivalProcess, Workload};
+use albireo_core::report::json;
 use albireo_nn::zoo;
 use albireo_parallel::{split_seed, stream_id, Parallelism};
 
@@ -90,6 +91,29 @@ impl StudyOptions {
         }
     }
 
+    /// The mixed-backend grid behind the heterogeneous rows of
+    /// `BENCH_serving.json`: an Albireo-27 flanked by the DEAP-CNN and
+    /// PIXEL photonic baselines, and an Albireo-9 paired with the
+    /// reported Eyeriss (which only serves its published networks —
+    /// exercising support-aware dispatch), over the AlexNet/VGG16 mix.
+    pub fn heterogeneous() -> StudyOptions {
+        StudyOptions {
+            fleets: vec![
+                FleetConfig::parse("albireo_27:C, deap:C, pixel:C", zoo::all_benchmarks())
+                    .expect("static fleet spec parses"),
+                FleetConfig::parse("albireo_9:C, eyeriss", zoo::all_benchmarks())
+                    .expect("static fleet spec parses"),
+            ],
+            rates_rps: vec![1000.0],
+            policies: vec![BatchPolicy::Immediate, BatchPolicy::SizeN { size: 4 }],
+            mix: vec![(0, 1.0), (1, 1.0)],
+            requests: 200,
+            replicas: 2,
+            base_seed: 42,
+            admission: AdmissionControl::default(),
+        }
+    }
+
     /// Cells in the sweep (fleet × rate × policy).
     pub fn cells(&self) -> usize {
         self.fleets.len() * self.rates_rps.len() * self.policies.len()
@@ -154,9 +178,9 @@ impl ServingStudyReport {
             s.push_str(&format!(
                 "    {{\"fleet\": \"{}\", \"policy\": \"{}\", \"rate_rps\": {:.3}, \
                  \"replica\": {}, \"seed\": {}, \"completed\": {}, \"shed\": {}, \
-                 \"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \"p99_ms\": {:.6}, \"p999_ms\": {:.6}, \
-                 \"goodput_rps\": {:.6}, \"energy_per_request_mj\": {:.6}, \
-                 \"mean_batch_size\": {:.6}, \"digest\": \"{}\"}}{}\n",
+                 \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \"p999_ms\": {}, \
+                 \"goodput_rps\": {}, \"energy_per_request_mj\": {}, \
+                 \"mean_batch_size\": {}, \"digest\": \"{}\"}}{}\n",
                 r.fleet_label,
                 r.policy_label,
                 r.offered_rate_rps,
@@ -164,15 +188,15 @@ impl ServingStudyReport {
                 r.seed,
                 r.completed,
                 r.shed,
-                r.p50_ms,
-                r.p95_ms,
-                r.p99_ms,
-                r.p999_ms,
-                r.goodput_rps,
-                r.energy_per_request_j * 1e3,
-                r.mean_batch_size,
+                json::num(r.p50_ms),
+                json::num(r.p95_ms),
+                json::num(r.p99_ms),
+                json::num(r.p999_ms),
+                json::num(r.goodput_rps),
+                json::num(r.energy_per_request_j * 1e3),
+                json::num(r.mean_batch_size),
                 r.digest_hex(),
-                if i + 1 < self.runs.len() { "," } else { "" }
+                json::sep(i, self.runs.len())
             ));
         }
         s.push_str("  ],\n");
@@ -276,6 +300,26 @@ mod tests {
         assert_eq!(reps[0], base, "replica 0 is the base run");
         assert_ne!(reps[1].digest(), reps[0].digest());
         assert_ne!(reps[2].digest(), reps[1].digest());
+    }
+
+    #[test]
+    fn heterogeneous_grid_is_deterministic_and_mixed() {
+        let mut options = StudyOptions::heterogeneous();
+        options.requests = 80;
+        let serial = run_serving_study(&options, Parallelism::serial());
+        let wide = run_serving_study(&options, Parallelism::with_threads(8));
+        assert_eq!(serial, wide);
+        assert_eq!(serial.runs.len(), options.cells() * options.replicas);
+        let labels: Vec<&str> = serial
+            .runs
+            .iter()
+            .map(|r| r.report.fleet_label.as_str())
+            .collect();
+        assert!(labels.contains(&"albireo_27_C+deap_C+pixel_C"));
+        assert!(labels.contains(&"albireo_9_C+eyeriss"));
+        for run in &serial.runs {
+            assert!(run.report.completed > 0, "every cell must make progress");
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! cargo run --example compare_accelerators
 //! ```
 
-use albireo::baselines::{reported_accelerators, DeapCnn, Pixel};
+use albireo::baselines::{reported_accelerators, Accelerator, DeapCnn, Pixel};
 use albireo::core::config::{ChipConfig, TechnologyEstimate};
 use albireo::core::energy::NetworkEvaluation;
 use albireo::core::report::{format_ratio, format_table};
@@ -25,8 +25,8 @@ fn main() {
     let rows: Vec<Vec<String>> = zoo::all_benchmarks()
         .iter()
         .map(|m| {
-            let p = pixel.evaluate(m);
-            let d = deap.evaluate(m);
+            let p = pixel.cost(m);
+            let d = deap.cost(m);
             let a = NetworkEvaluation::evaluate(&a27, TechnologyEstimate::Conservative, m);
             vec![
                 m.name().to_string(),

@@ -1,7 +1,7 @@
 //! Integration tests asserting the reproduction against the numbers the
 //! paper itself reports — the cross-crate oracle suite.
 
-use albireo::baselines::{reported_accelerators, DeapCnn, Pixel};
+use albireo::baselines::{reported_accelerators, Accelerator, DeapCnn, Pixel};
 use albireo::core::area::AreaBreakdown;
 use albireo::core::config::{ChipConfig, TechnologyEstimate};
 use albireo::core::energy::NetworkEvaluation;
@@ -150,8 +150,8 @@ fn fig8_photonic_ordering_on_all_networks() {
     let deap = DeapCnn::paper_60w();
     let a27 = ChipConfig::albireo_27();
     for model in zoo::all_benchmarks() {
-        let p = pixel.evaluate(&model);
-        let d = deap.evaluate(&model);
+        let p = pixel.cost(&model);
+        let d = deap.cost(&model);
         let a = NetworkEvaluation::evaluate(&a27, TechnologyEstimate::Conservative, &model);
         assert!(p.latency_s > d.latency_s, "{}: PIXEL slowest", model.name());
         assert!(

@@ -1,7 +1,7 @@
 //! End-to-end pipeline tests: model zoo → scheduler → energy → reports,
 //! exercising the facade crate exactly as a downstream user would.
 
-use albireo::baselines::{DeapCnn, Pixel};
+use albireo::baselines::{Accelerator, DeapCnn, Pixel};
 use albireo::core::config::{ChipConfig, TechnologyEstimate};
 use albireo::core::energy::NetworkEvaluation;
 use albireo::core::report::{format_seconds, format_table};
@@ -65,8 +65,8 @@ fn baselines_evaluate_all_networks() {
     let pixel = Pixel::paper_60w();
     let deap = DeapCnn::paper_60w();
     for model in zoo::all_benchmarks() {
-        let p = pixel.evaluate(&model);
-        let d = deap.evaluate(&model);
+        let p = pixel.cost(&model);
+        let d = deap.cost(&model);
         assert!(p.latency_s > 0.0 && p.energy_j > 0.0);
         assert!(d.latency_s > 0.0 && d.energy_j > 0.0);
         assert_eq!(p.network, model.name());
@@ -98,8 +98,8 @@ fn bench_harness_experiments_run_from_integration_context() {
     // assert that the pipeline pieces it composes are stable here.
     let chip = ChipConfig::albireo_27();
     let e = NetworkEvaluation::evaluate(&chip, TechnologyEstimate::Conservative, &zoo::vgg16());
-    let d = DeapCnn::paper_60w().evaluate(&zoo::vgg16());
-    let p = Pixel::paper_60w().evaluate(&zoo::vgg16());
+    let d = DeapCnn::paper_60w().cost(&zoo::vgg16());
+    let p = Pixel::paper_60w().cost(&zoo::vgg16());
     // Fig. 8(b) energy ordering at equal power budgets mirrors latency.
     assert!(p.energy_j > d.energy_j);
     assert!(d.energy_j > e.energy_j);
