@@ -16,8 +16,76 @@
 //! The study is bit-deterministic at any `--threads` value; the combined
 //! digest printed at the end is the value to compare across runs.
 
+use albireo_obs::Obs;
 use albireo_parallel::Parallelism;
-use albireo_runtime::{run_serving_study, StudyOptions};
+use albireo_runtime::{
+    run_serving_study, simulate, simulate_observed, ArrivalProcess, FaultScenario, ServeConfig,
+    StudyOptions, Workload,
+};
+
+/// Wall-clock medians for one serving scenario run with observability
+/// disabled (the default path — one relaxed atomic load per site) and
+/// fully enabled (spans + metrics recorded).
+struct ObsOverhead {
+    reps: usize,
+    disabled_ms: f64,
+    enabled_ms: f64,
+    trace_events: usize,
+}
+
+impl ObsOverhead {
+    fn ratio(&self) -> f64 {
+        self.enabled_ms / self.disabled_ms
+    }
+}
+
+/// Times the golden grid's heaviest cell (paper fleet, top offered rate,
+/// deadline batching) with instrumentation off and on. Medians over odd
+/// `reps` keep scheduler noise out of the row.
+fn measure_obs_overhead(options: &StudyOptions) -> ObsOverhead {
+    let fleet = &options.fleets[0];
+    let cfg = ServeConfig {
+        workload: Workload {
+            process: ArrivalProcess::Poisson {
+                rate_rps: options.rates_rps.iter().copied().fold(0.0, f64::max),
+            },
+            mix: options.mix.clone(),
+        },
+        requests: options.requests,
+        seed: options.base_seed,
+        policy: *options.policies.last().expect("golden grid has policies"),
+        admission: options.admission,
+        faults: FaultScenario::none(),
+    };
+    let reps = 9;
+    let median = |mut xs: Vec<f64>| {
+        xs.sort_by(f64::total_cmp);
+        xs[xs.len() / 2]
+    };
+    let time_ms = |f: &dyn Fn()| {
+        let t0 = std::time::Instant::now();
+        f();
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    let disabled_ms = median(
+        (0..reps)
+            .map(|_| time_ms(&|| drop(simulate(fleet, &cfg))))
+            .collect(),
+    );
+    let obs = Obs::enabled();
+    let enabled_ms = median(
+        (0..reps)
+            .map(|_| time_ms(&|| drop(simulate_observed(fleet, &cfg, &obs))))
+            .collect(),
+    );
+    let trace_events = obs.drain_events().len() / reps;
+    ObsOverhead {
+        reps,
+        disabled_ms,
+        enabled_ms,
+        trace_events,
+    }
+}
 
 fn main() {
     let mut out_dir = "results".to_string();
@@ -63,12 +131,33 @@ fn main() {
         runs,
     };
 
+    // The before/after instrumentation row: disabled observability is the
+    // default serve path, enabled adds span/metric recording on top.
+    let overhead = measure_obs_overhead(&golden_options);
+
     std::fs::create_dir_all(&out_dir).expect("create output directory");
     let study_csv = format!("{out_dir}/serving_study.csv");
     let golden_csv = format!("{out_dir}/golden_serving_metrics.csv");
     std::fs::write(&study_csv, study.to_csv()).expect("write serving_study.csv");
     std::fs::write(&golden_csv, golden.to_csv()).expect("write golden_serving_metrics.csv");
-    std::fs::write(&json_path, study.to_json()).expect("write BENCH_serving.json");
+    let mut json = study.to_json();
+    let at = json
+        .rfind("  \"combined_digest\"")
+        .expect("study JSON has a combined digest");
+    json.insert_str(
+        at,
+        &format!(
+            "  \"obs_overhead\": {{\"reps\": {}, \"disabled_ms\": {:.3}, \
+             \"enabled_ms\": {:.3}, \"enabled_over_disabled\": {:.4}, \
+             \"trace_events_per_run\": {}}},\n",
+            overhead.reps,
+            overhead.disabled_ms,
+            overhead.enabled_ms,
+            overhead.ratio(),
+            overhead.trace_events
+        ),
+    );
+    std::fs::write(&json_path, json).expect("write BENCH_serving.json");
 
     println!(
         "serving study: {} golden + {} heterogeneous runs = {} total",
@@ -90,6 +179,14 @@ fn main() {
             r.energy_per_request_j * 1e3
         );
     }
+    println!(
+        "obs overhead: disabled {:.3} ms, enabled {:.3} ms ({:.2}x, {} trace events/run, median of {})",
+        overhead.disabled_ms,
+        overhead.enabled_ms,
+        overhead.ratio(),
+        overhead.trace_events,
+        overhead.reps
+    );
     println!("wrote {study_csv}, {golden_csv}, {json_path}");
     println!("combined digest {}", study.combined_digest_hex());
 }

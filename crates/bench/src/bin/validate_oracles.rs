@@ -23,6 +23,23 @@ struct Checklist {
     passed: usize,
     failed: usize,
     tol_scale: f64,
+    /// Per-oracle relative errors land here as gauges so tolerance drift
+    /// is visible in CI logs long before a check actually flips to FAIL.
+    metrics: albireo_obs::metrics::Registry,
+}
+
+/// Oracle names become metric names: lowercase, non-alphanumerics
+/// collapsed to single underscores.
+fn metric_slug(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch.to_ascii_lowercase());
+        } else if !out.ends_with('_') {
+            out.push('_');
+        }
+    }
+    out.trim_matches('_').to_string()
 }
 
 impl Checklist {
@@ -31,6 +48,7 @@ impl Checklist {
             passed: 0,
             failed: 0,
             tol_scale,
+            metrics: albireo_obs::metrics::Registry::new(),
         }
     }
 
@@ -47,7 +65,11 @@ impl Checklist {
 
     fn within(&mut self, name: &str, paper_value: f64, measured: f64, rel_tol: f64, unit: &str) {
         let rel_tol = rel_tol * self.tol_scale;
-        let ok = (measured - paper_value).abs() / paper_value.abs() <= rel_tol;
+        let rel_err = (measured - paper_value).abs() / paper_value.abs();
+        self.metrics
+            .gauge(&format!("oracle.{}.rel_error", metric_slug(name)))
+            .set(rel_err);
+        let ok = rel_err <= rel_tol;
         self.check(
             name,
             &format!("{paper_value} {unit}"),
@@ -216,6 +238,14 @@ fn main() {
         beats_all,
     );
 
+    list.metrics
+        .counter("oracle.checks.passed")
+        .add(list.passed as u64);
+    list.metrics
+        .counter("oracle.checks.failed")
+        .add(list.failed as u64);
+    println!("\nmetrics snapshot ({}):", albireo_obs::SCHEMA);
+    println!("{}", list.metrics.snapshot().to_json());
     println!("\n{} passed, {} failed", list.passed, list.failed);
     if list.failed > 0 {
         std::process::exit(1);

@@ -50,7 +50,13 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Boolean flags recognized without values.
-const BOOL_FLAGS: &[&str] = &["no-stride-penalty", "compensate", "help", "json"];
+const BOOL_FLAGS: &[&str] = &[
+    "no-stride-penalty",
+    "compensate",
+    "help",
+    "json",
+    "wall-clock",
+];
 
 impl Args {
     /// Parses a raw argument list (excluding the program/subcommand names).

@@ -73,6 +73,7 @@ COMMANDS:
     networks                          list the benchmark networks
     evaluate <network>                run a network on the chip model
         --estimate C|M|A  --ng N  [--no-stride-penalty]  [--per-layer N]
+        [--trace-out FILE]            per-layer Chrome/Perfetto trace
     power      [--ng N] [--estimate C|M|A]    Table III power breakdown
     area       [--ng N]                       Fig. 9 area breakdown
     precision  [--k2 X] [--wavelengths N] [--laser-mw P]   Figs. 3/4 analysis
@@ -87,11 +88,20 @@ COMMANDS:
         [--fleet SPEC] [--policy immediate|size:N|deadline:USEC[:MAX]]
         [--queue-cap N] [--networks A,B] [--replicas R] [--json] [--out FILE]
         [--fail CHIP@T,...] [--degrade CHIP:K@T,...] [--recover CHIP@T,...]
+        [--trace-out FILE] [--events-out FILE]
                                               multi-chip serving simulation
     help                                      show this message
 
 GLOBAL OPTIONS:
     --threads N    worker threads for parallel regions (0 = one per core)
+    --wall-clock   stamp trace events with wall-clock ns (diagnostic only;
+                   excluded from digests, traces stay seed-deterministic)
+
+TRACING:
+    --trace-out FILE writes a Chrome trace_event JSON of the run on the
+    virtual clock — open it at https://ui.perfetto.dev or chrome://tracing.
+    --events-out FILE writes the same stream as JSONL. Fixed seed ⇒
+    byte-identical files at any --threads value.
 ";
 
 fn parse_network(name: &str) -> Result<Model, CliError> {
@@ -120,6 +130,52 @@ fn parse_estimate(name: &str) -> Result<TechnologyEstimate, CliError> {
             "unknown estimate `{other}` (try: conservative, moderate, aggressive)"
         ))),
     }
+}
+
+/// An `Obs` handle for a command run: enabled only when a trace export
+/// was requested, with wall-clock stamping behind `--wall-clock`.
+fn trace_obs(args: &Args) -> albireo_obs::Obs {
+    let enabled = args.get("trace-out").is_some() || args.get("events-out").is_some();
+    let obs = albireo_obs::Obs::new(enabled);
+    if args.flag("wall-clock") {
+        obs.set_wall_clock(true);
+    }
+    obs
+}
+
+/// Drains `obs` and writes the requested trace exports (`--trace-out`
+/// Chrome JSON, `--events-out` JSONL), returning one note line per file
+/// written (empty when no export was requested).
+fn write_trace_outputs(
+    args: &Args,
+    obs: &albireo_obs::Obs,
+    track_names: &[(u32, String)],
+) -> Result<String, CliError> {
+    let mut note = String::new();
+    if args.get("trace-out").is_none() && args.get("events-out").is_none() {
+        return Ok(note);
+    }
+    let events = obs.drain_events();
+    let digest = albireo_obs::events_digest(&events);
+    if let Some(path) = args.get("trace-out") {
+        let trace = albireo_obs::to_chrome_trace(&events, track_names);
+        std::fs::write(path, trace)
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+        note.push_str(&format!(
+            "wrote {path}: {} trace events, digest {digest:016x}\n",
+            events.len()
+        ));
+    }
+    if let Some(path) = args.get("events-out") {
+        let jsonl = albireo_obs::to_jsonl(&events);
+        std::fs::write(path, jsonl)
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+        note.push_str(&format!(
+            "wrote {path}: {} events (JSONL), digest {digest:016x}\n",
+            events.len()
+        ));
+    }
+    Ok(note)
 }
 
 fn chip_from(args: &Args) -> Result<ChipConfig, CliError> {
@@ -160,7 +216,9 @@ pub fn evaluate(args: &Args) -> Result<String, CliError> {
     let model = parse_network(name)?;
     let estimate = parse_estimate(args.get_or("estimate", "conservative"))?;
     let chip = chip_from(args)?;
-    let eval = NetworkEvaluation::evaluate(&chip, estimate, &model);
+    let obs = trace_obs(args);
+    let eval =
+        NetworkEvaluation::evaluate_observed(&chip, estimate, &model, Parallelism::default(), &obs);
     let mut out = format!(
         "{} on Albireo-{} (Ng={}):\n  latency {}  energy {}  EDP {:.3} mJ·ms\n  power {}  {:.0} GOPS  {:.1} GOPS/mm² ({:.0} active)  utilization {:.1}%\n",
         eval.network,
@@ -196,6 +254,11 @@ pub fn evaluate(args: &Args) -> Result<String, CliError> {
             &rows,
         ));
     }
+    out.push_str(&write_trace_outputs(
+        args,
+        &obs,
+        &[(albireo_obs::track::ENGINE, "engine".to_string())],
+    )?);
     Ok(out)
 }
 
@@ -423,8 +486,8 @@ fn parse_at(entry: &str, what: &str) -> Result<(String, f64), CliError> {
 /// `albireo serve [...]` — run the multi-chip serving simulation.
 pub fn serve(args: &Args) -> Result<String, CliError> {
     use albireo_runtime::{
-        replicate, AdmissionControl, ArrivalProcess, BatchPolicy, FaultKind, FaultScenario,
-        FleetConfig, ServeConfig, Workload,
+        replicate, simulate_observed, trace_track_names, AdmissionControl, ArrivalProcess,
+        BatchPolicy, FaultKind, FaultScenario, FleetConfig, ServeConfig, Workload,
     };
 
     let requests = args.get_parsed_or("requests", 1000usize, "a request count")?;
@@ -566,9 +629,26 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         faults,
     };
     let reports = replicate(&fleet, &cfg, replicas, Parallelism::default());
+
+    // Trace capture re-runs replica 0 (same seed, same pure function)
+    // under an enabled Obs, so the replicated reports above stay
+    // byte-for-byte what an untraced run produces.
+    let obs = trace_obs(args);
+    let trace_note = if obs.is_enabled() {
+        simulate_observed(&fleet, &cfg, &obs);
+        let snapshot = obs.snapshot();
+        let note = write_trace_outputs(args, &obs, &trace_track_names(&fleet))?;
+        Some((note, snapshot))
+    } else {
+        None
+    };
+
     let out = if args.flag("json") {
         if reports.len() == 1 {
-            reports[0].to_json()
+            match &trace_note {
+                Some((_, snapshot)) => reports[0].to_json_with_metrics(snapshot),
+                None => reports[0].to_json(),
+            }
         } else {
             let mut s = String::from("[\n");
             for (i, r) in reports.iter().enumerate() {
@@ -594,6 +674,9 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
                 .iter()
                 .fold(0xC0FF_EE00u64, |acc, r| acc.rotate_left(13) ^ r.digest());
             s.push_str(&format!("combined digest {combined:016x}\n"));
+        }
+        if let Some((note, _)) = &trace_note {
+            s.push_str(note);
         }
         s
     };
@@ -1099,6 +1182,117 @@ mod tests {
         assert!(out.contains("replica 1"));
         assert!(out.contains("combined digest"));
         assert!(out.contains("size4"));
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("albireo_cli_trace_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn serve_trace_out_writes_deterministic_chrome_trace() {
+        let path = temp_path("serve_trace.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let run = || {
+            let out = serve(&args(&[
+                "--requests",
+                "120",
+                "--seed",
+                "7",
+                "--trace-out",
+                &path_str,
+            ]))
+            .unwrap();
+            assert!(out.contains("trace events"), "{out}");
+            assert!(out.contains("digest"), "{out}");
+            std::fs::read_to_string(&path).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must give byte-identical traces");
+        assert!(a.starts_with("{\"traceEvents\": ["));
+        assert!(a.contains("\"ph\": \"X\""), "needs complete events");
+        assert!(a.contains("\"thread_name\""));
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_events_out_writes_jsonl_stream() {
+        let path = temp_path("serve_events.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        let out = serve(&args(&[
+            "--requests",
+            "100",
+            "--seed",
+            "9",
+            "--events-out",
+            &path_str,
+        ]))
+        .unwrap();
+        assert!(out.contains("JSONL"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().count() > 0);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(text.contains("\"phase\": \"B\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_json_with_trace_embeds_metrics_snapshot() {
+        let path = temp_path("serve_trace_json.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let out = serve(&args(&[
+            "--requests",
+            "80",
+            "--json",
+            "--trace-out",
+            &path_str,
+        ]))
+        .unwrap();
+        assert!(out.contains("\"obs\": {"), "{out}");
+        assert!(out.contains("albireo.obs/v1"));
+        assert!(out.contains("serve.completed"));
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+        // Without the trace flag the JSON stays unchanged.
+        let plain = serve(&args(&["--requests", "80", "--json"])).unwrap();
+        assert!(!plain.contains("\"obs\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_wall_clock_flag_keeps_trace_digest_stable() {
+        let path = temp_path("serve_wall.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let digest_line = |extra: &[&str]| {
+            let mut argv = vec!["--requests", "60", "--seed", "3", "--trace-out", &path_str];
+            argv.extend_from_slice(extra);
+            let out = serve(&args(&argv)).unwrap();
+            let line = out
+                .lines()
+                .find(|l| l.contains("trace events"))
+                .unwrap()
+                .to_string();
+            line.split("digest ").nth(1).unwrap().to_string()
+        };
+        assert_eq!(digest_line(&[]), digest_line(&["--wall-clock"]));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn evaluate_trace_out_writes_per_layer_spans() {
+        let path = temp_path("evaluate_trace.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let out = evaluate(&args(&["alexnet", "--trace-out", &path_str])).unwrap();
+        assert!(out.contains("trace events"), "{out}");
+        let trace = std::fs::read_to_string(&path).unwrap();
+        assert!(trace.contains("\"ph\": \"X\""));
+        assert!(trace.contains("\"layer\""));
+        assert!(trace.contains("\"name\": \"engine\""));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! ```text
 //! albireo evaluate vgg16 --estimate conservative --ng 9
 //! albireo sweep --param ng --values 3,9,27
+//! albireo serve --requests 500 --trace-out trace.json
 //! albireo experiment table4
 //! ```
 
@@ -11,6 +12,18 @@ mod args;
 mod commands;
 
 use args::Args;
+
+/// Every diagnostic leaves through this one formatter: a fixed header
+/// carrying the obs schema version and the run's seed (`seed=none` when
+/// the command has no seed or parsing failed before one was read),
+/// followed by the message itself.
+fn diagnostic(seed: Option<&str>, message: &dyn std::fmt::Display) -> String {
+    format!(
+        "albireo[{} seed={}] error: {message}",
+        albireo_obs::SCHEMA,
+        seed.unwrap_or("none"),
+    )
+}
 
 fn main() {
     let mut raw = std::env::args().skip(1);
@@ -24,14 +37,15 @@ fn main() {
     let parsed = match Args::parse(raw) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}");
+            eprintln!("{}", diagnostic(None, &e));
             std::process::exit(2);
         }
     };
+    let seed = parsed.get("seed").map(str::to_string);
     match commands::dispatch(&command, &parsed) {
         Ok(output) => print!("{output}"),
         Err(e) => {
-            eprintln!("error: {e}");
+            eprintln!("{}", diagnostic(seed.as_deref(), &e));
             if e.is_usage() {
                 eprintln!("run `albireo help` for usage");
             }

@@ -246,6 +246,46 @@ fn serve_same_seed_is_byte_identical_at_any_thread_count() {
 }
 
 #[test]
+fn serve_trace_is_byte_identical_across_thread_counts() {
+    let dir = std::env::temp_dir().join("albireo_trace_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_for = |threads: &str| {
+        let path = dir.join(format!("trace_t{threads}.json"));
+        let path_str = path.to_str().unwrap().to_string();
+        let (stdout, _, ok) = run(&[
+            "serve",
+            "--requests",
+            "200",
+            "--seed",
+            "7",
+            "--threads",
+            threads,
+            "--trace-out",
+            &path_str,
+        ]);
+        assert!(ok, "{stdout}");
+        let digest = stdout
+            .lines()
+            .find(|l| l.contains("trace events"))
+            .and_then(|l| l.split("digest ").nth(1))
+            .expect("digest note in output")
+            .trim()
+            .to_string();
+        let trace = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        (trace, digest)
+    };
+    let (baseline, base_digest) = trace_for("1");
+    assert!(baseline.contains("\"traceEvents\""));
+    assert!(baseline.contains("\"ph\": \"X\""), "no complete events");
+    for threads in ["2", "4", "8"] {
+        let (trace, digest) = trace_for(threads);
+        assert_eq!(trace, baseline, "trace diverged at {threads} threads");
+        assert_eq!(digest, base_digest, "digest diverged at {threads} threads");
+    }
+}
+
+#[test]
 fn serve_json_end_to_end() {
     let (stdout, _, ok) = run(&["serve", "--requests", "100", "--json"]);
     assert!(ok, "{stdout}");

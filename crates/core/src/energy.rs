@@ -100,6 +100,64 @@ impl NetworkEvaluation {
         }
     }
 
+    /// [`evaluate_with`](NetworkEvaluation::evaluate_with), recording the
+    /// run into `obs`: one span per layer on the engine track (virtual
+    /// timestamps from the cumulative-latency clock, so traces are
+    /// byte-reproducible at any thread count) plus per-device energy
+    /// counters for the signal-chain stages the paper prices separately
+    /// (DAC, ADC, laser). Energy counters are integer nanojoules so
+    /// parallel accumulation stays exact.
+    ///
+    /// When `obs` is disabled this costs one branch over
+    /// `evaluate_with`; the returned evaluation is identical either way.
+    pub fn evaluate_observed(
+        chip: &ChipConfig,
+        estimate: TechnologyEstimate,
+        model: &Model,
+        par: Parallelism,
+        obs: &albireo_obs::Obs,
+    ) -> Self {
+        let eval = Self::evaluate_with(chip, estimate, model, par);
+        if !obs.is_enabled() {
+            return eval;
+        }
+        let power = PowerBreakdown::for_chip(chip, estimate);
+        let total_w = power.total_w();
+        let mut clock_s = 0.0f64;
+        for (idx, layer) in eval.per_layer.iter().enumerate() {
+            let end = clock_s + layer.latency_s;
+            albireo_obs::span!(
+                obs,
+                track = albireo_obs::track::ENGINE,
+                begin = clock_s,
+                end = end,
+                "layer",
+                idx = idx,
+                cycles = layer.cycles,
+                macs = layer.macs,
+            );
+            clock_s = end;
+        }
+        obs.counter("engine.layers")
+            .add(eval.per_layer.len() as u64);
+        obs.counter("engine.cycles")
+            .add(eval.per_layer.iter().map(|l| l.cycles).sum());
+        obs.counter("engine.macs").add(eval.total_macs);
+        for (label, watts, _) in power.rows() {
+            let key = match label {
+                "DAC" => "engine.energy.dac_nj",
+                "ADC" => "engine.energy.adc_nj",
+                "Laser" => "engine.energy.laser_nj",
+                _ => continue,
+            };
+            obs.counter(key)
+                .add((watts * eval.latency_s * 1e9).round() as u64);
+        }
+        obs.counter("engine.energy.total_nj")
+            .add((total_w * eval.latency_s * 1e9).round() as u64);
+        eval
+    }
+
     /// Total inference energy including the dynamic SRAM traffic, J.
     pub fn total_energy_j(&self) -> f64 {
         self.energy_j + self.memory_dynamic_energy_j
@@ -284,6 +342,64 @@ mod tests {
         let e = eval(TechnologyEstimate::Conservative, &zoo::alexnet());
         let w = e.energy_per_wavelength(63);
         assert!((w - e.energy_j / 63.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn observed_evaluation_matches_plain_and_traces_every_layer() {
+        let chip = ChipConfig::albireo_9();
+        let model = zoo::alexnet();
+        let obs = albireo_obs::Obs::enabled();
+        let observed = NetworkEvaluation::evaluate_observed(
+            &chip,
+            TechnologyEstimate::Conservative,
+            &model,
+            Parallelism::serial(),
+            &obs,
+        );
+        let plain = NetworkEvaluation::evaluate(&chip, TechnologyEstimate::Conservative, &model);
+        assert_eq!(observed, plain, "instrumentation must not change results");
+        let events = obs.drain_events();
+        // One Begin + one End per layer, non-decreasing virtual time.
+        assert_eq!(events.len(), 2 * plain.per_layer.len());
+        assert!(events.windows(2).all(|w| w[0].ts_s <= w[1].ts_s));
+        // Device energy counters land in the right order of magnitude:
+        // counters are nJ, evaluation energies are J.
+        let snap = obs.snapshot();
+        let total_nj = snap
+            .counters
+            .iter()
+            .find(|(name, _)| name == "engine.energy.total_nj")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!((total_nj as f64 / 1e9 - plain.energy_j).abs() < 1e-6 * plain.energy_j.max(1e-9));
+        for key in [
+            "engine.energy.dac_nj",
+            "engine.energy.adc_nj",
+            "engine.energy.laser_nj",
+        ] {
+            let v = snap
+                .counters
+                .iter()
+                .find(|(name, _)| name == key)
+                .map(|(_, v)| *v)
+                .unwrap();
+            assert!(v > 0, "{key} should be nonzero");
+            assert!(v < total_nj, "{key} is a component of the total");
+        }
+    }
+
+    #[test]
+    fn observed_evaluation_with_disabled_obs_records_nothing() {
+        let obs = albireo_obs::Obs::disabled();
+        NetworkEvaluation::evaluate_observed(
+            &ChipConfig::albireo_9(),
+            TechnologyEstimate::Conservative,
+            &zoo::alexnet(),
+            Parallelism::serial(),
+            &obs,
+        );
+        assert!(obs.drain_events().is_empty());
+        assert!(obs.snapshot().is_empty());
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Trace exporters: JSONL event stream and Chrome/Perfetto
+//! `trace_event` JSON.
+//!
+//! Both exporters consume a stream already drained via
+//! [`crate::span::TraceBuffer::drain_sorted`], so their output order —
+//! and therefore their bytes — is deterministic under a fixed seed.
+//!
+//! The Chrome format is the object form
+//! `{"traceEvents": [...], "displayTimeUnit": "ms"}` accepted by both
+//! `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev).
+//! Virtual seconds are scaled to microseconds (the unit the format
+//! mandates) and rendered with a fixed `{:.3}` precision so equal
+//! virtual timestamps stay equal on disk.
+
+use crate::span::{Event, Phase};
+
+/// Microseconds per virtual second in the Chrome export.
+const US_PER_S: f64 = 1.0e6;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn args_json(e: &Event) -> String {
+    let mut parts: Vec<String> = e
+        .args
+        .iter()
+        .map(|(k, v)| format!("\"{}\": {}", json_escape(k), v.to_json()))
+        .collect();
+    if let Some(ns) = e.wall_ns {
+        parts.push(format!("\"wall_ns\": {ns}"));
+    }
+    format!("{{{}}}", parts.join(", "))
+}
+
+/// One JSONL line per event: `{"ts": ..., "track": ..., "phase": ...,
+/// "name": ..., "args": {...}}`. Timestamps keep full virtual-second
+/// precision (`{:.9}`).
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let phase = match e.phase {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Instant => "i",
+            Phase::Counter => "C",
+        };
+        out.push_str(&format!(
+            "{{\"ts\": {:.9}, \"track\": {}, \"phase\": \"{}\", \"name\": \"{}\", \"args\": {}}}\n",
+            e.ts_s,
+            e.track,
+            phase,
+            json_escape(&e.name),
+            args_json(e),
+        ));
+    }
+    out
+}
+
+/// Chrome/Perfetto `trace_event` JSON.
+///
+/// Begin/End pairs are matched per `(track, name)` stack and emitted as
+/// complete (`ph: "X"`) events; instants become `ph: "i"` with thread
+/// scope; counters become `ph: "C"`. `track_names` adds
+/// `thread_name` metadata records so viewers label each track.
+pub fn to_chrome_trace(events: &[Event], track_names: &[(u32, String)]) -> String {
+    let mut records: Vec<String> = Vec::new();
+    for (track, name) in track_names {
+        records.push(format!(
+            "{{\"ph\": \"M\", \"pid\": 1, \"tid\": {track}, \"name\": \"thread_name\", \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            json_escape(name)
+        ));
+    }
+    // Open-span stacks keyed by (track, name); keys ordered for determinism
+    // although input order already fixes the output.
+    let mut open: std::collections::BTreeMap<(u32, String), Vec<&Event>> =
+        std::collections::BTreeMap::new();
+    for e in events {
+        match e.phase {
+            Phase::Begin => {
+                open.entry((e.track, e.name.clone())).or_default().push(e);
+            }
+            Phase::End => {
+                let begin = open.get_mut(&(e.track, e.name.clone())).and_then(Vec::pop);
+                if let Some(b) = begin {
+                    let ts_us = b.ts_s * US_PER_S;
+                    let dur_us = (e.ts_s - b.ts_s).max(0.0) * US_PER_S;
+                    records.push(format!(
+                        "{{\"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"ts\": {:.3}, \
+                         \"dur\": {:.3}, \"name\": \"{}\", \"args\": {}}}",
+                        b.track,
+                        ts_us,
+                        dur_us,
+                        json_escape(&b.name),
+                        args_json(b),
+                    ));
+                }
+            }
+            Phase::Instant => {
+                records.push(format!(
+                    "{{\"ph\": \"i\", \"pid\": 1, \"tid\": {}, \"ts\": {:.3}, \"s\": \"t\", \
+                     \"name\": \"{}\", \"args\": {}}}",
+                    e.track,
+                    e.ts_s * US_PER_S,
+                    json_escape(&e.name),
+                    args_json(e),
+                ));
+            }
+            Phase::Counter => {
+                records.push(format!(
+                    "{{\"ph\": \"C\", \"pid\": 1, \"tid\": {}, \"ts\": {:.3}, \
+                     \"name\": \"{}\", \"args\": {}}}",
+                    e.track,
+                    e.ts_s * US_PER_S,
+                    json_escape(&e.name),
+                    args_json(e),
+                ));
+            }
+        }
+    }
+    let mut out = String::from("{\"traceEvents\": [\n");
+    out.push_str(&records.join(",\n"));
+    out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{ArgValue, TraceBuffer};
+
+    fn sample_events() -> Vec<Event> {
+        let buf = TraceBuffer::default();
+        buf.record(
+            0,
+            0.001,
+            Phase::Begin,
+            "layer",
+            vec![("idx", ArgValue::U64(0))],
+            None,
+        );
+        buf.record(0, 0.002, Phase::End, "layer", Vec::new(), None);
+        buf.record(1, 0.0015, Phase::Instant, "shed", Vec::new(), None);
+        buf.record(
+            1,
+            0.0015,
+            Phase::Counter,
+            "queue_depth",
+            vec![("depth", ArgValue::U64(3))],
+            None,
+        );
+        buf.drain_sorted()
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_event() {
+        let text = to_jsonl(&sample_events());
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("\"phase\": \"B\""));
+        assert!(text.contains("\"name\": \"shed\""));
+    }
+
+    #[test]
+    fn chrome_trace_pairs_spans_into_complete_events() {
+        let events = sample_events();
+        let trace = to_chrome_trace(&events, &[(0, "chip0".to_string())]);
+        assert!(trace.starts_with("{\"traceEvents\": ["));
+        assert!(trace.contains("\"ph\": \"X\""));
+        assert!(trace.contains("\"dur\": 1000.000"));
+        assert!(trace.contains("\"thread_name\""));
+        assert!(trace.contains("\"ph\": \"i\""));
+        assert!(trace.contains("\"ph\": \"C\""));
+        assert_eq!(trace.matches('{').count(), trace.matches('}').count());
+    }
+
+    #[test]
+    fn unbalanced_end_is_ignored() {
+        let buf = TraceBuffer::default();
+        buf.record(0, 1.0, Phase::End, "stray", Vec::new(), None);
+        let trace = to_chrome_trace(&buf.drain_sorted(), &[]);
+        assert!(!trace.contains("\"ph\": \"X\""));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let buf = TraceBuffer::default();
+        buf.record(0, 1.0, Phase::Instant, "a\"b", Vec::new(), None);
+        let trace = to_chrome_trace(&buf.drain_sorted(), &[]);
+        assert!(trace.contains("a\\\"b"));
+    }
+}

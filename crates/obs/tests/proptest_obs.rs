@@ -1,0 +1,150 @@
+//! Property tests for the observability invariants everything downstream
+//! leans on: histogram merge must behave like an exact abelian monoid
+//! (so parallel workers can combine shards in any grouping and order),
+//! and the span layer must hand every consumer a balanced, time-ordered
+//! event stream no matter how events were interleaved when recorded.
+
+use albireo_obs::metrics::{bucket_index, bucket_lower_bound, Histogram, HistogramData};
+use albireo_obs::span::Phase;
+use albireo_obs::Obs;
+use proptest::prelude::*;
+
+/// Builds a histogram data block from raw samples (including zeros,
+/// negatives, and non-finite values — `observe` must sort them itself).
+fn observed(samples: &[f64]) -> HistogramData {
+    let h = Histogram::default();
+    for &s in samples {
+        h.observe(s);
+    }
+    h.data()
+}
+
+/// Arbitrary sample sets: finite magnitudes across the full bucket range
+/// plus the special cases (zero, negatives, NaN, infinity).
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            8 => 1e-18f64..1e18,
+            1 => Just(0.0f64),
+            1 => -1e9f64..0.0,
+            1 => Just(f64::NAN),
+            1 => Just(f64::INFINITY),
+        ],
+        0..64,
+    )
+}
+
+proptest! {
+    /// Merging preserves the total count exactly: every observation lands
+    /// in exactly one of buckets / zeros / invalid, and merge adds them.
+    #[test]
+    fn merge_preserves_counts(a in samples(), b in samples()) {
+        let (da, db) = (observed(&a), observed(&b));
+        let merged = da.merge(&db);
+        prop_assert_eq!(merged.count(), da.count() + db.count());
+        prop_assert_eq!(merged.zeros, da.zeros + db.zeros);
+        prop_assert_eq!(merged.invalid, da.invalid + db.invalid);
+        // Valid = finite and non-negative (zeros count; negatives and
+        // non-finite land in `invalid`).
+        let valid = |v: &&f64| v.is_finite() && **v >= 0.0;
+        let expected: u64 =
+            a.iter().filter(valid).count() as u64 + b.iter().filter(valid).count() as u64;
+        prop_assert_eq!(merged.count(), expected);
+        let invalid_expected =
+            (a.len() as u64 - a.iter().filter(valid).count() as u64)
+                + (b.len() as u64 - b.iter().filter(valid).count() as u64);
+        prop_assert_eq!(merged.invalid, invalid_expected);
+    }
+
+    /// Merge is commutative: shard order must not matter.
+    #[test]
+    fn merge_is_commutative(a in samples(), b in samples()) {
+        let (da, db) = (observed(&a), observed(&b));
+        prop_assert_eq!(da.merge(&db), db.merge(&da));
+    }
+
+    /// Merge is associative: the reduction tree shape must not matter.
+    #[test]
+    fn merge_is_associative(a in samples(), b in samples(), c in samples()) {
+        let (da, db, dc) = (observed(&a), observed(&b), observed(&c));
+        prop_assert_eq!(da.merge(&db).merge(&dc), da.merge(&db.merge(&dc)));
+    }
+
+    /// The empty histogram is the identity element.
+    #[test]
+    fn empty_is_identity(a in samples()) {
+        let da = observed(&a);
+        let empty = HistogramData::default();
+        prop_assert_eq!(da.merge(&empty), da.clone());
+        prop_assert_eq!(empty.merge(&da), da);
+    }
+
+    /// Merged extrema equal the extrema of the union of samples.
+    #[test]
+    fn merge_tracks_extrema(a in samples(), b in samples()) {
+        let merged = observed(&a).merge(&observed(&b));
+        let valid: Vec<f64> = a.iter().chain(&b).copied()
+            .filter(|v| v.is_finite() && *v >= 0.0)
+            .collect();
+        match (merged.min(), merged.max()) {
+            (Some(lo), Some(hi)) => {
+                let want_lo = valid.iter().copied().fold(f64::INFINITY, f64::min);
+                let want_hi = valid.iter().copied().fold(0.0f64, f64::max);
+                prop_assert_eq!(lo, want_lo);
+                prop_assert_eq!(hi, want_hi);
+            }
+            _ => prop_assert!(valid.is_empty()),
+        }
+    }
+
+    /// Bucket boundaries are monotonically increasing, and every sample
+    /// lands in a bucket whose range actually contains it (away from the
+    /// clamped ends of the exponent range).
+    #[test]
+    fn buckets_are_monotone_and_contain_their_samples(v in 1e-15f64..1e15) {
+        let idx = bucket_index(v);
+        let lo = bucket_lower_bound(idx);
+        let hi = bucket_lower_bound(idx + 1);
+        prop_assert!(hi > lo, "bucket bounds not increasing at {idx}");
+        prop_assert!(lo <= v && v < hi, "{v} outside [{lo}, {hi}) at bucket {idx}");
+    }
+
+    /// Spans drained from an Obs are balanced per track (every Begin has
+    /// a matching later End) with non-decreasing virtual timestamps in
+    /// the drained order, regardless of recording interleavings.
+    /// Durations are strictly positive: at equal timestamps Ends sort
+    /// before Begins (so back-to-back spans nest cleanly), which makes a
+    /// zero-width span degenerate by design.
+    #[test]
+    fn spans_drain_balanced_and_time_ordered(
+        spans in prop::collection::vec(
+            (0u32..6, 0.0f64..100.0, 1e-6f64..10.0),
+            0..40,
+        ),
+    ) {
+        let obs = Obs::enabled();
+        for &(track, begin, dur) in &spans {
+            obs.record_span(track, begin, begin + dur, "work", Vec::new());
+        }
+        let events = obs.drain_events();
+        prop_assert_eq!(events.len(), spans.len() * 2);
+        let mut depth = std::collections::BTreeMap::new();
+        let mut last_ts = f64::NEG_INFINITY;
+        for ev in &events {
+            prop_assert!(ev.ts_s >= last_ts, "timestamps went backwards");
+            last_ts = ev.ts_s;
+            let d = depth.entry(ev.track).or_insert(0i64);
+            match ev.phase {
+                Phase::Begin => *d += 1,
+                Phase::End => {
+                    *d -= 1;
+                    prop_assert!(*d >= 0, "End before Begin on track {}", ev.track);
+                }
+                _ => {}
+            }
+        }
+        for (track, d) in depth {
+            prop_assert!(d == 0, "unbalanced spans on track {}", track);
+        }
+    }
+}

@@ -213,6 +213,25 @@ impl FleetConfig {
     }
 }
 
+impl fmt::Display for FleetConfig {
+    /// One human-oriented line — chip roster plus model table — for CLI
+    /// diagnostics (`{:?}` stays the exhaustive derive for debugging).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} chip(s) [{}] serving {} network(s) [{}]",
+            self.chips.len(),
+            self.label(),
+            self.models.len(),
+            self.models
+                .iter()
+                .map(Model::name)
+                .collect::<Vec<&str>>()
+                .join(", "),
+        )
+    }
+}
+
 /// The per-dispatch cost of serving one micro-batch.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceCost {

@@ -24,7 +24,9 @@
 //! * [`policy`] — micro-batching policies and admission control;
 //! * [`fault`] — timed chip/PLCG fault scenarios, including
 //!   classification of analog fault sets;
-//! * [`sim`] — the discrete-event engine ([`sim::simulate`]);
+//! * [`sim`] — the discrete-event engine ([`sim::simulate`], plus
+//!   [`sim::simulate_observed`] recording spans/metrics into an
+//!   `albireo_obs::Obs` on the virtual clock);
 //! * [`report`] — service metrics, text/CSV/JSON renderings, digests;
 //! * [`study`] — the replicated (fleet × rate × policy) sweep, fanned
 //!   deterministically through `albireo-parallel`.
@@ -51,6 +53,6 @@ pub use fault::{FaultEvent, FaultKind, FaultScenario};
 pub use fleet::{ChipSpec, FleetConfig, ServiceCost, ServiceOracle};
 pub use policy::{AdmissionControl, BatchPolicy};
 pub use report::{ChipReport, RequestRecord, ServiceReport};
-pub use sim::{simulate, ServeConfig};
+pub use sim::{simulate, simulate_observed, trace_track_names, ServeConfig};
 pub use study::{replicate, run_serving_study, ServingStudyReport, StudyOptions, StudyRun};
 pub use workload::{ArrivalProcess, Request, Workload};

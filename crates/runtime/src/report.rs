@@ -426,6 +426,28 @@ impl ServiceReport {
         s.push_str("}\n");
         s
     }
+
+    /// [`to_json`](ServiceReport::to_json) with an `"obs"` member — the
+    /// run's metrics snapshot under the `albireo.obs/v1` schema —
+    /// spliced in ahead of the digest. The default rendering is
+    /// unchanged; metrics appear only when a snapshot is supplied.
+    pub fn to_json_with_metrics(&self, metrics: &albireo_obs::MetricsSnapshot) -> String {
+        let base = self.to_json();
+        let needle = "  \"digest\": ";
+        let idx = base.rfind(needle).expect("digest key present");
+        let mut s = String::with_capacity(base.len() + 512);
+        s.push_str(&base[..idx]);
+        s.push_str("  \"obs\": ");
+        for (i, line) in metrics.to_json().lines().enumerate() {
+            if i > 0 {
+                s.push_str("\n  ");
+            }
+            s.push_str(line);
+        }
+        s.push_str(",\n");
+        s.push_str(&base[idx..]);
+        s
+    }
 }
 
 #[cfg(test)]
@@ -458,6 +480,22 @@ mod tests {
             ServiceReport::csv_header().split(',').count(),
             report.csv_row().split(',').count()
         );
+    }
+
+    #[test]
+    fn json_with_metrics_embeds_obs_snapshot() {
+        let fleet = FleetConfig::paper_pair();
+        let cfg = ServeConfig::poisson(3000.0, 120, 9, 0);
+        let obs = albireo_obs::Obs::enabled();
+        let report = crate::sim::simulate_observed(&fleet, &cfg, &obs);
+        let json = report.to_json_with_metrics(&obs.snapshot());
+        assert!(json.contains("\"obs\": {"));
+        assert!(json.contains("albireo.obs/v1"));
+        assert!(json.contains("serve.completed"));
+        // Still balanced, still digest-terminated, base JSON unchanged.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains(&report.digest_hex()));
+        assert!(!report.to_json().contains("\"obs\""));
     }
 
     #[test]

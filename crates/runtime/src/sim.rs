@@ -37,8 +37,10 @@ use crate::fleet::{FleetConfig, ServiceOracle};
 use crate::policy::{AdmissionControl, BatchPolicy};
 use crate::report::{ChipReport, RequestRecord, ServiceReport};
 use crate::workload::{Request, Workload};
+use albireo_obs::{track, ArgValue, Obs};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
 
 /// Everything one simulation run needs besides the fleet.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +71,29 @@ impl ServeConfig {
             admission: AdmissionControl::default(),
             faults: FaultScenario::none(),
         }
+    }
+}
+
+impl fmt::Display for ServeConfig {
+    /// One human-oriented line, for CLI diagnostics (`{:?}` stays the
+    /// exhaustive derive for debugging).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let capacity = if self.admission.queue_capacity == usize::MAX {
+            "unbounded".to_string()
+        } else {
+            self.admission.queue_capacity.to_string()
+        };
+        write!(
+            f,
+            "{} arrivals @ {:.0} rps, {} requests, seed {}, policy {}, queue {}, {} fault(s)",
+            self.workload.process.label(),
+            self.workload.process.mean_rate_rps(),
+            self.requests,
+            self.seed,
+            self.policy.label(),
+            capacity,
+            self.faults.len(),
+        )
     }
 }
 
@@ -130,6 +155,7 @@ struct ChipState {
 struct Sim<'a> {
     fleet: &'a FleetConfig,
     cfg: &'a ServeConfig,
+    obs: &'a Obs,
     oracle: ServiceOracle,
     heap: BinaryHeap<Reverse<Event>>,
     seq: u64,
@@ -231,6 +257,42 @@ impl<'a> Sim<'a> {
                     .cost(self.fleet, chip, self.groups_active(chip), batch[0].network);
             let busy = cost.batch_latency_s(batch.len());
             let energy = cost.batch_energy_j(batch.len());
+            if self.obs.is_enabled() {
+                // Head-of-line-blocking wait: time from arrival to the
+                // dispatch instant, per request in the batch.
+                let wait_h = self.obs.histogram("serve.wait_s");
+                for req in &batch {
+                    wait_h.observe(now - req.arrival_s);
+                }
+                self.obs.record_instant(
+                    track::DISPATCH,
+                    now,
+                    "batch_formed",
+                    vec![
+                        ("chip", ArgValue::from(chip)),
+                        ("network", ArgValue::from(network)),
+                        ("n", ArgValue::from(batch.len())),
+                        ("queue", ArgValue::from(self.queue.len())),
+                    ],
+                );
+                self.obs.record_counter_sample(
+                    track::DISPATCH,
+                    now,
+                    "queue_depth",
+                    ArgValue::from(self.queue.len()),
+                );
+                albireo_obs::span!(
+                    self.obs,
+                    track = track::CHIP_BASE + chip as u32,
+                    begin = now,
+                    end = now + busy,
+                    self.fleet.models[network].name(),
+                    n = batch.len(),
+                    network = network,
+                );
+                self.obs.counter("serve.batches").add(1);
+                self.obs.counter("serve.dispatched").add(batch.len() as u64);
+            }
             let state = &mut self.chips[chip];
             state.busy = true;
             state.busy_s += busy;
@@ -280,6 +342,15 @@ impl<'a> Sim<'a> {
             let now = event.time_s;
             match event.kind {
                 EventKind::Fault(kind) => {
+                    if self.obs.is_enabled() {
+                        self.obs.record_instant(
+                            track::DISPATCH,
+                            now,
+                            "fault",
+                            vec![("chip", ArgValue::from(kind.chip()))],
+                        );
+                        self.obs.counter("serve.faults").add(1);
+                    }
                     self.apply_fault(kind);
                     self.try_dispatch(now);
                 }
@@ -292,6 +363,18 @@ impl<'a> Sim<'a> {
                     self.last_arrival_s = now;
                     if self.queue.len() >= self.cfg.admission.queue_capacity {
                         self.shed += 1;
+                        if self.obs.is_enabled() {
+                            self.obs.record_instant(
+                                track::DISPATCH,
+                                now,
+                                "shed",
+                                vec![
+                                    ("id", ArgValue::from(req.id)),
+                                    ("network", ArgValue::from(req.network)),
+                                ],
+                            );
+                            self.obs.counter("serve.shed").add(1);
+                        }
                     } else {
                         if let BatchPolicy::Deadline { max_wait_s, .. } = self.cfg.policy {
                             // The timer recomputes the readiness deadline
@@ -301,6 +384,14 @@ impl<'a> Sim<'a> {
                         }
                         self.queue.push_back(req);
                         self.max_queue_depth = self.max_queue_depth.max(self.queue.len());
+                        if self.obs.is_enabled() {
+                            self.obs.record_counter_sample(
+                                track::DISPATCH,
+                                now,
+                                "queue_depth",
+                                ArgValue::from(self.queue.len()),
+                            );
+                        }
                     }
                     self.try_dispatch(now);
                 }
@@ -312,11 +403,16 @@ impl<'a> Sim<'a> {
         // Requests stranded in the queue (every chip offline or fully
         // degraded, no event left to free one) are shed, not an error:
         // the service degrades to whatever the surviving fleet completed.
-        self.shed += self.queue.len() as u64;
+        let stranded = self.queue.len() as u64;
+        self.shed += stranded;
+        if stranded > 0 && self.obs.is_enabled() {
+            self.obs.counter("serve.shed").add(stranded);
+        }
         self.finish()
     }
 
     fn finish(self) -> ServiceReport {
+        let obs = self.obs;
         let per_chip: Vec<ChipReport> = self
             .fleet
             .chips
@@ -332,7 +428,7 @@ impl<'a> Sim<'a> {
                 plcgs_down: state.plcgs_down,
             })
             .collect();
-        ServiceReport::from_run(
+        let report = ServiceReport::from_run(
             self.cfg,
             self.fleet,
             self.records,
@@ -340,12 +436,38 @@ impl<'a> Sim<'a> {
             self.shed,
             self.max_queue_depth,
             self.last_arrival_s,
-        )
+        );
+        if obs.is_enabled() {
+            obs.counter("serve.completed").add(report.completed);
+            obs.gauge("serve.max_queue_depth")
+                .set(report.max_queue_depth as f64);
+            let util_h = obs.histogram("serve.chip_utilization");
+            for chip in &report.per_chip {
+                if report.makespan_s > 0.0 {
+                    util_h.observe(chip.busy_s / report.makespan_s);
+                }
+            }
+        }
+        report
     }
 }
 
 /// Runs one serving simulation to completion.
 pub fn simulate(fleet: &FleetConfig, cfg: &ServeConfig) -> ServiceReport {
+    simulate_observed(fleet, cfg, &Obs::disabled())
+}
+
+/// [`simulate`], recording the run into `obs`: per-batch spans on each
+/// chip's track (named after the batch's network), batch-formation /
+/// shed / fault instants and queue-depth samples on the dispatcher
+/// track, head-of-line wait and per-chip utilization histograms, and
+/// serving counters. All timestamps come from the DES virtual clock, so
+/// with a fixed seed the recorded trace is byte-reproducible.
+///
+/// The returned report is identical to [`simulate`]'s — instrumentation
+/// only reads simulator state — and a disabled `obs` reduces every
+/// record site to one branch.
+pub fn simulate_observed(fleet: &FleetConfig, cfg: &ServeConfig, obs: &Obs) -> ServiceReport {
     assert!(!fleet.chips.is_empty(), "fleet must contain a chip");
     assert!(!fleet.models.is_empty(), "fleet must serve a network");
     let requests = cfg.workload.generate(cfg.requests, cfg.seed);
@@ -359,6 +481,7 @@ pub fn simulate(fleet: &FleetConfig, cfg: &ServeConfig) -> ServiceReport {
     let mut sim = Sim {
         fleet,
         cfg,
+        obs,
         oracle: ServiceOracle::new(),
         heap: BinaryHeap::new(),
         seq: 0,
@@ -391,6 +514,24 @@ pub fn simulate(fleet: &FleetConfig, cfg: &ServeConfig) -> ServiceReport {
     sim.run()
 }
 
+/// `(track, label)` pairs for every track a traced serving run uses —
+/// the dispatcher, the engine, and one per chip (labelled
+/// `chipN:<name>`). Feed to [`albireo_obs::to_chrome_trace`] so viewers
+/// name the rows.
+pub fn trace_track_names(fleet: &FleetConfig) -> Vec<(u32, String)> {
+    let mut names = vec![
+        (track::DISPATCH, "dispatch".to_string()),
+        (track::ENGINE, "engine".to_string()),
+    ];
+    for (i, chip) in fleet.chips.iter().enumerate() {
+        names.push((
+            track::CHIP_BASE + i as u32,
+            format!("chip{i}:{}", chip.name),
+        ));
+    }
+    names
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,6 +539,116 @@ mod tests {
 
     fn small_fleet() -> FleetConfig {
         FleetConfig::paper_pair()
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_exactly() {
+        let fleet = small_fleet();
+        let cfg = ServeConfig::poisson(3000.0, 300, 42, 0);
+        let obs = Obs::enabled();
+        let observed = simulate_observed(&fleet, &cfg, &obs);
+        let plain = simulate(&fleet, &cfg);
+        assert_eq!(observed, plain, "instrumentation must not change results");
+        assert!(!obs.drain_events().is_empty());
+    }
+
+    #[test]
+    fn trace_spans_are_balanced_with_nondecreasing_time() {
+        let fleet = small_fleet();
+        let cfg = ServeConfig::poisson(3000.0, 300, 42, 0);
+        let obs = Obs::enabled();
+        simulate_observed(&fleet, &cfg, &obs);
+        let events = obs.drain_events();
+        assert!(events.windows(2).all(|w| w[0].ts_s <= w[1].ts_s));
+        // Every Begin has an End on its track, and depth never dips
+        // below zero in drain order.
+        let mut depth: std::collections::BTreeMap<u32, i64> = std::collections::BTreeMap::new();
+        for e in &events {
+            match e.phase {
+                albireo_obs::Phase::Begin => *depth.entry(e.track).or_insert(0) += 1,
+                albireo_obs::Phase::End => {
+                    let d = depth.entry(e.track).or_insert(0);
+                    *d -= 1;
+                    assert!(*d >= 0, "unbalanced End on track {}", e.track);
+                }
+                _ => {}
+            }
+        }
+        assert!(depth.values().all(|&d| d == 0), "unclosed spans: {depth:?}");
+    }
+
+    #[test]
+    fn trace_digest_is_reproducible_and_wall_clock_neutral() {
+        let fleet = small_fleet();
+        let cfg = ServeConfig::poisson(3000.0, 300, 42, 0);
+        let digest = |wall: bool| {
+            let obs = Obs::enabled();
+            obs.set_wall_clock(wall);
+            simulate_observed(&fleet, &cfg, &obs);
+            albireo_obs::events_digest(&obs.drain_events())
+        };
+        assert_eq!(digest(false), digest(false));
+        assert_eq!(digest(false), digest(true), "wall clock must not leak");
+    }
+
+    #[test]
+    fn serving_metrics_cover_the_run() {
+        let fleet = small_fleet();
+        let mut cfg = ServeConfig::poisson(50_000.0, 400, 5, 1);
+        cfg.admission = AdmissionControl::bounded(16);
+        let obs = Obs::enabled();
+        let report = simulate_observed(&fleet, &cfg, &obs);
+        let snap = obs.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("serve.completed"), report.completed);
+        assert_eq!(counter("serve.shed"), report.shed);
+        assert_eq!(counter("serve.dispatched"), report.completed);
+        let wait = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "serve.wait_s")
+            .map(|(_, h)| h.clone())
+            .unwrap();
+        assert_eq!(wait.count(), report.completed);
+        let util = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "serve.chip_utilization")
+            .map(|(_, h)| h.clone())
+            .unwrap();
+        assert_eq!(util.count(), fleet.chips.len() as u64);
+        assert!(util.max().unwrap() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn display_impls_are_single_line_summaries() {
+        let fleet = small_fleet();
+        let cfg = ServeConfig::poisson(3000.0, 300, 42, 0);
+        let f = format!("{fleet}");
+        let c = format!("{cfg}");
+        assert!(!f.contains('\n') && !c.contains('\n'));
+        assert!(f.contains("2 chip(s)"));
+        assert!(c.contains("seed 42"));
+        assert!(c.contains("poisson"));
+    }
+
+    #[test]
+    fn trace_track_names_cover_every_chip() {
+        let fleet = small_fleet();
+        let names = trace_track_names(&fleet);
+        assert_eq!(names.len(), 2 + fleet.chips.len());
+        assert!(names
+            .iter()
+            .any(|(t, n)| *t == track::DISPATCH && n == "dispatch"));
+        assert!(names
+            .iter()
+            .any(|(t, n)| *t == track::CHIP_BASE && n.starts_with("chip0:")));
     }
 
     #[test]

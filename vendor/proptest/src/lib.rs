@@ -147,6 +147,75 @@ pub mod strategy {
             (**self).generate(rng)
         }
     }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(S0.0);
+    impl_tuple_strategy!(S0.0, S1.1);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+
+    /// Weighted choice among strategies of one value type (the engine
+    /// behind [`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<T> {
+        options: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; weights are relative and must not all be zero.
+        pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Union<T> {
+            assert!(
+                options.iter().map(|(w, _)| *w as u64).sum::<u64>() > 0,
+                "prop_oneof! needs at least one positive weight"
+            );
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.options.iter().map(|(w, _)| *w as u64).sum();
+            let mut pick = rng.next_u64() % total;
+            for (weight, strat) in &self.options {
+                let weight = *weight as u64;
+                if pick < weight {
+                    return strat.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weighted pick exceeded total weight")
+        }
+    }
 }
 
 pub mod bool {
@@ -381,11 +450,33 @@ macro_rules! prop_assume {
     };
 }
 
+/// Weighted (or uniform) choice among strategies producing one value
+/// type: `prop_oneof![8 => 1e-3f64..1.0, 1 => Just(0.0)]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<(
+            u32,
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        )> = vec![$(($weight as u32, ::std::boxed::Box::new($strat))),+];
+        $crate::strategy::Union::new(options)
+    }};
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
 pub mod prelude {
     //! The standard imports: `use proptest::prelude::*;`.
 
-    pub use crate::strategy::Strategy;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    /// Module-path mirror of the crate root, matching upstream's
+    /// `prelude::prop` re-export (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::{bool, collection, strategy};
+    }
 }
 
 #[cfg(test)]
@@ -427,6 +518,31 @@ mod tests {
         #[test]
         fn bool_any(b in crate::bool::ANY, _x in 0u8..2) {
             prop_assert!(b || !b);
+        }
+
+        /// Tuple strategies draw each component from its own strategy.
+        #[test]
+        fn tuples_draw_componentwise(t in (0u32..4, 10.0f64..20.0, 5i64..6)) {
+            prop_assert!(t.0 < 4);
+            prop_assert!((10.0..20.0).contains(&t.1));
+            prop_assert_eq!(t.2, 5);
+        }
+
+        /// Just always yields its value; prop_oneof picks only from its
+        /// member strategies.
+        #[test]
+        fn just_and_oneof(
+            j in Just(42u64),
+            v in prop_oneof![3 => 0u64..10, 1 => Just(99u64)],
+        ) {
+            prop_assert_eq!(j, 42);
+            prop_assert!(v < 10 || v == 99);
+        }
+
+        /// A zero-weight arm is never drawn.
+        #[test]
+        fn zero_weight_arm_never_fires(v in prop_oneof![1 => 0u64..10, 0 => Just(77u64)]) {
+            prop_assert!(v < 10);
         }
     }
 
