@@ -50,12 +50,14 @@ fn measure_obs_overhead(options: &StudyOptions) -> ObsOverhead {
                 rate_rps: options.rates_rps.iter().copied().fold(0.0, f64::max),
             },
             mix: options.mix.clone(),
+            classes: Vec::new(),
         },
         requests: options.requests,
         seed: options.base_seed,
         policy: *options.policies.last().expect("golden grid has policies"),
         admission: options.admission,
         faults: FaultScenario::none(),
+        record_cap: usize::MAX,
     };
     let reps = 9;
     let median = |mut xs: Vec<f64>| {
@@ -84,6 +86,44 @@ fn measure_obs_overhead(options: &StudyOptions) -> ObsOverhead {
         disabled_ms,
         enabled_ms,
         trace_events,
+    }
+}
+
+/// One million-request run on the paper fleet, proving the streamed
+/// engine's scale contract: bounded event-queue depth, O(1)-memory
+/// percentiles, and a wall clock in seconds.
+struct ServingScale {
+    requests: usize,
+    completed: u64,
+    shed: u64,
+    wall_ms: f64,
+    sim_requests_per_s: f64,
+    peak_event_queue: usize,
+    sketch_buckets: usize,
+    p50_ms: f64,
+    p999_ms: f64,
+    digest_hex: String,
+}
+
+fn measure_serving_scale(options: &StudyOptions) -> ServingScale {
+    let fleet = &options.fleets[0];
+    let mut cfg = ServeConfig::poisson(4000.0, 1_000_000, options.base_seed, 0);
+    cfg.workload.mix = options.mix.clone();
+    cfg.record_cap = 0;
+    let t0 = std::time::Instant::now();
+    let report = simulate(fleet, &cfg);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    ServingScale {
+        requests: cfg.requests,
+        completed: report.completed,
+        shed: report.shed,
+        wall_ms,
+        sim_requests_per_s: cfg.requests as f64 / (wall_ms / 1e3),
+        peak_event_queue: report.peak_event_queue,
+        sketch_buckets: report.sketch_buckets,
+        p50_ms: report.p50_ms,
+        p999_ms: report.p999_ms,
+        digest_hex: report.digest_hex(),
     }
 }
 
@@ -135,6 +175,9 @@ fn main() {
     // default serve path, enabled adds span/metric recording on top.
     let overhead = measure_obs_overhead(&golden_options);
 
+    // The scale row: one million requests through the streamed engine.
+    let scale = measure_serving_scale(&golden_options);
+
     std::fs::create_dir_all(&out_dir).expect("create output directory");
     let study_csv = format!("{out_dir}/serving_study.csv");
     let golden_csv = format!("{out_dir}/golden_serving_metrics.csv");
@@ -155,6 +198,28 @@ fn main() {
             overhead.enabled_ms,
             overhead.ratio(),
             overhead.trace_events
+        ),
+    );
+    let at = json
+        .rfind("  \"combined_digest\"")
+        .expect("study JSON has a combined digest");
+    json.insert_str(
+        at,
+        &format!(
+            "  \"serving_scale\": {{\"requests\": {}, \"completed\": {}, \"shed\": {}, \
+             \"wall_ms\": {:.1}, \"sim_requests_per_s\": {:.0}, \"peak_event_queue\": {}, \
+             \"sketch_buckets\": {}, \"p50_ms\": {:.4}, \"p999_ms\": {:.4}, \
+             \"digest\": \"{}\"}},\n",
+            scale.requests,
+            scale.completed,
+            scale.shed,
+            scale.wall_ms,
+            scale.sim_requests_per_s,
+            scale.peak_event_queue,
+            scale.sketch_buckets,
+            scale.p50_ms,
+            scale.p999_ms,
+            scale.digest_hex
         ),
     );
     std::fs::write(&json_path, json).expect("write BENCH_serving.json");
@@ -186,6 +251,16 @@ fn main() {
         overhead.ratio(),
         overhead.trace_events,
         overhead.reps
+    );
+    println!(
+        "serving scale: {} requests in {:.1} ms ({:.0} req/s sim), peak event queue {}, \
+         sketch buckets {}, digest {}",
+        scale.requests,
+        scale.wall_ms,
+        scale.sim_requests_per_s,
+        scale.peak_event_queue,
+        scale.sketch_buckets,
+        scale.digest_hex
     );
     println!("wrote {study_csv}, {golden_csv}, {json_path}");
     println!("combined digest {}", study.combined_digest_hex());

@@ -84,7 +84,10 @@ COMMANDS:
     experiment <name>|all                     regenerate a paper experiment
     bench      [--thread-counts A,B,C] [--target-ms N] [--out FILE]
                                               parallel-scaling benchmark (JSON)
-    serve      [--requests N] [--seed S] [--rate RPS] [--arrival poisson|bursty]
+    serve      [--requests N] [--seed S] [--rate RPS]
+        [--arrival poisson|bursty|diurnal|flash] [--trace-jsonl FILE]
+        [--amplitude A] [--period S] [--spike X] [--spike-at T] [--spike-decay S]
+        [--classes NAME:WEIGHT[:SLO_MS],...] [--slo MS] [--record-cap N]
         [--fleet SPEC] [--policy immediate|size:N|deadline:USEC[:MAX]]
         [--queue-cap N] [--networks A,B] [--replicas R] [--json] [--out FILE]
         [--fail CHIP@T,...] [--degrade CHIP:K@T,...] [--recover CHIP@T,...]
@@ -487,7 +490,7 @@ fn parse_at(entry: &str, what: &str) -> Result<(String, f64), CliError> {
 pub fn serve(args: &Args) -> Result<String, CliError> {
     use albireo_runtime::{
         replicate, simulate_observed, trace_track_names, AdmissionControl, ArrivalProcess,
-        BatchPolicy, FaultKind, FaultScenario, FleetConfig, ServeConfig, Workload,
+        BatchPolicy, ClassSpec, FaultKind, FaultScenario, FleetConfig, ServeConfig, Workload,
     };
 
     let requests = args.get_parsed_or("requests", 1000usize, "a request count")?;
@@ -552,26 +555,143 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         return Err(CliError::Unknown("--networks names no network".into()));
     }
 
-    let process = match args.get_or("arrival", "poisson") {
-        "poisson" => ArrivalProcess::Poisson { rate_rps: rate },
-        "bursty" => {
-            let burst = args.get_parsed_or("burst", 4.0f64, "a burst multiplier > 1")?;
-            if burst <= 1.0 || !burst.is_finite() {
-                return Err(CliError::Unknown("--burst must exceed 1".into()));
-            }
-            ArrivalProcess::Bursty {
-                rate_rps: rate,
-                burst,
-                on_s: 0.01,
-                off_s: 0.04,
-            }
-        }
-        other => {
+    let process = if let Some(path) = args.get("trace-jsonl") {
+        if !std::path::Path::new(path).is_file() {
             return Err(CliError::Unknown(format!(
-                "unknown arrival process `{other}` (try: poisson, bursty)"
-            )))
+                "--trace-jsonl file `{path}` does not exist"
+            )));
+        }
+        ArrivalProcess::TraceFile { path: path.into() }
+    } else {
+        match args.get_or("arrival", "poisson") {
+            "poisson" => ArrivalProcess::Poisson { rate_rps: rate },
+            "bursty" => {
+                let burst = args.get_parsed_or("burst", 4.0f64, "a burst multiplier > 1")?;
+                if burst <= 1.0 || !burst.is_finite() {
+                    return Err(CliError::Unknown("--burst must exceed 1".into()));
+                }
+                ArrivalProcess::Bursty {
+                    rate_rps: rate,
+                    burst,
+                    on_s: 0.01,
+                    off_s: 0.04,
+                }
+            }
+            "diurnal" => {
+                let amplitude =
+                    args.get_parsed_or("amplitude", 0.5f64, "an amplitude in [0, 1]")?;
+                if !(0.0..=1.0).contains(&amplitude) {
+                    return Err(CliError::Unknown("--amplitude must lie in [0, 1]".into()));
+                }
+                let period_s = args.get_parsed_or("period", 1.0f64, "a period in seconds")?;
+                if !(period_s.is_finite() && period_s > 0.0) {
+                    return Err(CliError::Unknown("--period must be positive".into()));
+                }
+                ArrivalProcess::Diurnal {
+                    rate_rps: rate,
+                    amplitude,
+                    period_s,
+                }
+            }
+            "flash" => {
+                let spike = args.get_parsed_or("spike", 8.0f64, "a spike multiplier > 1")?;
+                if spike <= 1.0 || !spike.is_finite() {
+                    return Err(CliError::Unknown("--spike must exceed 1".into()));
+                }
+                let at_s = args.get_parsed_or("spike-at", 0.05f64, "an onset time in seconds")?;
+                if !(at_s.is_finite() && at_s >= 0.0) {
+                    return Err(CliError::Unknown("--spike-at must be non-negative".into()));
+                }
+                let decay_s =
+                    args.get_parsed_or("spike-decay", 0.1f64, "a decay constant in seconds")?;
+                if !(decay_s.is_finite() && decay_s > 0.0) {
+                    return Err(CliError::Unknown("--spike-decay must be positive".into()));
+                }
+                ArrivalProcess::FlashCrowd {
+                    rate_rps: rate,
+                    spike,
+                    at_s,
+                    decay_s,
+                }
+            }
+            other => {
+                return Err(CliError::Unknown(format!(
+                    "unknown arrival process `{other}` (try: poisson, bursty, diurnal, flash)"
+                )))
+            }
         }
     };
+
+    // Multi-tenant request classes: `--classes name:weight[:slo_ms],...`
+    // plus `--slo MS` as the default target (alone it wraps all traffic
+    // in one `default` class).
+    let default_slo = match args.get("slo") {
+        Some(v) => {
+            let slo: f64 = v
+                .parse()
+                .map_err(|_| CliError::Unknown("--slo needs a latency in ms".into()))?;
+            if !(slo.is_finite() && slo > 0.0) {
+                return Err(CliError::Unknown("--slo must be positive".into()));
+            }
+            Some(slo)
+        }
+        None => None,
+    };
+    let mut classes = Vec::new();
+    if let Some(list) = args.get("classes") {
+        for entry in list.split(',').filter(|e| !e.trim().is_empty()) {
+            let mut parts = entry.trim().splitn(3, ':');
+            let name = parts.next().unwrap_or("").trim();
+            if name.is_empty() {
+                return Err(CliError::Unknown(format!(
+                    "--classes entry `{entry}` needs NAME:WEIGHT[:SLO_MS]"
+                )));
+            }
+            let weight: f64 = parts
+                .next()
+                .ok_or_else(|| {
+                    CliError::Unknown(format!("--classes entry `{entry}` needs a weight"))
+                })?
+                .trim()
+                .parse()
+                .map_err(|_| CliError::Unknown(format!("bad weight in `{entry}`")))?;
+            if !(weight.is_finite() && weight > 0.0) {
+                return Err(CliError::Unknown(format!(
+                    "class weight must be positive in `{entry}`"
+                )));
+            }
+            let slo_ms = match parts.next() {
+                Some(s) => {
+                    let slo: f64 = s
+                        .trim()
+                        .parse()
+                        .map_err(|_| CliError::Unknown(format!("bad SLO in `{entry}`")))?;
+                    if !(slo.is_finite() && slo > 0.0) {
+                        return Err(CliError::Unknown(format!(
+                            "class SLO must be positive in `{entry}`"
+                        )));
+                    }
+                    Some(slo)
+                }
+                None => default_slo,
+            };
+            classes.push(match slo_ms {
+                Some(slo) => ClassSpec::with_slo(name, weight, slo),
+                None => ClassSpec::best_effort(name, weight),
+            });
+        }
+        if classes.is_empty() {
+            return Err(CliError::Unknown("--classes names no class".into()));
+        }
+    } else if let Some(slo) = default_slo {
+        classes.push(ClassSpec::with_slo("default", 1.0, slo));
+    }
+
+    let record_cap = args.get_parsed_or(
+        "record-cap",
+        0usize,
+        "a per-request record cap (0 = none retained)",
+    )?;
 
     let chip_index = |tok: &str, entry: &str| -> Result<usize, CliError> {
         let idx: usize = tok
@@ -621,12 +741,17 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
     }
 
     let cfg = ServeConfig {
-        workload: Workload { process, mix },
+        workload: Workload {
+            process,
+            mix,
+            classes,
+        },
         requests,
         seed,
         policy,
         admission,
         faults,
+        record_cap,
     };
     let reports = replicate(&fleet, &cfg, replicas, Parallelism::default());
 
@@ -1097,7 +1222,7 @@ mod tests {
     #[test]
     fn serve_json_carries_schema_and_digest() {
         let out = serve(&args(&["--requests", "80", "--json"])).unwrap();
-        assert!(out.contains("albireo.bench.serving/v1"));
+        assert!(out.contains("albireo.bench.serving/v2"));
         assert!(out.contains("\"digest\""));
         assert_eq!(out.matches('{').count(), out.matches('}').count());
     }
@@ -1133,10 +1258,93 @@ mod tests {
         assert!(serve(&args(&["--fail", "0"])).is_err());
         assert!(serve(&args(&["--degrade", "0:0@0.1"])).is_err());
         assert!(serve(&args(&["--arrival", "fractal"])).is_err());
+        assert!(serve(&args(&["--arrival", "diurnal", "--amplitude", "1.5"])).is_err());
+        assert!(serve(&args(&["--arrival", "flash", "--spike", "0.5"])).is_err());
+        assert!(serve(&args(&["--trace-jsonl", "/no/such/file.jsonl"])).is_err());
+        assert!(serve(&args(&["--classes", "vip"])).is_err());
+        assert!(serve(&args(&["--classes", "vip:-1"])).is_err());
+        assert!(serve(&args(&["--classes", "vip:1:0"])).is_err());
+        assert!(serve(&args(&["--slo", "-3"])).is_err());
         // A fleet of reported-number chips cannot serve a network outside
         // their published benchmark set.
         let err = serve(&args(&["--fleet", "eyeriss", "--networks", "resnet18"])).unwrap_err();
         assert!(err.to_string().contains("resnet18"), "{err}");
+    }
+
+    #[test]
+    fn serve_production_arrival_shapes_run() {
+        for extra in [
+            &[
+                "--arrival",
+                "diurnal",
+                "--amplitude",
+                "0.8",
+                "--period",
+                "0.5",
+            ][..],
+            &["--arrival", "flash", "--spike", "6", "--spike-at", "0.02"][..],
+        ] {
+            let mut argv = vec!["--requests", "200", "--seed", "3", "--json"];
+            argv.extend_from_slice(extra);
+            let out = serve(&args(&argv)).unwrap();
+            assert!(out.contains("\"offered\": 200"), "{out}");
+            // Same seed reproduces byte-for-byte.
+            assert_eq!(out, serve(&args(&argv)).unwrap());
+        }
+    }
+
+    #[test]
+    fn serve_classes_report_slo_attainment() {
+        let argv = [
+            "--requests",
+            "300",
+            "--rate",
+            "4000",
+            "--classes",
+            "interactive:3:5,batch:1",
+            "--json",
+        ];
+        let out = serve(&args(&argv)).unwrap();
+        assert!(out.contains("\"interactive\""), "{out}");
+        assert!(out.contains("\"batch\""), "{out}");
+        assert!(out.contains("\"slo_attainment\""), "{out}");
+        // Best-effort classes report null SLO fields.
+        assert!(out.contains("\"slo_ms\": null"), "{out}");
+        // --slo alone wraps all traffic in one `default` class.
+        let out = serve(&args(&["--requests", "100", "--slo", "5", "--json"])).unwrap();
+        assert!(out.contains("\"default\""), "{out}");
+    }
+
+    #[test]
+    fn serve_trace_jsonl_replays_a_file() {
+        let path =
+            std::env::temp_dir().join(format!("albireo_cli_trace_{}.jsonl", std::process::id()));
+        std::fs::write(
+            &path,
+            "{\"arrival_s\": 0.001}\n{\"arrival_s\": 0.002, \"network\": 0}\n{\"arrival_s\": 0.004}\n",
+        )
+        .unwrap();
+        let path_s = path.to_str().unwrap().to_string();
+        let out = serve(&args(&[
+            "--trace-jsonl",
+            &path_s,
+            "--requests",
+            "3",
+            "--json",
+        ]))
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(out.contains("\"offered\": 3"), "{out}");
+        assert!(out.contains("trace_file"), "{out}");
+    }
+
+    #[test]
+    fn serve_record_cap_does_not_change_output() {
+        // Reports never render the record sample, so capping it must be
+        // invisible to every rendering — text and JSON alike.
+        let full = serve(&args(&["--requests", "120", "--json"])).unwrap();
+        let capped = serve(&args(&["--requests", "120", "--record-cap", "5", "--json"])).unwrap();
+        assert_eq!(full, capped);
     }
 
     #[test]
@@ -1162,7 +1370,7 @@ mod tests {
         // Deterministic across repeat runs.
         assert_eq!(out, run(&[]));
         let json = run(&["--json"]);
-        assert!(json.contains("albireo.bench.serving/v1"));
+        assert!(json.contains("albireo.bench.serving/v2"));
     }
 
     #[test]

@@ -48,10 +48,14 @@
 
 pub mod export;
 pub mod metrics;
+pub mod sketch;
 pub mod span;
 
 pub use export::{to_chrome_trace, to_jsonl};
-pub use metrics::{Counter, Gauge, Histogram, HistogramData, MetricsSnapshot, Registry};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramData, MetricsSnapshot, Registry, SketchCell,
+};
+pub use sketch::{QuantileSketch, RELATIVE_ERROR_BOUND};
 pub use span::{events_digest, ArgValue, Event, Phase, TraceBuffer};
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -171,6 +175,11 @@ impl Obs {
     /// The histogram named `name`.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         self.registry.histogram(name)
+    }
+
+    /// The quantile sketch named `name`.
+    pub fn sketch(&self, name: &str) -> Arc<SketchCell> {
+        self.registry.sketch(name)
     }
 
     /// A point-in-time snapshot of every metric.

@@ -242,6 +242,33 @@ impl HistogramData {
     }
 }
 
+/// A registry-resident [`QuantileSketch`](crate::sketch::QuantileSketch) behind a lock: the sketch's
+/// state is a sparse map, so unlike counters/histograms it cannot be
+/// updated with lone atomics. Recording sites are expected to build a
+/// local sketch and [`SketchCell::merge_from`] it once (merge is exact,
+/// so sharding does not change the state).
+#[derive(Debug, Default)]
+pub struct SketchCell {
+    inner: Mutex<crate::sketch::QuantileSketch>,
+}
+
+impl SketchCell {
+    /// Records one sample.
+    pub fn observe(&self, v: f64) {
+        self.inner.lock().expect("sketch lock").observe(v);
+    }
+
+    /// Merges a locally-built sketch into the cell (exact, commutative).
+    pub fn merge_from(&self, other: &crate::sketch::QuantileSketch) {
+        self.inner.lock().expect("sketch lock").merge_from(other);
+    }
+
+    /// A plain copy of the current state.
+    pub fn data(&self) -> crate::sketch::QuantileSketch {
+        self.inner.lock().expect("sketch lock").clone()
+    }
+}
+
 /// The named-metric registry. Lookup is by name; snapshots iterate in
 /// name order, so renderings and digests are byte-stable.
 #[derive(Debug, Default)]
@@ -249,6 +276,7 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    sketches: Mutex<BTreeMap<String, Arc<SketchCell>>>,
 }
 
 impl Registry {
@@ -290,6 +318,17 @@ impl Registry {
         h
     }
 
+    /// The quantile sketch named `name`, created on first use.
+    pub fn sketch(&self, name: &str) -> Arc<SketchCell> {
+        let mut map = self.sketches.lock().expect("registry lock");
+        if let Some(s) = map.get(name) {
+            return Arc::clone(s);
+        }
+        let s = Arc::new(SketchCell::default());
+        map.insert(name.to_string(), Arc::clone(&s));
+        s
+    }
+
     /// A point-in-time snapshot of every metric, in name order.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let counters = self
@@ -313,10 +352,18 @@ impl Registry {
             .iter()
             .map(|(name, h)| (name.clone(), h.data()))
             .collect();
+        let sketches = self
+            .sketches
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, s)| (name.clone(), s.data()))
+            .collect();
         MetricsSnapshot {
             counters,
             gauges,
             histograms,
+            sketches,
         }
     }
 }
@@ -330,12 +377,17 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, f64)>,
     /// `(name, data)` for every histogram.
     pub histograms: Vec<(String, HistogramData)>,
+    /// `(name, state)` for every quantile sketch.
+    pub sketches: Vec<(String, crate::sketch::QuantileSketch)>,
 }
 
 impl MetricsSnapshot {
     /// Whether the snapshot holds no metrics at all.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.sketches.is_empty()
     }
 
     /// Order-sensitive digest over every metric, with the workspace's
@@ -361,6 +413,10 @@ impl MetricsSnapshot {
                 d = crate::fold(d, exp as u64);
                 d = crate::fold(d, c);
             }
+        }
+        for (name, s) in &self.sketches {
+            d = crate::fold(d, crate::fnv1a(name.as_bytes()));
+            d = crate::fold(d, s.digest());
         }
         d
     }
@@ -417,6 +473,19 @@ impl MetricsSnapshot {
             ));
         }
         s.push_str(if self.histograms.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        s.push_str("  \"sketches\": {");
+        for (i, (name, sk)) in self.sketches.iter().enumerate() {
+            s.push_str(&format!(
+                "\n    \"{name}\": {}{}",
+                sk.to_json_fragment(),
+                sep(i, self.sketches.len())
+            ));
+        }
+        s.push_str(if self.sketches.is_empty() {
             "},\n"
         } else {
             "\n  },\n"
@@ -525,6 +594,26 @@ mod tests {
     fn empty_snapshot_renders_valid_json() {
         let json = Registry::new().snapshot().to_json();
         assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"sketches\": {}"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn sketch_cells_round_trip_and_render() {
+        let r = Registry::new();
+        r.sketch("latency_ms").observe(1.25);
+        r.sketch("latency_ms").observe(2.5);
+        let mut local = crate::sketch::QuantileSketch::new();
+        local.observe(10.0);
+        r.sketch("latency_ms").merge_from(&local);
+        let snap = r.snapshot();
+        assert_eq!(snap.sketches.len(), 1);
+        assert_eq!(snap.sketches[0].1.count(), 3);
+        let json = snap.to_json();
+        assert!(json.contains("\"latency_ms\": {\"count\": 3"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Registering a sketch changes the digest; an empty section does
+        // not (existing digests stay stable).
+        assert_ne!(snap.digest(), Registry::new().snapshot().digest());
     }
 }

@@ -16,8 +16,13 @@
 //!
 //! Pieces:
 //!
-//! * [`workload`] — seeded arrival processes (Poisson, bursty, trace) and
-//!   the request mix;
+//! * [`workload`] — seeded arrival processes (Poisson, bursty, diurnal,
+//!   flash-crowd, in-memory trace, JSONL trace replay), the request mix,
+//!   and multi-tenant request classes with per-class SLO targets; all
+//!   streamed lazily with O(1) generator state;
+//! * [`queue`] — the monotone-run / 4-ary-heap hybrid event queue behind
+//!   the engine (O(1) pushes for in-order keys, byte-identical pop order
+//!   to the historical `BinaryHeap`);
 //! * [`fleet`] — chip specs, the fleet, and the memoizing
 //!   [`fleet::ServiceOracle`] that turns `(chip, active groups, network)`
 //!   into latency/energy through the `Accelerator` trait;
@@ -44,6 +49,7 @@
 pub mod fault;
 pub mod fleet;
 pub mod policy;
+pub mod queue;
 pub mod report;
 pub mod sim;
 pub mod study;
@@ -52,7 +58,8 @@ pub mod workload;
 pub use fault::{FaultEvent, FaultKind, FaultScenario};
 pub use fleet::{ChipSpec, FleetConfig, ServiceCost, ServiceOracle};
 pub use policy::{AdmissionControl, BatchPolicy};
-pub use report::{ChipReport, RequestRecord, ServiceReport};
+pub use queue::{EventKey, EventQueue};
+pub use report::{ChipReport, ClassReport, RequestRecord, ServiceReport};
 pub use sim::{simulate, simulate_observed, trace_track_names, ServeConfig};
 pub use study::{replicate, run_serving_study, ServingStudyReport, StudyOptions, StudyRun};
-pub use workload::{ArrivalProcess, Request, Workload};
+pub use workload::{ArrivalProcess, ClassSpec, Request, RequestStream, Workload};

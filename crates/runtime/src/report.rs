@@ -7,12 +7,25 @@
 //! `digest.rotate_left(7) ^ bits` (order-sensitive, so it also certifies
 //! *dispatch order*, not just the multiset of results), and the JSON is
 //! hand-rolled against a versioned schema string
-//! (`albireo.bench.serving/v1`). The full field list is documented in
-//! DESIGN.md §8.
+//! (`albireo.bench.serving/v2`). The full field list is documented in
+//! DESIGN.md §8 and §11.
+//!
+//! ## Streaming accumulation
+//!
+//! The engine no longer hands this module a `Vec` of every record:
+//! million-request runs accumulate a `RunTotals` — latency quantile
+//! sketch (`albireo_obs::QuantileSketch`, O(1) memory), running sums,
+//! and the **record digest fold**. The digest definition is unchanged
+//! from the materialized era; it is computed incrementally using the
+//! rotate-distributes-over-xor identity: folding `k` values onto seed
+//! `d₀` equals `rotl(d₀, 7k mod 64) ^ F` where `F` is the same fold
+//! started from zero. Reports therefore stay byte-identical to the
+//! record-materializing implementation while holding O(1) state.
 
 use crate::fleet::FleetConfig;
 use crate::sim::ServeConfig;
 use albireo_core::report::json;
+use albireo_obs::QuantileSketch;
 
 /// One served request's lifecycle, in dispatch order.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,6 +74,114 @@ impl ChipReport {
     }
 }
 
+/// Per-class accumulator the engine fills while serving (one per entry
+/// in the workload's class table).
+#[derive(Debug, Clone)]
+pub(crate) struct ClassTotals {
+    pub name: String,
+    pub slo_ms: Option<f64>,
+    pub completed: u64,
+    pub shed: u64,
+    /// Completed requests whose end-to-end latency met the SLO.
+    pub slo_hits: u64,
+    pub latency_sum_ms: f64,
+    pub latency_ms: QuantileSketch,
+}
+
+impl ClassTotals {
+    pub(crate) fn new(name: &str, slo_ms: Option<f64>) -> ClassTotals {
+        ClassTotals {
+            name: name.to_string(),
+            slo_ms,
+            completed: 0,
+            shed: 0,
+            slo_hits: 0,
+            latency_sum_ms: 0.0,
+            latency_ms: QuantileSketch::new(),
+        }
+    }
+}
+
+/// Everything a finished run accumulated in streaming fashion — the
+/// engine→report handoff. O(1) in the number of requests except for the
+/// explicitly capped `records` sample.
+#[derive(Debug, Clone)]
+pub(crate) struct RunTotals {
+    /// Arrivals actually streamed (equals the configured request count
+    /// for generated processes; a short trace offers fewer).
+    pub offered: u64,
+    pub shed: u64,
+    /// Record digest folded from zero, in dispatch order.
+    pub rec_fold: u64,
+    /// Records folded (= completed).
+    pub rec_count: u64,
+    /// End-to-end latency sketch, ms.
+    pub latency_ms: QuantileSketch,
+    pub latency_sum_ms: f64,
+    pub wait_sum_ms: f64,
+    pub max_finish_s: f64,
+    pub last_arrival_s: f64,
+    pub max_queue_depth: usize,
+    /// High-water mark of the DES event queue.
+    pub peak_event_queue: usize,
+    /// First `record_cap` records, in dispatch order.
+    pub records: Vec<RequestRecord>,
+    /// Per-class accumulators (empty when no classes configured).
+    pub classes: Vec<ClassTotals>,
+}
+
+/// Per-tenant-class service metrics, reported alongside the run totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassReport {
+    /// Class label from the workload's [`crate::workload::ClassSpec`].
+    pub name: String,
+    /// Latency SLO target, ms (`None` = best-effort).
+    pub slo_ms: Option<f64>,
+    /// Requests of this class completed.
+    pub completed: u64,
+    /// Requests of this class shed.
+    pub shed: u64,
+    /// Median end-to-end latency, ms (sketch estimate).
+    pub p50_ms: f64,
+    /// 95th-percentile latency, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, ms.
+    pub p99_ms: f64,
+    /// 99.9th-percentile latency, ms.
+    pub p999_ms: f64,
+    /// Mean latency, ms.
+    pub mean_latency_ms: f64,
+    /// Fraction of *offered* requests (completed + shed) that finished
+    /// within the SLO — shed requests count as misses, so overload shows
+    /// up here even when completed latencies look healthy. `None` when
+    /// the class is best-effort; vacuously 1.0 when nothing was offered.
+    pub slo_attainment: Option<f64>,
+}
+
+fn fold(digest: u64, bits: u64) -> u64 {
+    digest.rotate_left(7) ^ bits
+}
+
+impl RunTotals {
+    pub(crate) fn new(classes: Vec<ClassTotals>) -> RunTotals {
+        RunTotals {
+            offered: 0,
+            shed: 0,
+            rec_fold: 0,
+            rec_count: 0,
+            latency_ms: QuantileSketch::new(),
+            latency_sum_ms: 0.0,
+            wait_sum_ms: 0.0,
+            max_finish_s: 0.0,
+            last_arrival_s: 0.0,
+            max_queue_depth: 0,
+            peak_event_queue: 0,
+            records: Vec::new(),
+            classes,
+        }
+    }
+}
+
 /// The service report of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceReport {
@@ -84,7 +205,8 @@ pub struct ServiceReport {
     pub shed: u64,
     /// `shed / offered`.
     pub shed_rate: f64,
-    /// Median service latency (arrival → completion), ms.
+    /// Median service latency (arrival → completion), ms (sketch
+    /// estimate, within `QuantileSketch::RELATIVE_ERROR_BOUND`).
     pub p50_ms: f64,
     /// 95th-percentile latency, ms.
     pub p95_ms: f64,
@@ -92,9 +214,9 @@ pub struct ServiceReport {
     pub p99_ms: f64,
     /// 99.9th-percentile latency, ms.
     pub p999_ms: f64,
-    /// Mean latency, ms.
+    /// Mean latency, ms (exact).
     pub mean_latency_ms: f64,
-    /// Mean queueing delay (arrival → dispatch), ms.
+    /// Mean queueing delay (arrival → dispatch), ms (exact).
     pub mean_wait_ms: f64,
     /// Completed requests per second of makespan.
     pub goodput_rps: f64,
@@ -108,63 +230,96 @@ pub struct ServiceReport {
     pub mean_batch_size: f64,
     /// Deepest the queue got.
     pub max_queue_depth: usize,
+    /// High-water mark of the DES event queue — with streamed arrivals
+    /// this stays O(fleet + in-flight), not O(requests).
+    pub peak_event_queue: usize,
+    /// Occupied latency-sketch buckets (bounded by
+    /// `QuantileSketch::MAX_BUCKETS` regardless of run length).
+    pub sketch_buckets: usize,
+    /// Per-tenant-class metrics, in class-table order (empty when the
+    /// workload configures no classes).
+    pub classes: Vec<ClassReport>,
     /// Per-chip totals, in fleet order.
     pub per_chip: Vec<ChipReport>,
-    /// Per-request records, in dispatch order.
+    /// The first `record_cap` per-request records, in dispatch order —
+    /// a bounded sample; the digest always covers *every* record.
     pub records: Vec<RequestRecord>,
-}
-
-/// Nearest-rank percentile of an ascending-sorted slice.
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
-
-fn fold(digest: u64, bits: u64) -> u64 {
-    digest.rotate_left(7) ^ bits
+    /// The run digest, computed incrementally during the run (records
+    /// are not required to recompute it).
+    digest: u64,
 }
 
 impl ServiceReport {
-    /// Builds the report from a finished run's raw state.
+    /// Builds the report from a finished run's streaming accumulators.
     pub(crate) fn from_run(
         cfg: &ServeConfig,
         fleet: &FleetConfig,
-        records: Vec<RequestRecord>,
         per_chip: Vec<ChipReport>,
-        shed: u64,
-        max_queue_depth: usize,
-        last_arrival_s: f64,
+        totals: RunTotals,
     ) -> ServiceReport {
-        let completed = records.len() as u64;
-        let offered = cfg.requests as u64;
-        let makespan_s = records
-            .iter()
-            .map(|r| r.finish_s)
-            .fold(last_arrival_s, f64::max);
-        let mut latencies_ms: Vec<f64> = records
-            .iter()
-            .map(|r| (r.finish_s - r.arrival_s) * 1e3)
-            .collect();
-        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let completed = totals.rec_count;
+        let offered = totals.offered;
+        let makespan_s = totals.max_finish_s.max(totals.last_arrival_s);
         let mean_latency_ms = if completed > 0 {
-            latencies_ms.iter().sum::<f64>() / completed as f64
+            totals.latency_sum_ms / completed as f64
         } else {
             0.0
         };
         let mean_wait_ms = if completed > 0 {
-            records
-                .iter()
-                .map(|r| (r.start_s - r.arrival_s) * 1e3)
-                .sum::<f64>()
-                / completed as f64
+            totals.wait_sum_ms / completed as f64
         } else {
             0.0
         };
         let energy_total_j: f64 = per_chip.iter().map(|c| c.energy_j).sum();
         let batches: u64 = per_chip.iter().map(|c| c.batches).sum();
+
+        // Digest: identical to folding (offered, completed, shed), every
+        // record, then the chip totals, one value at a time. The record
+        // section was folded from zero during the run; rotation
+        // distributes over xor, so splicing it onto the prefix is exact.
+        let mut d = 0xA1B1_9E0Au64;
+        d = fold(d, offered);
+        d = fold(d, completed);
+        d = fold(d, totals.shed);
+        d = d.rotate_left(((totals.rec_count.wrapping_mul(6).wrapping_mul(7)) % 64) as u32)
+            ^ totals.rec_fold;
+        for c in &per_chip {
+            d = fold(d, c.served);
+            d = fold(d, c.batches);
+            d = fold(d, c.busy_s.to_bits());
+            d = fold(d, c.energy_j.to_bits());
+            d = fold(d, c.plcgs_down as u64);
+            d = fold(d, c.online_at_end as u64);
+        }
+
+        let classes = totals
+            .classes
+            .iter()
+            .map(|ct| ClassReport {
+                name: ct.name.clone(),
+                slo_ms: ct.slo_ms,
+                completed: ct.completed,
+                shed: ct.shed,
+                p50_ms: ct.latency_ms.quantile(0.50),
+                p95_ms: ct.latency_ms.quantile(0.95),
+                p99_ms: ct.latency_ms.quantile(0.99),
+                p999_ms: ct.latency_ms.quantile(0.999),
+                mean_latency_ms: if ct.completed > 0 {
+                    ct.latency_sum_ms / ct.completed as f64
+                } else {
+                    0.0
+                },
+                slo_attainment: ct.slo_ms.map(|_| {
+                    let offered_class = ct.completed + ct.shed;
+                    if offered_class > 0 {
+                        ct.slo_hits as f64 / offered_class as f64
+                    } else {
+                        1.0
+                    }
+                }),
+            })
+            .collect();
+
         ServiceReport {
             fleet_label: fleet.label(),
             policy_label: cfg.policy.label(),
@@ -174,16 +329,16 @@ impl ServiceReport {
             seed: cfg.seed,
             offered,
             completed,
-            shed,
+            shed: totals.shed,
             shed_rate: if offered > 0 {
-                shed as f64 / offered as f64
+                totals.shed as f64 / offered as f64
             } else {
                 0.0
             },
-            p50_ms: percentile(&latencies_ms, 0.50),
-            p95_ms: percentile(&latencies_ms, 0.95),
-            p99_ms: percentile(&latencies_ms, 0.99),
-            p999_ms: percentile(&latencies_ms, 0.999),
+            p50_ms: totals.latency_ms.quantile(0.50),
+            p95_ms: totals.latency_ms.quantile(0.95),
+            p99_ms: totals.latency_ms.quantile(0.99),
+            p999_ms: totals.latency_ms.quantile(0.999),
             mean_latency_ms,
             mean_wait_ms,
             goodput_rps: if makespan_s > 0.0 {
@@ -203,38 +358,23 @@ impl ServiceReport {
             } else {
                 0.0
             },
-            max_queue_depth,
+            max_queue_depth: totals.max_queue_depth,
+            peak_event_queue: totals.peak_event_queue,
+            sketch_buckets: totals.latency_ms.occupied_buckets(),
+            classes,
             per_chip,
-            records,
+            records: totals.records,
+            digest: d,
         }
     }
 
     /// Order-sensitive digest over the full run outcome: every request
     /// record in dispatch order, the shed count, and the per-chip totals.
     /// Two runs with the same digest served the same requests on the same
-    /// chips at the same virtual instants.
+    /// chips at the same virtual instants. Computed incrementally during
+    /// the run, so it covers all records even when `records` is capped.
     pub fn digest(&self) -> u64 {
-        let mut d = 0xA1B1_9E0Au64;
-        d = fold(d, self.offered);
-        d = fold(d, self.completed);
-        d = fold(d, self.shed);
-        for r in &self.records {
-            d = fold(d, r.id);
-            d = fold(d, r.network as u64);
-            d = fold(d, r.chip as u64);
-            d = fold(d, r.arrival_s.to_bits());
-            d = fold(d, r.start_s.to_bits());
-            d = fold(d, r.finish_s.to_bits());
-        }
-        for c in &self.per_chip {
-            d = fold(d, c.served);
-            d = fold(d, c.batches);
-            d = fold(d, c.busy_s.to_bits());
-            d = fold(d, c.energy_j.to_bits());
-            d = fold(d, c.plcgs_down as u64);
-            d = fold(d, c.online_at_end as u64);
-        }
-        d
+        self.digest
     }
 
     /// The digest as a fixed-width hex string (what reports print).
@@ -287,6 +427,22 @@ impl ServiceReport {
             self.mean_batch_size,
             self.max_queue_depth
         ));
+        out.push_str(&format!(
+            "  memory  peak events {}  sketch buckets {}\n",
+            self.peak_event_queue, self.sketch_buckets
+        ));
+        for c in &self.classes {
+            let slo = match (c.slo_ms, c.slo_attainment) {
+                (Some(slo_ms), Some(att)) => {
+                    format!("  slo {slo_ms:.3} ms attained {:.2}%", att * 100.0)
+                }
+                _ => "  best-effort".to_string(),
+            };
+            out.push_str(&format!(
+                "  class {:<12} completed {:>8}  shed {:>6}  p50 {:.6}  p99 {:.6}{}\n",
+                c.name, c.completed, c.shed, c.p50_ms, c.p99_ms, slo
+            ));
+        }
         for c in &self.per_chip {
             out.push_str(&format!(
                 "  chip {:<14} served {:>6}  batches {:>6}  util {:>6.2}%  energy {:.6} J  {}{}\n",
@@ -344,12 +500,12 @@ impl ServiceReport {
     }
 
     /// Hand-rolled JSON digest of the run (schema
-    /// `albireo.bench.serving/v1`, documented in DESIGN.md §8). Does not
-    /// embed per-request records; the digest covers them.
+    /// `albireo.bench.serving/v2`, documented in DESIGN.md §8/§11). Does
+    /// not embed per-request records; the digest covers them.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"albireo.bench.serving/v1\",\n");
+        s.push_str("  \"schema\": \"albireo.bench.serving/v2\",\n");
         s.push_str(&format!("  \"fleet\": \"{}\",\n", self.fleet_label));
         s.push_str(&format!("  \"policy\": \"{}\",\n", self.policy_label));
         s.push_str(&format!("  \"arrival\": \"{}\",\n", self.arrival_label));
@@ -407,6 +563,37 @@ impl ServiceReport {
             "  \"max_queue_depth\": {},\n",
             self.max_queue_depth
         ));
+        s.push_str(&format!(
+            "  \"peak_event_queue\": {},\n",
+            self.peak_event_queue
+        ));
+        s.push_str(&format!("  \"sketch_buckets\": {},\n", self.sketch_buckets));
+        s.push_str("  \"classes\": [\n");
+        for (i, c) in self.classes.iter().enumerate() {
+            let slo_ms = c
+                .slo_ms
+                .map_or("null".to_string(), |v| json::num(v).to_string());
+            let attained = c
+                .slo_attainment
+                .map_or("null".to_string(), |v| json::num(v).to_string());
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"slo_ms\": {}, \"completed\": {}, \"shed\": {}, \
+                 \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \"p999_ms\": {}, \
+                 \"mean_latency_ms\": {}, \"slo_attainment\": {}}}{}\n",
+                c.name,
+                slo_ms,
+                c.completed,
+                c.shed,
+                json::num(c.p50_ms),
+                json::num(c.p95_ms),
+                json::num(c.p99_ms),
+                json::num(c.p999_ms),
+                json::num(c.mean_latency_ms),
+                attained,
+                json::sep(i, self.classes.len())
+            ));
+        }
+        s.push_str("  ],\n");
         s.push_str("  \"chips\": [\n");
         for (i, c) in self.per_chip.iter().enumerate() {
             s.push_str(&format!(
@@ -455,16 +642,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentile_nearest_rank() {
-        let v = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile(&v, 0.50), 2.0);
-        assert_eq!(percentile(&v, 0.95), 4.0);
-        assert_eq!(percentile(&v, 0.001), 1.0);
-        assert_eq!(percentile(&[], 0.5), 0.0);
-        assert_eq!(percentile(&[7.0], 0.999), 7.0);
-    }
-
-    #[test]
     fn renderings_carry_the_digest() {
         let fleet = FleetConfig::paper_pair();
         let cfg = ServeConfig::poisson(3000.0, 120, 9, 0);
@@ -474,7 +651,7 @@ mod tests {
         assert!(report.render_text().contains(&hex));
         assert!(report.csv_row().ends_with(&hex));
         let json = report.to_json();
-        assert!(json.contains("albireo.bench.serving/v1"));
+        assert!(json.contains("albireo.bench.serving/v2"));
         assert!(json.contains(&hex));
         assert_eq!(
             ServiceReport::csv_header().split(',').count(),
@@ -505,5 +682,88 @@ mod tests {
         let a = crate::sim::simulate(&fleet, &cfg).to_json();
         let b = crate::sim::simulate(&fleet, &cfg).to_json();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_completion_run_reports_clean_zeros() {
+        // A run where everything sheds (or nothing arrives) must render
+        // zeros, not NaN — the historical sort-based percentile path was
+        // fine here, and the sketch path must stay fine.
+        let fleet = FleetConfig::paper_pair();
+        let cfg = ServeConfig::poisson(3000.0, 120, 9, 0);
+        let totals = RunTotals::new(vec![ClassTotals::new("t", Some(5.0))]);
+        let per_chip = vec![ChipReport {
+            name: "c".to_string(),
+            served: 0,
+            batches: 0,
+            busy_s: 0.0,
+            energy_j: 0.0,
+            online_at_end: true,
+            plcgs_down: 0,
+        }];
+        let r = ServiceReport::from_run(&cfg, &fleet, per_chip, totals);
+        for v in [
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            r.p999_ms,
+            r.mean_latency_ms,
+            r.mean_wait_ms,
+            r.goodput_rps,
+            r.energy_per_request_j,
+            r.mean_batch_size,
+            r.shed_rate,
+        ] {
+            assert_eq!(v, 0.0, "expected clean zero, got {v}");
+        }
+        assert_eq!(r.classes[0].slo_attainment, Some(1.0), "vacuous SLO");
+        assert!(!r.to_json().contains("NaN"));
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exact() {
+        // One completed request: every percentile must equal its exact
+        // latency (the sketch clamps estimates to [min, max]).
+        let fleet = FleetConfig::paper_pair();
+        let cfg = ServeConfig::poisson(3000.0, 1, 9, 0);
+        let report = crate::sim::simulate(&fleet, &cfg);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.p50_ms, report.mean_latency_ms);
+        assert_eq!(report.p50_ms, report.p95_ms);
+        assert_eq!(report.p95_ms, report.p99_ms);
+        assert_eq!(report.p99_ms, report.p999_ms);
+        assert!(report.p50_ms > 0.0);
+    }
+
+    #[test]
+    fn streamed_digest_matches_reference_fold() {
+        // The incremental digest must equal folding the same values
+        // sequentially through one accumulator (the materialized-era
+        // definition).
+        let fleet = FleetConfig::paper_pair();
+        let cfg = ServeConfig::poisson(3000.0, 200, 9, 0);
+        let report = crate::sim::simulate(&fleet, &cfg);
+        assert_eq!(report.records.len() as u64, report.completed);
+        let mut d = 0xA1B1_9E0Au64;
+        d = fold(d, report.offered);
+        d = fold(d, report.completed);
+        d = fold(d, report.shed);
+        for r in &report.records {
+            d = fold(d, r.id);
+            d = fold(d, r.network as u64);
+            d = fold(d, r.chip as u64);
+            d = fold(d, r.arrival_s.to_bits());
+            d = fold(d, r.start_s.to_bits());
+            d = fold(d, r.finish_s.to_bits());
+        }
+        for c in &report.per_chip {
+            d = fold(d, c.served);
+            d = fold(d, c.batches);
+            d = fold(d, c.busy_s.to_bits());
+            d = fold(d, c.energy_j.to_bits());
+            d = fold(d, c.plcgs_down as u64);
+            d = fold(d, c.online_at_end as u64);
+        }
+        assert_eq!(report.digest(), d);
     }
 }

@@ -1,8 +1,7 @@
 //! The deterministic discrete-event serving engine.
 //!
 //! One simulation run processes a seeded request stream against a fleet
-//! on a virtual clock. Events live in a binary heap keyed by
-//! `(time, class, sequence)`:
+//! on a virtual clock. Events are ordered by `(time, class, sequence)`:
 //!
 //! * `time` — the f64 virtual instant, compared through its IEEE-754 bit
 //!   pattern (all event times are non-negative and finite, where that
@@ -13,6 +12,19 @@
 //!   visible to same-instant arrivals), then **arrivals**, then batching
 //!   **timers**;
 //! * `sequence` — insertion order, making the whole ordering total.
+//!
+//! Internal events (faults, completions, timers) live in the
+//! [`crate::queue::EventQueue`] hybrid. **Arrivals never enter the
+//! queue**: the request stream is generated lazily
+//! ([`crate::workload::RequestStream`]) and merged against the queue
+//! head one lookahead request at a time — arrivals are the only class-2
+//! events and the stream yields them in nondecreasing time order, so the
+//! merged order is exactly the historical all-events-in-one-heap order
+//! while the engine holds O(fleet + in-flight) state instead of
+//! O(requests). Latency statistics accumulate into a
+//! `QuantileSketch` + running sums (`RunTotals`), and
+//! the run digest folds incrementally, so a 10⁶–10⁷-request run needs
+//! no per-request memory beyond the (capped) record sample.
 //!
 //! Because the ordering is total and every stochastic choice draws from
 //! the seeded workload generator, a run is a pure function of
@@ -35,12 +47,16 @@
 use crate::fault::{FaultKind, FaultScenario};
 use crate::fleet::{FleetConfig, ServiceOracle};
 use crate::policy::{AdmissionControl, BatchPolicy};
-use crate::report::{ChipReport, RequestRecord, ServiceReport};
-use crate::workload::{Request, Workload};
+use crate::queue::{EventKey, EventQueue};
+use crate::report::{ChipReport, ClassTotals, RequestRecord, RunTotals, ServiceReport};
+use crate::workload::{Request, RequestStream, Workload};
 use albireo_obs::{track, ArgValue, Obs};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
+
+/// Event class of streamed arrivals in the total order (between
+/// completions and timers).
+const ARRIVAL_CLASS: u8 = 2;
 
 /// Everything one simulation run needs besides the fleet.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +73,11 @@ pub struct ServeConfig {
     pub admission: AdmissionControl,
     /// Timed fault scenario.
     pub faults: FaultScenario,
+    /// Per-request records retained on the report (dispatch order).
+    /// The digest and all metrics always cover every request; the cap
+    /// only bounds the report's `records` sample — set it to 0 for
+    /// million-request runs.
+    pub record_cap: usize,
 }
 
 impl ServeConfig {
@@ -70,6 +91,7 @@ impl ServeConfig {
             policy: BatchPolicy::Immediate,
             admission: AdmissionControl::default(),
             faults: FaultScenario::none(),
+            record_cap: usize::MAX,
         }
     }
 }
@@ -97,11 +119,11 @@ impl fmt::Display for ServeConfig {
     }
 }
 
+/// Queue-resident event payloads. Arrivals are streamed, never queued.
 #[derive(Debug, Clone, PartialEq)]
 enum EventKind {
     Fault(FaultKind),
     Completion { chip: usize },
-    Arrival(Request),
     Timer,
 }
 
@@ -110,34 +132,8 @@ impl EventKind {
         match self {
             EventKind::Fault(_) => 0,
             EventKind::Completion { .. } => 1,
-            EventKind::Arrival(_) => 2,
             EventKind::Timer => 3,
         }
-    }
-}
-
-#[derive(Debug, Clone, PartialEq)]
-struct Event {
-    /// `time_s.to_bits()` — exact total order for non-negative finite
-    /// times.
-    time_bits: u64,
-    class: u8,
-    seq: u64,
-    time_s: f64,
-    kind: EventKind,
-}
-
-impl Eq for Event {}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Event) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Event) -> std::cmp::Ordering {
-        (self.time_bits, self.class, self.seq).cmp(&(other.time_bits, other.class, other.seq))
     }
 }
 
@@ -157,29 +153,39 @@ struct Sim<'a> {
     cfg: &'a ServeConfig,
     obs: &'a Obs,
     oracle: ServiceOracle,
-    heap: BinaryHeap<Reverse<Event>>,
+    events: EventQueue<EventKind>,
     seq: u64,
     queue: VecDeque<Request>,
     chips: Vec<ChipState>,
-    arrivals_pending: usize,
-    records: Vec<RequestRecord>,
-    shed: u64,
-    max_queue_depth: usize,
-    last_arrival_s: f64,
+    stream: RequestStream,
+    /// Lookahead request — the next arrival not yet merged into the run.
+    next_arrival: Option<Request>,
+    totals: RunTotals,
 }
 
 impl<'a> Sim<'a> {
     fn push(&mut self, time_s: f64, kind: EventKind) {
         debug_assert!(time_s.is_finite() && time_s >= 0.0);
-        let event = Event {
-            time_bits: time_s.to_bits(),
-            class: kind.class(),
-            seq: self.seq,
-            time_s,
-            kind,
-        };
+        let key = EventKey::new(time_s.to_bits(), kind.class(), self.seq);
         self.seq += 1;
-        self.heap.push(Reverse(event));
+        self.events.push(key, kind);
+    }
+
+    /// Pulls the next arrival from the lazy stream, validating its
+    /// coordinates against the fleet.
+    fn pull_arrival(&mut self) -> Option<Request> {
+        let r = self.stream.next()?;
+        assert!(
+            r.network < self.fleet.models.len(),
+            "request network {} outside the fleet's model table",
+            r.network
+        );
+        assert!(
+            self.totals.classes.is_empty() || r.class < self.totals.classes.len(),
+            "request class {} outside the workload's class table",
+            r.class
+        );
+        Some(r)
     }
 
     /// Surviving compute groups on `chip` (PLCGs for Albireo, MAC units
@@ -202,43 +208,105 @@ impl<'a> Sim<'a> {
                 .supports(&self.fleet.models[network])
     }
 
+    /// Whether at least `n` queued requests target `network` (early-exit
+    /// scan, so Immediate dispatch never walks the queue).
+    fn same_network_at_least(&self, network: usize, n: usize) -> bool {
+        let mut seen = 0;
+        for r in &self.queue {
+            if r.network == network {
+                seen += 1;
+                if seen >= n {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
     /// Whether the queue head may be dispatched now under the policy.
     fn head_ready(&self, now: f64) -> bool {
         let Some(head) = self.queue.front() else {
             return false;
         };
-        let same_network = self
-            .queue
-            .iter()
-            .filter(|r| r.network == head.network)
-            .count();
-        let drained = self.arrivals_pending == 0;
+        let drained = self.next_arrival.is_none();
         match self.cfg.policy {
             BatchPolicy::Immediate => true,
-            BatchPolicy::SizeN { size } => same_network >= size || drained,
+            BatchPolicy::SizeN { size } => {
+                self.same_network_at_least(head.network, size) || drained
+            }
             BatchPolicy::Deadline {
                 max_wait_s,
                 max_size,
-            } => same_network >= max_size || now >= head.arrival_s + max_wait_s || drained,
+            } => {
+                self.same_network_at_least(head.network, max_size)
+                    || now >= head.arrival_s + max_wait_s
+                    || drained
+            }
         }
     }
 
     /// Removes the queue head's micro-batch: the earliest queued requests
-    /// of the head's network, up to the policy's batch bound.
+    /// of the head's network, up to the policy's batch bound. The common
+    /// case — a contiguous same-network prefix — pops in place; only a
+    /// genuinely interleaved queue pays the compacting scan.
     fn take_batch(&mut self) -> Vec<Request> {
         let network = self.queue.front().expect("head exists").network;
         let max = self.cfg.policy.max_batch();
-        let mut batch = Vec::with_capacity(max);
-        let mut rest = VecDeque::with_capacity(self.queue.len());
-        while let Some(r) = self.queue.pop_front() {
-            if r.network == network && batch.len() < max {
-                batch.push(r);
-            } else {
-                rest.push_back(r);
+        let mut batch = Vec::with_capacity(max.min(64));
+        while batch.len() < max && self.queue.front().is_some_and(|r| r.network == network) {
+            batch.push(self.queue.pop_front().expect("front exists"));
+        }
+        if batch.len() < max && self.queue.iter().any(|r| r.network == network) {
+            let mut rest = VecDeque::with_capacity(self.queue.len());
+            while let Some(r) = self.queue.pop_front() {
+                if r.network == network && batch.len() < max {
+                    batch.push(r);
+                } else {
+                    rest.push_back(r);
+                }
+            }
+            self.queue = rest;
+        }
+        batch
+    }
+
+    /// Folds one completed request into the streaming accumulators (and
+    /// the capped record sample).
+    fn complete_request(&mut self, req: &Request, chip: usize, start_s: f64, finish_s: f64) {
+        let fold = |d: u64, bits: u64| d.rotate_left(7) ^ bits;
+        let t = &mut self.totals;
+        let mut f = t.rec_fold;
+        f = fold(f, req.id);
+        f = fold(f, req.network as u64);
+        f = fold(f, chip as u64);
+        f = fold(f, req.arrival_s.to_bits());
+        f = fold(f, start_s.to_bits());
+        f = fold(f, finish_s.to_bits());
+        t.rec_fold = f;
+        t.rec_count += 1;
+        let latency_ms = (finish_s - req.arrival_s) * 1e3;
+        t.latency_ms.observe(latency_ms);
+        t.latency_sum_ms += latency_ms;
+        t.wait_sum_ms += (start_s - req.arrival_s) * 1e3;
+        t.max_finish_s = t.max_finish_s.max(finish_s);
+        if let Some(cs) = t.classes.get_mut(req.class) {
+            cs.completed += 1;
+            cs.latency_sum_ms += latency_ms;
+            cs.latency_ms.observe(latency_ms);
+            if cs.slo_ms.is_some_and(|slo| latency_ms <= slo) {
+                cs.slo_hits += 1;
             }
         }
-        self.queue = rest;
-        batch
+        if t.records.len() < self.cfg.record_cap {
+            t.records.push(RequestRecord {
+                id: req.id,
+                network: req.network,
+                chip,
+                arrival_s: req.arrival_s,
+                start_s,
+                finish_s,
+            });
+        }
     }
 
     /// Dispatches ready work onto free chips until one side is exhausted.
@@ -303,14 +371,7 @@ impl<'a> Sim<'a> {
                 // Depth-first execution is sequential within the batch:
                 // request i completes after setup + (i+1) inferences.
                 let finish_s = now + cost.batch_setup_s + (i + 1) as f64 * cost.item_latency_s;
-                self.records.push(RequestRecord {
-                    id: req.id,
-                    network: req.network,
-                    chip,
-                    arrival_s: req.arrival_s,
-                    start_s: now,
-                    finish_s,
-                });
+                self.complete_request(req, chip, now, finish_s);
             }
             self.push(now + busy, EventKind::Completion { chip });
         }
@@ -337,10 +398,79 @@ impl<'a> Sim<'a> {
         }
     }
 
+    /// Records one shed request (admission rejection or end-of-run
+    /// stranding) in the totals.
+    fn shed_request(&mut self, class: usize) {
+        self.totals.shed += 1;
+        if let Some(cs) = self.totals.classes.get_mut(class) {
+            cs.shed += 1;
+        }
+    }
+
+    fn on_arrival(&mut self, req: Request) {
+        let now = req.arrival_s;
+        self.totals.offered += 1;
+        self.totals.last_arrival_s = now;
+        if self.queue.len() >= self.cfg.admission.queue_capacity {
+            self.shed_request(req.class);
+            if self.obs.is_enabled() {
+                self.obs.record_instant(
+                    track::DISPATCH,
+                    now,
+                    "shed",
+                    vec![
+                        ("id", ArgValue::from(req.id)),
+                        ("network", ArgValue::from(req.network)),
+                    ],
+                );
+                self.obs.counter("serve.shed").add(1);
+            }
+        } else {
+            if let BatchPolicy::Deadline { max_wait_s, .. } = self.cfg.policy {
+                // The timer recomputes the readiness deadline with the
+                // same expression head_ready uses, so the comparison is
+                // exact.
+                self.push(req.arrival_s + max_wait_s, EventKind::Timer);
+            }
+            self.queue.push_back(req);
+            self.totals.max_queue_depth = self.totals.max_queue_depth.max(self.queue.len());
+            if self.obs.is_enabled() {
+                self.obs.record_counter_sample(
+                    track::DISPATCH,
+                    now,
+                    "queue_depth",
+                    ArgValue::from(self.queue.len()),
+                );
+            }
+        }
+        self.try_dispatch(now);
+    }
+
     fn run(mut self) -> ServiceReport {
-        while let Some(Reverse(event)) = self.heap.pop() {
-            let now = event.time_s;
-            match event.kind {
+        loop {
+            // Merge the arrival lookahead against the event queue on the
+            // shared `(time, class)` key. Arrivals are the only class-2
+            // events, so this two-way merge reproduces the historical
+            // one-heap total order exactly: cross-class ties resolve by
+            // class, and same-class ties only arise within one side,
+            // where insertion order is already preserved.
+            let take_arrival = match (&self.next_arrival, self.events.peek_key()) {
+                (Some(r), Some(k)) => {
+                    (r.arrival_s.to_bits(), ARRIVAL_CLASS) < (k.time_bits(), k.class())
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_arrival {
+                let req = self.next_arrival.take().expect("checked above");
+                self.next_arrival = self.pull_arrival();
+                self.on_arrival(req);
+                continue;
+            }
+            let (key, kind) = self.events.pop().expect("checked above");
+            let now = key.time_s();
+            match kind {
                 EventKind::Fault(kind) => {
                     if self.obs.is_enabled() {
                         self.obs.record_instant(
@@ -358,43 +488,6 @@ impl<'a> Sim<'a> {
                     self.chips[chip].busy = false;
                     self.try_dispatch(now);
                 }
-                EventKind::Arrival(req) => {
-                    self.arrivals_pending -= 1;
-                    self.last_arrival_s = now;
-                    if self.queue.len() >= self.cfg.admission.queue_capacity {
-                        self.shed += 1;
-                        if self.obs.is_enabled() {
-                            self.obs.record_instant(
-                                track::DISPATCH,
-                                now,
-                                "shed",
-                                vec![
-                                    ("id", ArgValue::from(req.id)),
-                                    ("network", ArgValue::from(req.network)),
-                                ],
-                            );
-                            self.obs.counter("serve.shed").add(1);
-                        }
-                    } else {
-                        if let BatchPolicy::Deadline { max_wait_s, .. } = self.cfg.policy {
-                            // The timer recomputes the readiness deadline
-                            // with the same expression head_ready uses, so
-                            // the comparison is exact.
-                            self.push(req.arrival_s + max_wait_s, EventKind::Timer);
-                        }
-                        self.queue.push_back(req);
-                        self.max_queue_depth = self.max_queue_depth.max(self.queue.len());
-                        if self.obs.is_enabled() {
-                            self.obs.record_counter_sample(
-                                track::DISPATCH,
-                                now,
-                                "queue_depth",
-                                ArgValue::from(self.queue.len()),
-                            );
-                        }
-                    }
-                    self.try_dispatch(now);
-                }
                 EventKind::Timer => {
                     self.try_dispatch(now);
                 }
@@ -404,15 +497,18 @@ impl<'a> Sim<'a> {
         // degraded, no event left to free one) are shed, not an error:
         // the service degrades to whatever the surviving fleet completed.
         let stranded = self.queue.len() as u64;
-        self.shed += stranded;
+        while let Some(r) = self.queue.pop_front() {
+            self.shed_request(r.class);
+        }
         if stranded > 0 && self.obs.is_enabled() {
             self.obs.counter("serve.shed").add(stranded);
         }
         self.finish()
     }
 
-    fn finish(self) -> ServiceReport {
+    fn finish(mut self) -> ServiceReport {
         let obs = self.obs;
+        self.totals.peak_event_queue = self.events.peak_len();
         let per_chip: Vec<ChipReport> = self
             .fleet
             .chips
@@ -428,19 +524,19 @@ impl<'a> Sim<'a> {
                 plcgs_down: state.plcgs_down,
             })
             .collect();
-        let report = ServiceReport::from_run(
-            self.cfg,
-            self.fleet,
-            self.records,
-            per_chip,
-            self.shed,
-            self.max_queue_depth,
-            self.last_arrival_s,
-        );
+        if obs.is_enabled() {
+            obs.sketch("serve.latency_ms")
+                .merge_from(&self.totals.latency_ms);
+        }
+        let report = ServiceReport::from_run(self.cfg, self.fleet, per_chip, self.totals);
         if obs.is_enabled() {
             obs.counter("serve.completed").add(report.completed);
             obs.gauge("serve.max_queue_depth")
                 .set(report.max_queue_depth as f64);
+            obs.gauge("serve.peak_event_queue")
+                .set(report.peak_event_queue as f64);
+            obs.gauge("serve.sketch_buckets")
+                .set(report.sketch_buckets as f64);
             let util_h = obs.histogram("serve.chip_utilization");
             for chip in &report.per_chip {
                 if report.makespan_s > 0.0 {
@@ -460,9 +556,11 @@ pub fn simulate(fleet: &FleetConfig, cfg: &ServeConfig) -> ServiceReport {
 /// [`simulate`], recording the run into `obs`: per-batch spans on each
 /// chip's track (named after the batch's network), batch-formation /
 /// shed / fault instants and queue-depth samples on the dispatcher
-/// track, head-of-line wait and per-chip utilization histograms, and
-/// serving counters. All timestamps come from the DES virtual clock, so
-/// with a fixed seed the recorded trace is byte-reproducible.
+/// track, head-of-line wait and per-chip utilization histograms, the
+/// end-to-end latency quantile sketch (`serve.latency_ms`), and serving
+/// counters plus memory-bound gauges (`serve.peak_event_queue`,
+/// `serve.sketch_buckets`). All timestamps come from the DES virtual
+/// clock, so with a fixed seed the recorded trace is byte-reproducible.
 ///
 /// The returned report is identical to [`simulate`]'s — instrumentation
 /// only reads simulator state — and a disabled `obs` reduces every
@@ -470,20 +568,18 @@ pub fn simulate(fleet: &FleetConfig, cfg: &ServeConfig) -> ServiceReport {
 pub fn simulate_observed(fleet: &FleetConfig, cfg: &ServeConfig, obs: &Obs) -> ServiceReport {
     assert!(!fleet.chips.is_empty(), "fleet must contain a chip");
     assert!(!fleet.models.is_empty(), "fleet must serve a network");
-    let requests = cfg.workload.generate(cfg.requests, cfg.seed);
-    for r in &requests {
-        assert!(
-            r.network < fleet.models.len(),
-            "request network {} outside the fleet's model table",
-            r.network
-        );
-    }
+    let stream = cfg.workload.stream(cfg.requests, cfg.seed);
+    let classes = stream
+        .classes()
+        .iter()
+        .map(|c| ClassTotals::new(&c.name, c.slo_ms))
+        .collect();
     let mut sim = Sim {
         fleet,
         cfg,
         obs,
         oracle: ServiceOracle::new(),
-        heap: BinaryHeap::new(),
+        events: EventQueue::new(),
         seq: 0,
         queue: VecDeque::new(),
         chips: vec![
@@ -498,19 +594,14 @@ pub fn simulate_observed(fleet: &FleetConfig, cfg: &ServeConfig, obs: &Obs) -> S
             };
             fleet.chips.len()
         ],
-        arrivals_pending: requests.len(),
-        records: Vec::with_capacity(requests.len()),
-        shed: 0,
-        max_queue_depth: 0,
-        last_arrival_s: 0.0,
+        stream,
+        next_arrival: None,
+        totals: RunTotals::new(classes),
     };
     for fault in cfg.faults.sorted_events() {
         sim.push(fault.at_s, EventKind::Fault(fault.kind));
     }
-    for req in requests {
-        let at = req.arrival_s;
-        sim.push(at, EventKind::Arrival(req));
-    }
+    sim.next_arrival = sim.pull_arrival();
     sim.run()
 }
 
@@ -536,6 +627,7 @@ pub fn trace_track_names(fleet: &FleetConfig) -> Vec<(u32, String)> {
 mod tests {
     use super::*;
     use crate::fault::FaultKind;
+    use crate::workload::ClassSpec;
 
     fn small_fleet() -> FleetConfig {
         FleetConfig::paper_pair()
@@ -624,6 +716,14 @@ mod tests {
             .unwrap();
         assert_eq!(util.count(), fleet.chips.len() as u64);
         assert!(util.max().unwrap() <= 1.0 + 1e-9);
+        // The latency sketch rides along in the obs registry.
+        let sketch = snap
+            .sketches
+            .iter()
+            .find(|(n, _)| n == "serve.latency_ms")
+            .map(|(_, s)| s.clone())
+            .unwrap();
+        assert_eq!(sketch.count(), report.completed);
     }
 
     #[test]
@@ -883,5 +983,69 @@ mod tests {
                 "mixed batch at {key:?}: {networks:?}"
             );
         }
+    }
+
+    #[test]
+    fn record_cap_bounds_the_sample_but_not_the_metrics() {
+        let fleet = small_fleet();
+        let full = ServeConfig::poisson(3000.0, 300, 42, 0);
+        let mut capped = full.clone();
+        capped.record_cap = 10;
+        let a = simulate(&fleet, &full);
+        let b = simulate(&fleet, &capped);
+        assert_eq!(b.records.len(), 10);
+        assert_eq!(a.records[..10], b.records[..]);
+        assert_eq!(a.digest(), b.digest(), "digest covers all records");
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.p99_ms, b.p99_ms);
+        assert_eq!(a.mean_latency_ms, b.mean_latency_ms);
+    }
+
+    #[test]
+    fn per_class_slo_reports_cover_all_traffic() {
+        let fleet = small_fleet();
+        let mut cfg = ServeConfig::poisson(4000.0, 500, 42, 0);
+        cfg.workload = cfg.workload.with_classes(vec![
+            ClassSpec::with_slo("interactive", 3.0, 5.0),
+            ClassSpec::best_effort("batch", 1.0),
+        ]);
+        cfg.admission = AdmissionControl::bounded(32);
+        let report = simulate(&fleet, &cfg);
+        assert_eq!(report.classes.len(), 2);
+        let total: u64 = report.classes.iter().map(|c| c.completed + c.shed).sum();
+        assert_eq!(total, report.offered, "classes partition the traffic");
+        let interactive = &report.classes[0];
+        assert!(interactive.completed > 0);
+        let att = interactive.slo_attainment.expect("has an SLO");
+        assert!((0.0..=1.0).contains(&att), "attainment {att}");
+        assert_eq!(report.classes[1].slo_attainment, None, "best-effort");
+        assert!(report.to_json().contains("\"interactive\""));
+    }
+
+    #[test]
+    fn classless_run_digest_is_unchanged_by_class_machinery() {
+        // The class plumbing must be invisible when no classes are
+        // configured: same digest as a pre-class-era run (pinned by the
+        // golden CSV) and an empty classes section.
+        let fleet = small_fleet();
+        let report = simulate(&fleet, &ServeConfig::poisson(3000.0, 300, 42, 0));
+        assert!(report.classes.is_empty());
+        assert!(report.to_json().contains("\"classes\": [\n  ],"));
+    }
+
+    #[test]
+    fn event_queue_stays_shallow_with_streamed_arrivals() {
+        // The historical engine held every arrival in the heap, so peak
+        // depth was O(requests). Streamed arrivals keep it at
+        // O(fleet + faults + pending timers).
+        let fleet = small_fleet();
+        let report = simulate(&fleet, &ServeConfig::poisson(3000.0, 2000, 42, 0));
+        assert_eq!(report.offered, 2000);
+        assert!(
+            report.peak_event_queue < 32,
+            "peak event queue {} should not scale with requests",
+            report.peak_event_queue
+        );
+        assert!(report.sketch_buckets > 0);
     }
 }

@@ -235,6 +235,7 @@ pub fn run_serving_study(options: &StudyOptions, par: Parallelism) -> ServingStu
             workload: Workload {
                 process: ArrivalProcess::Poisson { rate_rps: rate },
                 mix: options.mix.clone(),
+                classes: Vec::new(),
             },
             requests: options.requests,
             seed: split_seed(
@@ -244,6 +245,7 @@ pub fn run_serving_study(options: &StudyOptions, par: Parallelism) -> ServingStu
             policy,
             admission: options.admission,
             faults: crate::fault::FaultScenario::none(),
+            record_cap: usize::MAX,
         };
         StudyRun {
             cell,

@@ -1,9 +1,13 @@
 //! Seeded request-stream generation: the arrival side of the serving
 //! simulator.
 //!
-//! A [`Workload`] turns `(seed, request count)` into a deterministic,
-//! time-sorted vector of [`Request`]s. Three arrival processes are
-//! provided:
+//! A [`Workload`] turns `(seed, request count)` into a deterministic
+//! request stream. [`Workload::stream`] yields requests **lazily** — one
+//! at a time, in arrival order, with O(1) state — so the simulator can
+//! serve 10⁶–10⁷ requests without ever materializing them;
+//! [`Workload::generate`] is the eager wrapper that collects the same
+//! stream into a vector (it produces byte-identical requests: the two
+//! paths share one generator). Six arrival processes are provided:
 //!
 //! * **Poisson** — i.i.d. exponential interarrival gaps at a fixed mean
 //!   rate, the standard open-loop service model;
@@ -11,22 +15,47 @@
 //!   generator alternates between an *on* phase at `burst × rate` and an
 //!   *off* phase at a compensating low rate, so the long-run mean rate is
 //!   preserved while arrivals cluster — the tail-latency stressor;
-//! * **Trace** — explicit arrival instants, for replaying measured
-//!   traffic.
+//! * **Diurnal** — a sinusoidally rate-modulated Poisson process
+//!   (thinning / Lewis–Shedler sampling against the peak rate):
+//!   `rate(t) = rate × (1 + amplitude·sin(2πt/period))`, the classic
+//!   daily traffic curve compressed onto the simulation clock;
+//! * **FlashCrowd** — baseline Poisson until `at_s`, then an
+//!   exponentially decaying overload
+//!   `rate(t) = rate × (1 + (spike−1)·e^{−(t−at)/decay})` — the
+//!   breaking-news shape that stresses admission control;
+//! * **Trace** — explicit in-memory arrival instants, for replaying
+//!   short measured traffic snippets;
+//! * **TraceFile** — bounded-memory replay of a JSONL trace from disk:
+//!   one object per line, `{"arrival_s": 0.0123}` with optional
+//!   `"network"` and `"class"` members overriding the mix/class draw.
+//!   Lines must be sorted by `arrival_s` (the reader streams; it cannot
+//!   sort), blank lines are skipped, and malformed lines panic with the
+//!   file/line coordinates.
+//!
+//! Requests optionally carry a **class** — a multi-tenant label drawn
+//! from [`Workload::classes`] ([`ClassSpec`]: name, traffic weight,
+//! optional SLO target) — so reports can break latency and SLO
+//! attainment out per tenant. With no classes configured every request
+//! is class 0 and no class randomness is consumed.
 //!
 //! Determinism contract: generation draws from a `StdRng` seeded with
 //! `split_seed(seed, stream)` per concern (one stream for gaps, one for
-//! network choice), so a workload is a pure function of `(spec, seed)` —
-//! independent of thread count, host, or call site.
+//! network choice, one for class choice), so a workload is a pure
+//! function of `(spec, seed)` — independent of thread count, host, call
+//! site, or whether the stream is consumed lazily or collected.
 
 use albireo_parallel::{split_seed, stream_id};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fs::File;
+use std::io::{BufRead, BufReader};
 
 /// Stream-id pass tag for interarrival-gap draws.
 const GAP_PASS: u64 = 0x5E1;
 /// Stream-id pass tag for network-mix draws.
 const MIX_PASS: u64 = 0x5E2;
+/// Stream-id pass tag for request-class draws.
+const CLASS_PASS: u64 = 0x5E3;
 
 /// One inference request offered to the service.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +66,41 @@ pub struct Request {
     pub network: usize,
     /// Arrival instant on the virtual clock, s.
     pub arrival_s: f64,
+    /// Index into the workload's class table (0 when no classes are
+    /// configured).
+    pub class: usize,
+}
+
+/// A multi-tenant request class: a label, its share of the traffic, and
+/// an optional latency SLO the report scores attainment against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSpec {
+    /// Tenant label (e.g. `interactive`, `batch`).
+    pub name: String,
+    /// Traffic weight (need not sum to one across classes).
+    pub weight: f64,
+    /// End-to-end latency target, ms; `None` = best-effort.
+    pub slo_ms: Option<f64>,
+}
+
+impl ClassSpec {
+    /// A named class with `weight` share and no SLO.
+    pub fn best_effort(name: &str, weight: f64) -> ClassSpec {
+        ClassSpec {
+            name: name.to_string(),
+            weight,
+            slo_ms: None,
+        }
+    }
+
+    /// A named class with `weight` share and a latency SLO in ms.
+    pub fn with_slo(name: &str, weight: f64, slo_ms: f64) -> ClassSpec {
+        ClassSpec {
+            name: name.to_string(),
+            weight,
+            slo_ms: Some(slo_ms),
+        }
+    }
 }
 
 /// The arrival process shaping request interarrival times.
@@ -60,21 +124,54 @@ pub enum ArrivalProcess {
         /// Off-phase duration, s.
         off_s: f64,
     },
+    /// Sinusoidal rate modulation
+    /// `rate(t) = rate_rps × (1 + amplitude·sin(2πt/period_s))`, sampled
+    /// by thinning against the peak rate. The long-run mean stays
+    /// `rate_rps`.
+    Diurnal {
+        /// Long-run mean arrival rate, requests/s.
+        rate_rps: f64,
+        /// Peak-to-mean swing, in `(0, 1]`.
+        amplitude: f64,
+        /// Cycle period, s (a "day" on the simulation clock).
+        period_s: f64,
+    },
+    /// Baseline Poisson until `at_s`, then a spike decaying as
+    /// `rate(t) = rate_rps × (1 + (spike−1)·e^{−(t−at_s)/decay_s})`.
+    FlashCrowd {
+        /// Baseline arrival rate, requests/s.
+        rate_rps: f64,
+        /// Instantaneous rate multiplier at the spike front (> 1).
+        spike: f64,
+        /// Spike onset, s.
+        at_s: f64,
+        /// Exponential decay constant of the overload, s.
+        decay_s: f64,
+    },
     /// Explicit arrival instants (need not be sorted; they are sorted
-    /// during generation).
+    /// when the stream opens).
     Trace {
         /// Arrival times, s.
         times_s: Vec<f64>,
+    },
+    /// Bounded-memory JSONL replay from disk (see module docs for the
+    /// line format). Lines must already be sorted by `arrival_s`.
+    TraceFile {
+        /// Path to the JSONL trace.
+        path: String,
     },
 }
 
 impl ArrivalProcess {
     /// The long-run mean arrival rate this process aims at, requests/s
-    /// (for traces, the empirical rate over the trace span).
+    /// (for in-memory traces, the empirical rate over the trace span;
+    /// for on-disk traces, 0.0 — unknown until replayed).
     pub fn mean_rate_rps(&self) -> f64 {
         match self {
             ArrivalProcess::Poisson { rate_rps } => *rate_rps,
             ArrivalProcess::Bursty { rate_rps, .. } => *rate_rps,
+            ArrivalProcess::Diurnal { rate_rps, .. } => *rate_rps,
+            ArrivalProcess::FlashCrowd { rate_rps, .. } => *rate_rps,
             ArrivalProcess::Trace { times_s } => {
                 let span = times_s
                     .iter()
@@ -83,21 +180,26 @@ impl ArrivalProcess {
                     .max(f64::MIN_POSITIVE);
                 times_s.len() as f64 / span
             }
+            ArrivalProcess::TraceFile { .. } => 0.0,
         }
     }
 
-    /// A short label for reports (`poisson`, `bursty`, `trace`).
+    /// A short label for reports (`poisson`, `bursty`, `diurnal`,
+    /// `flash`, `trace`, `trace_file`).
     pub fn label(&self) -> &'static str {
         match self {
             ArrivalProcess::Poisson { .. } => "poisson",
             ArrivalProcess::Bursty { .. } => "bursty",
+            ArrivalProcess::Diurnal { .. } => "diurnal",
+            ArrivalProcess::FlashCrowd { .. } => "flash",
             ArrivalProcess::Trace { .. } => "trace",
+            ArrivalProcess::TraceFile { .. } => "trace_file",
         }
     }
 }
 
-/// A request stream specification: the arrival process plus the network
-/// mix requests draw from.
+/// A request stream specification: the arrival process, the network mix
+/// requests draw from, and the (optional) multi-tenant class table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     /// The arrival process.
@@ -106,6 +208,10 @@ pub struct Workload {
     /// sum to one; they are normalized at draw time. Network indices refer
     /// to the fleet's model table.
     pub mix: Vec<(usize, f64)>,
+    /// Multi-tenant request classes; empty = one anonymous class and no
+    /// class randomness consumed (so class-free configs keep their
+    /// historical digests).
+    pub classes: Vec<ClassSpec>,
 }
 
 impl Workload {
@@ -114,31 +220,36 @@ impl Workload {
         Workload {
             process: ArrivalProcess::Poisson { rate_rps },
             mix: vec![(network, 1.0)],
+            classes: Vec::new(),
         }
     }
 
-    /// Generates the first `n` requests of the stream, deterministically
-    /// from `seed`. Returned requests are sorted by arrival time; ids are
-    /// assigned in arrival order.
-    pub fn generate(&self, n: usize, seed: u64) -> Vec<Request> {
+    /// This workload with a class table.
+    pub fn with_classes(mut self, classes: Vec<ClassSpec>) -> Workload {
+        self.classes = classes;
+        self
+    }
+
+    /// Opens the lazy request stream: at most `n` requests in arrival
+    /// order, deterministically from `seed`, with O(1) generator state
+    /// (plus the in-memory trace, if that process is used).
+    pub fn stream(&self, n: usize, seed: u64) -> RequestStream {
         assert!(
             !self.mix.is_empty() && self.mix.iter().all(|&(_, w)| w >= 0.0),
             "network mix must be non-empty with non-negative weights"
         );
         let total_weight: f64 = self.mix.iter().map(|&(_, w)| w).sum();
         assert!(total_weight > 0.0, "network mix weights must not all be 0");
-        let mut gap_rng = StdRng::seed_from_u64(split_seed(seed, stream_id(GAP_PASS, 0, 0)));
-        let mut mix_rng = StdRng::seed_from_u64(split_seed(seed, stream_id(MIX_PASS, 0, 0)));
-        let mut times = match &self.process {
+        let class_weight: f64 = self.classes.iter().map(|c| c.weight).sum();
+        assert!(
+            self.classes.is_empty()
+                || (class_weight > 0.0 && self.classes.iter().all(|c| c.weight >= 0.0)),
+            "class weights must be non-negative and not all 0"
+        );
+        let source = match &self.process {
             ArrivalProcess::Poisson { rate_rps } => {
                 assert!(*rate_rps > 0.0, "arrival rate must be positive");
-                let mut t = 0.0f64;
-                (0..n)
-                    .map(|_| {
-                        t += exp_gap(&mut gap_rng, *rate_rps);
-                        t
-                    })
-                    .collect::<Vec<f64>>()
+                Source::Poisson { rate: *rate_rps }
             }
             ArrivalProcess::Bursty {
                 rate_rps,
@@ -157,60 +268,339 @@ impl Workload {
                 let period = on_s + off_s;
                 let low =
                     ((rate_rps * period - burst * rate_rps * on_s) / off_s).max(rate_rps * 1e-3);
-                let mut t = 0.0f64;
-                let mut in_on = true;
-                let mut phase_end = *on_s;
-                (0..n)
-                    .map(|_| {
-                        loop {
-                            let rate = if in_on { burst * rate_rps } else { low };
-                            let gap = exp_gap(&mut gap_rng, rate);
-                            if t + gap <= phase_end {
-                                t += gap;
-                                break;
-                            }
-                            // The gap crosses the phase boundary: jump to
-                            // the boundary and re-draw at the new phase's
-                            // rate, which keeps the process properly
-                            // modulated. The boundary advances by a full
-                            // phase each redraw, so the loop always
-                            // terminates.
-                            t = phase_end;
-                            in_on = !in_on;
-                            phase_end += if in_on { *on_s } else { *off_s };
-                        }
-                        t
-                    })
-                    .collect::<Vec<f64>>()
+                Source::Bursty {
+                    rate: *rate_rps,
+                    burst: *burst,
+                    on_s: *on_s,
+                    off_s: *off_s,
+                    low,
+                    in_on: true,
+                    phase_end: *on_s,
+                }
+            }
+            ArrivalProcess::Diurnal {
+                rate_rps,
+                amplitude,
+                period_s,
+            } => {
+                assert!(*rate_rps > 0.0, "arrival rate must be positive");
+                assert!(
+                    *amplitude > 0.0 && *amplitude <= 1.0,
+                    "diurnal amplitude must be in (0, 1]"
+                );
+                assert!(*period_s > 0.0, "diurnal period must be positive");
+                Source::Diurnal {
+                    rate: *rate_rps,
+                    amplitude: *amplitude,
+                    period_s: *period_s,
+                }
+            }
+            ArrivalProcess::FlashCrowd {
+                rate_rps,
+                spike,
+                at_s,
+                decay_s,
+            } => {
+                assert!(*rate_rps > 0.0, "arrival rate must be positive");
+                assert!(*spike > 1.0, "spike factor must exceed 1");
+                assert!(*at_s >= 0.0, "spike onset must be non-negative");
+                assert!(*decay_s > 0.0, "spike decay must be positive");
+                Source::Flash {
+                    rate: *rate_rps,
+                    spike: *spike,
+                    at_s: *at_s,
+                    decay_s: *decay_s,
+                }
             }
             ArrivalProcess::Trace { times_s } => {
                 let mut t: Vec<f64> = times_s.iter().take(n).cloned().collect();
                 t.sort_by(|a, b| a.partial_cmp(b).expect("trace times must be finite"));
-                t
+                Source::Trace {
+                    times: t.into_iter(),
+                }
+            }
+            ArrivalProcess::TraceFile { path } => {
+                let file = File::open(path)
+                    .unwrap_or_else(|e| panic!("cannot open arrival trace {path}: {e}"));
+                Source::TraceFile {
+                    lines: BufReader::new(file).lines(),
+                    path: path.clone(),
+                    line_no: 0,
+                    last_bits: 0,
+                }
             }
         };
-        times.truncate(n);
-        times
-            .into_iter()
-            .enumerate()
-            .map(|(i, arrival_s)| Request {
-                id: i as u64,
-                network: self.pick_network(&mut mix_rng, total_weight),
-                arrival_s,
-            })
-            .collect()
+        RequestStream {
+            source,
+            t: 0.0,
+            gap_rng: StdRng::seed_from_u64(split_seed(seed, stream_id(GAP_PASS, 0, 0))),
+            mix_rng: StdRng::seed_from_u64(split_seed(seed, stream_id(MIX_PASS, 0, 0))),
+            class_rng: StdRng::seed_from_u64(split_seed(seed, stream_id(CLASS_PASS, 0, 0))),
+            mix: self.mix.clone(),
+            total_weight,
+            classes: self.classes.clone(),
+            class_weight,
+            remaining: n,
+            next_id: 0,
+        }
     }
 
-    fn pick_network(&self, rng: &mut StdRng, total_weight: f64) -> usize {
-        let mut u: f64 = rng.random::<f64>() * total_weight;
-        for &(network, w) in &self.mix {
-            if u < w {
-                return network;
-            }
-            u -= w;
-        }
-        self.mix.last().expect("mix is non-empty").0
+    /// Generates the first `n` requests of the stream, deterministically
+    /// from `seed` — [`Workload::stream`] collected eagerly. Returned
+    /// requests are sorted by arrival time; ids are assigned in arrival
+    /// order.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Request> {
+        self.stream(n, seed).collect()
     }
+}
+
+/// Per-process generator state for [`RequestStream`].
+#[derive(Debug)]
+enum Source {
+    Poisson {
+        rate: f64,
+    },
+    Bursty {
+        rate: f64,
+        burst: f64,
+        on_s: f64,
+        off_s: f64,
+        low: f64,
+        in_on: bool,
+        phase_end: f64,
+    },
+    Diurnal {
+        rate: f64,
+        amplitude: f64,
+        period_s: f64,
+    },
+    Flash {
+        rate: f64,
+        spike: f64,
+        at_s: f64,
+        decay_s: f64,
+    },
+    Trace {
+        times: std::vec::IntoIter<f64>,
+    },
+    TraceFile {
+        lines: std::io::Lines<BufReader<File>>,
+        path: String,
+        line_no: usize,
+        last_bits: u64,
+    },
+}
+
+/// The lazy arrival iterator [`Workload::stream`] returns: O(1) state,
+/// yields [`Request`]s in nondecreasing arrival order.
+#[derive(Debug)]
+pub struct RequestStream {
+    source: Source,
+    /// Current virtual time of the generator, s.
+    t: f64,
+    gap_rng: StdRng,
+    mix_rng: StdRng,
+    class_rng: StdRng,
+    mix: Vec<(usize, f64)>,
+    total_weight: f64,
+    classes: Vec<ClassSpec>,
+    class_weight: f64,
+    remaining: usize,
+    next_id: u64,
+}
+
+impl RequestStream {
+    /// The workload's class table (empty = one anonymous class).
+    pub fn classes(&self) -> &[ClassSpec] {
+        &self.classes
+    }
+
+    /// Next arrival instant plus any per-arrival overrides a trace file
+    /// carries: `(time, network override, class override)`.
+    fn next_arrival(&mut self) -> Option<(f64, Option<usize>, Option<usize>)> {
+        match &mut self.source {
+            Source::Poisson { rate } => {
+                self.t += exp_gap(&mut self.gap_rng, *rate);
+                Some((self.t, None, None))
+            }
+            Source::Bursty {
+                rate,
+                burst,
+                on_s,
+                off_s,
+                low,
+                in_on,
+                phase_end,
+            } => {
+                loop {
+                    let r = if *in_on { *burst * *rate } else { *low };
+                    let gap = exp_gap(&mut self.gap_rng, r);
+                    if self.t + gap <= *phase_end {
+                        self.t += gap;
+                        break;
+                    }
+                    // The gap crosses the phase boundary: jump to the
+                    // boundary and re-draw at the new phase's rate, which
+                    // keeps the process properly modulated. The boundary
+                    // advances by a full phase each redraw, so the loop
+                    // always terminates.
+                    self.t = *phase_end;
+                    *in_on = !*in_on;
+                    *phase_end += if *in_on { *on_s } else { *off_s };
+                }
+                Some((self.t, None, None))
+            }
+            Source::Diurnal {
+                rate,
+                amplitude,
+                period_s,
+            } => {
+                // Thinning against the peak rate: candidate gaps at
+                // rate×(1+amplitude), accepted with probability
+                // rate(t)/peak. Acceptance ≥ 1/(1+amplitude) ≥ ½.
+                let peak = *rate * (1.0 + *amplitude);
+                loop {
+                    self.t += exp_gap(&mut self.gap_rng, peak);
+                    let r = *rate
+                        * (1.0 + *amplitude * (std::f64::consts::TAU * self.t / *period_s).sin());
+                    let u: f64 = self.gap_rng.random();
+                    if u * peak <= r {
+                        return Some((self.t, None, None));
+                    }
+                }
+            }
+            Source::Flash {
+                rate,
+                spike,
+                at_s,
+                decay_s,
+            } => loop {
+                let before = self.t < *at_s;
+                let bound = if before { *rate } else { *rate * *spike };
+                let gap = exp_gap(&mut self.gap_rng, bound);
+                if before && self.t + gap > *at_s {
+                    // The candidate crosses the spike front, where the
+                    // baseline bound stops dominating: restart the
+                    // (memoryless) draw at the front.
+                    self.t = *at_s;
+                    continue;
+                }
+                self.t += gap;
+                if before {
+                    // rate(t) equals the bound exactly here: always accept.
+                    return Some((self.t, None, None));
+                }
+                let r = *rate * (1.0 + (*spike - 1.0) * (-(self.t - *at_s) / *decay_s).exp());
+                let u: f64 = self.gap_rng.random();
+                if u * bound <= r {
+                    return Some((self.t, None, None));
+                }
+            },
+            Source::Trace { times } => times.next().map(|t| (t, None, None)),
+            Source::TraceFile {
+                lines,
+                path,
+                line_no,
+                last_bits,
+            } => loop {
+                let line = match lines.next() {
+                    None => return None,
+                    Some(Ok(line)) => line,
+                    Some(Err(e)) => panic!("read error in arrival trace {path}: {e}"),
+                };
+                *line_no += 1;
+                let s = line.trim();
+                if s.is_empty() {
+                    continue;
+                }
+                let t = json_number(s, "arrival_s").unwrap_or_else(|| {
+                    panic!("{path}:{line_no}: missing or malformed \"arrival_s\"")
+                });
+                assert!(
+                    t.is_finite() && t >= 0.0,
+                    "{path}:{line_no}: arrival_s must be finite and non-negative"
+                );
+                assert!(
+                    t.to_bits() >= *last_bits,
+                    "{path}:{line_no}: trace must be sorted by arrival_s \
+                     (bounded-memory replay cannot sort)"
+                );
+                *last_bits = t.to_bits();
+                let network = json_number(s, "network").map(|v| v as usize);
+                let class = json_number(s, "class").map(|v| v as usize);
+                return Some((t, network, class));
+            },
+        }
+    }
+}
+
+impl Iterator for RequestStream {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let (arrival_s, net_override, class_override) = self.next_arrival()?;
+        self.remaining -= 1;
+        let network = net_override
+            .unwrap_or_else(|| pick_weighted(&mut self.mix_rng, &self.mix, self.total_weight));
+        let class = match class_override {
+            Some(c) => c,
+            // A single configured class needs no draw; two or more share
+            // the class randomness stream.
+            None if self.classes.len() >= 2 => {
+                pick_class(&mut self.class_rng, &self.classes, self.class_weight)
+            }
+            None => 0,
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        Some(Request {
+            id,
+            network,
+            arrival_s,
+            class,
+        })
+    }
+}
+
+/// Weighted draw from the network mix (one uniform per call).
+fn pick_weighted(rng: &mut StdRng, mix: &[(usize, f64)], total_weight: f64) -> usize {
+    let mut u: f64 = rng.random::<f64>() * total_weight;
+    for &(network, w) in mix {
+        if u < w {
+            return network;
+        }
+        u -= w;
+    }
+    mix.last().expect("mix is non-empty").0
+}
+
+/// Weighted draw of a class index (one uniform per call).
+fn pick_class(rng: &mut StdRng, classes: &[ClassSpec], total_weight: f64) -> usize {
+    let mut u: f64 = rng.random::<f64>() * total_weight;
+    for (i, c) in classes.iter().enumerate() {
+        if u < c.weight {
+            return i;
+        }
+        u -= c.weight;
+    }
+    classes.len() - 1
+}
+
+/// Extracts `"key": <number>` from a single-line JSON object without a
+/// JSON parser dependency. Returns `None` when the key is absent or the
+/// value is not a bare number.
+fn json_number(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = line.find(&needle)?;
+    let rest = line[at + needle.len()..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
+        .unwrap_or(rest.len());
+    rest[..end].parse::<f64>().ok()
 }
 
 /// One exponential interarrival gap at `rate` (inverse-CDF sampling).
@@ -232,6 +622,7 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.windows(2).all(|p| p[0].arrival_s <= p[1].arrival_s));
         assert!(a.iter().all(|r| r.arrival_s > 0.0));
+        assert!(a.iter().all(|r| r.class == 0));
         assert_eq!(a.len(), 500);
     }
 
@@ -260,6 +651,7 @@ mod tests {
                 off_s: 0.04,
             },
             mix: vec![(0, 1.0)],
+            classes: Vec::new(),
         };
         let reqs = w.generate(4000, 11);
         let span = reqs.last().unwrap().arrival_s;
@@ -283,6 +675,7 @@ mod tests {
                 times_s: vec![0.3, 0.1, 0.2],
             },
             mix: vec![(0, 1.0)],
+            classes: Vec::new(),
         };
         let reqs = w.generate(3, 0);
         let times: Vec<f64> = reqs.iter().map(|r| r.arrival_s).collect();
@@ -294,6 +687,7 @@ mod tests {
         let w = Workload {
             process: ArrivalProcess::Poisson { rate_rps: 100.0 },
             mix: vec![(0, 1.0), (3, 1.0)],
+            classes: Vec::new(),
         };
         let reqs = w.generate(200, 9);
         assert!(reqs.iter().any(|r| r.network == 0));
@@ -305,5 +699,202 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_rate_rejected() {
         Workload::poisson(0.0, 0).generate(1, 0);
+    }
+
+    #[test]
+    fn stream_matches_generate_for_every_process() {
+        for process in [
+            ArrivalProcess::Poisson { rate_rps: 3000.0 },
+            ArrivalProcess::Bursty {
+                rate_rps: 1000.0,
+                burst: 4.0,
+                on_s: 0.01,
+                off_s: 0.04,
+            },
+            ArrivalProcess::Diurnal {
+                rate_rps: 2000.0,
+                amplitude: 0.5,
+                period_s: 0.5,
+            },
+            ArrivalProcess::FlashCrowd {
+                rate_rps: 1000.0,
+                spike: 8.0,
+                at_s: 0.05,
+                decay_s: 0.02,
+            },
+            ArrivalProcess::Trace {
+                times_s: vec![0.5, 0.25, 0.125, 0.75],
+            },
+        ] {
+            let w = Workload {
+                process,
+                mix: vec![(0, 3.0), (1, 1.0)],
+                classes: Vec::new(),
+            };
+            let eager = w.generate(300, 42);
+            let lazy: Vec<Request> = w.stream(300, 42).collect();
+            assert_eq!(eager, lazy, "lazy and eager paths must agree");
+        }
+    }
+
+    #[test]
+    fn diurnal_modulates_density_within_a_period() {
+        let w = Workload {
+            process: ArrivalProcess::Diurnal {
+                rate_rps: 10_000.0,
+                amplitude: 0.9,
+                period_s: 1.0,
+            },
+            mix: vec![(0, 1.0)],
+            classes: Vec::new(),
+        };
+        let reqs = w.generate(25_000, 13);
+        assert!(reqs.windows(2).all(|p| p[0].arrival_s <= p[1].arrival_s));
+        // First half-period (sin > 0) must be denser than the second.
+        let first: usize = reqs
+            .iter()
+            .filter(|r| r.arrival_s.rem_euclid(1.0) < 0.5)
+            .count();
+        let second = reqs.len() - first;
+        assert!(
+            first as f64 > 1.5 * second as f64,
+            "peak half {first} vs trough half {second}"
+        );
+        // The mean rate matches rate_rps when measured over whole
+        // periods (a fractional period over-samples one half).
+        let span = reqs.last().unwrap().arrival_s;
+        assert!(span > 2.0, "stream must cover two full periods, got {span}");
+        let in_two = reqs.iter().filter(|r| r.arrival_s < 2.0).count() as f64;
+        let rate = in_two / 2.0;
+        assert!((rate / 10_000.0 - 1.0).abs() < 0.1, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn flash_crowd_spikes_after_onset() {
+        let w = Workload {
+            process: ArrivalProcess::FlashCrowd {
+                rate_rps: 1000.0,
+                spike: 10.0,
+                at_s: 0.1,
+                decay_s: 0.05,
+            },
+            mix: vec![(0, 1.0)],
+            classes: Vec::new(),
+        };
+        let reqs = w.generate(2000, 17);
+        assert!(reqs.windows(2).all(|p| p[0].arrival_s <= p[1].arrival_s));
+        let in_window = |lo: f64, hi: f64| {
+            reqs.iter()
+                .filter(|r| r.arrival_s >= lo && r.arrival_s < hi)
+                .count() as f64
+                / (hi - lo)
+        };
+        let before = in_window(0.0, 0.1);
+        let during = in_window(0.1, 0.15);
+        assert!(
+            during > 3.0 * before,
+            "spike density {during:.0} vs baseline {before:.0}"
+        );
+    }
+
+    #[test]
+    fn classes_split_traffic_by_weight() {
+        let w = Workload::poisson(1000.0, 0).with_classes(vec![
+            ClassSpec::with_slo("interactive", 3.0, 10.0),
+            ClassSpec::best_effort("batch", 1.0),
+        ]);
+        let reqs = w.generate(2000, 21);
+        let interactive = reqs.iter().filter(|r| r.class == 0).count();
+        let batch = reqs.iter().filter(|r| r.class == 1).count();
+        assert_eq!(interactive + batch, 2000);
+        let share = interactive as f64 / 2000.0;
+        assert!((share - 0.75).abs() < 0.05, "interactive share {share}");
+    }
+
+    #[test]
+    fn classless_workload_consumes_no_class_randomness() {
+        // Adding a single class (no draw needed) must not perturb the
+        // request stream relative to no classes at all.
+        let bare = Workload::poisson(1000.0, 0).generate(200, 5);
+        let one = Workload::poisson(1000.0, 0)
+            .with_classes(vec![ClassSpec::with_slo("all", 1.0, 5.0)])
+            .generate(200, 5);
+        assert_eq!(
+            bare,
+            one.iter()
+                .map(|r| Request {
+                    class: 0,
+                    ..r.clone()
+                })
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn trace_file_replays_with_overrides() {
+        let path = std::env::temp_dir().join(format!(
+            "albireo_trace_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(
+            &path,
+            "{\"arrival_s\": 0.001}\n\
+             \n\
+             {\"arrival_s\": 0.002, \"network\": 1}\n\
+             {\"arrival_s\": 0.004, \"network\": 0, \"class\": 1}\n",
+        )
+        .unwrap();
+        let w = Workload {
+            process: ArrivalProcess::TraceFile {
+                path: path.to_string_lossy().into_owned(),
+            },
+            mix: vec![(0, 1.0)],
+            classes: vec![
+                ClassSpec::best_effort("a", 1.0),
+                ClassSpec::best_effort("b", 1.0),
+            ],
+        };
+        let reqs = w.generate(10, 3);
+        std::fs::remove_file(&path).ok();
+        assert_eq!(reqs.len(), 3, "blank lines are skipped");
+        assert_eq!(reqs[0].arrival_s, 0.001);
+        assert_eq!(reqs[1].network, 1, "network override honored");
+        assert_eq!(reqs[2].class, 1, "class override honored");
+        assert_eq!(reqs[2].network, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by arrival_s")]
+    fn unsorted_trace_file_rejected() {
+        let path = std::env::temp_dir().join(format!(
+            "albireo_trace_unsorted_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&path, "{\"arrival_s\": 0.2}\n{\"arrival_s\": 0.1}\n").unwrap();
+        let w = Workload {
+            process: ArrivalProcess::TraceFile {
+                path: path.to_string_lossy().into_owned(),
+            },
+            mix: vec![(0, 1.0)],
+            classes: Vec::new(),
+        };
+        let result = std::panic::catch_unwind(|| w.generate(10, 0));
+        std::fs::remove_file(&path).ok();
+        std::panic::resume_unwind(result.unwrap_err());
+    }
+
+    #[test]
+    fn stream_state_is_o1_for_generated_processes() {
+        // The stream must not buffer requests: pulling one at a time from
+        // a million-request stream touches only generator state.
+        let w = Workload::poisson(1_000_000.0, 0);
+        let mut s = w.stream(1_000_000, 42);
+        let first = s.next().unwrap();
+        assert_eq!(first.id, 0);
+        let hundredth = s.nth(98).unwrap();
+        assert_eq!(hundredth.id, 99);
+        assert!(hundredth.arrival_s > first.arrival_s);
     }
 }

@@ -7,6 +7,7 @@
 //!   are drawn from strategies (`x in 0u64..100`),
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
 //! * range strategies for the primitive numeric types,
+//! * [`strategy::Strategy::prop_map`],
 //! * [`bool::ANY`] and [`collection::vec`].
 //!
 //! No shrinking is performed: a failing case panics with the generated
@@ -63,6 +64,29 @@ pub mod strategy {
 
         /// Draws one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `func` (upstream's `prop_map`).
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, func: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, func }
+        }
+    }
+
+    /// Strategy adapter applying a function to another strategy's values
+    /// (built by [`Strategy::prop_map`]).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Map<S, F> {
+        source: S,
+        func: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.func)(self.source.generate(rng))
+        }
     }
 
     macro_rules! impl_unsigned_range {
@@ -543,6 +567,17 @@ mod tests {
         #[test]
         fn zero_weight_arm_never_fires(v in prop_oneof![1 => 0u64..10, 0 => Just(77u64)]) {
             prop_assert!(v < 10);
+        }
+
+        /// prop_map transforms every drawn value, including inside
+        /// prop_oneof arms.
+        #[test]
+        fn prop_map_applies_everywhere(
+            v in (0u64..8).prop_map(|n| n * 10),
+            w in prop_oneof![1 => (0u32..4).prop_map(|n| n as f64 * 0.25), 1 => Just(9.0f64)],
+        ) {
+            prop_assert!(v % 10 == 0 && v < 80);
+            prop_assert!((w - 9.0).abs() < 1e-12 || w < 1.0);
         }
     }
 
