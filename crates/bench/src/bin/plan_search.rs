@@ -1,0 +1,159 @@
+//! Runs the capacity-planner studies and writes their two artifacts:
+//!
+//! * `results/golden_plan_frontier.csv` — the ranked feasible frontier
+//!   of the golden planning scenario
+//!   ([`albireo_plan::GOLDEN_PLAN_SPEC`]: bursty mixed AlexNet +
+//!   MobileNet traffic, static vs elastic Albireo-9 fleets under
+//!   `p99<5ms`), compared byte-exactly by `tests/plan_golden.rs`;
+//! * `BENCH_plan.json` — planner throughput over a ~200-candidate
+//!   search (three chip kinds × fleets up to four chips × three
+//!   batching policies × static/elastic provisioning), with
+//!   candidates/sec for the pruned and exhaustive passes (schema
+//!   `albireo.bench.plan/v1`).
+//!
+//! ```text
+//! cargo run --release -p albireo-bench --bin plan_search -- \
+//!     [--out-dir results] [--json PATH] [--threads N]
+//! ```
+//!
+//! Both searches are bit-deterministic at any `--threads` value; the
+//! digests printed at the end are the values to compare across runs.
+
+use albireo_obs::Obs;
+use albireo_parallel::Parallelism;
+use albireo_plan::{plan, PlanReport, PlanSpec, GOLDEN_PLAN_SPEC};
+
+/// The throughput scenario: a search wide enough (~200 candidates) that
+/// candidates/sec is a stable figure, but with runs short enough that
+/// the whole sweep stays in benchmark territory.
+const WIDE_PLAN_SPEC: &str = "rate=12000;requests=400;screen=150;slo=p99<5ms;queue-cap=32;\
+     chips=albireo_9:C|albireo_27:C|albireo_9:A;max-chips=4;\
+     policies=immediate|size:4|deadline_s:0.0002:8;autoscale=static|elastic:8:0.001:1";
+
+struct TimedPlan {
+    report: PlanReport,
+    wall_ms: f64,
+}
+
+fn timed_plan(spec: &PlanSpec, par: Parallelism, exhaustive: bool) -> TimedPlan {
+    let t0 = std::time::Instant::now();
+    let report = plan(spec, par, &Obs::disabled(), exhaustive).expect("plan runs");
+    TimedPlan {
+        report,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn candidates_per_s(t: &TimedPlan) -> f64 {
+    t.report.candidates_total as f64 / (t.wall_ms / 1e3)
+}
+
+fn main() {
+    let mut out_dir = "results".to_string();
+    let mut json_path = "BENCH_plan.json".to_string();
+    let mut par = Parallelism::auto();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--out-dir" => out_dir = value("--out-dir"),
+            "--json" => json_path = value("--json"),
+            "--threads" => {
+                let threads: usize = value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("error: bad --threads value");
+                    std::process::exit(2);
+                });
+                par = Parallelism::with_threads(threads);
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: plan_search [--out-dir DIR] [--json PATH] [--threads N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // The golden scenario: the pinned frontier artifact.
+    let golden_spec = PlanSpec::parse(GOLDEN_PLAN_SPEC).expect("golden spec parses");
+    let golden = timed_plan(&golden_spec, par, false);
+
+    // The wide search: planner throughput, pruned vs exhaustive.
+    let wide_spec = PlanSpec::parse(WIDE_PLAN_SPEC).expect("wide spec parses");
+    let pruned = timed_plan(&wide_spec, par, false);
+    let exhaustive = timed_plan(&wide_spec, par, true);
+    assert_eq!(
+        pruned.report.to_json(),
+        exhaustive.report.to_json(),
+        "pruned and exhaustive searches must emit the same plan"
+    );
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let frontier_csv = format!("{out_dir}/golden_plan_frontier.csv");
+    std::fs::write(&frontier_csv, golden.report.to_csv()).expect("write golden_plan_frontier.csv");
+
+    let json = format!(
+        "{{\n  \"schema\": \"albireo.bench.plan/v1\",\n  \"golden\": {{\"spec\": \"{}\", \
+         \"candidates\": {}, \"feasible\": {}, \"wall_ms\": {:.1}, \"digest\": \"{}\"}},\n  \
+         \"wide\": {{\"spec\": \"{}\", \"candidates\": {}, \"feasible\": {}, \
+         \"pruned\": {{\"pruned\": {}, \"scored\": {}, \"wall_ms\": {:.1}, \
+         \"candidates_per_s\": {:.1}}}, \
+         \"exhaustive\": {{\"scored\": {}, \"wall_ms\": {:.1}, \"candidates_per_s\": {:.1}}}, \
+         \"speedup\": {:.3}, \"digest\": \"{}\"}}\n}}\n",
+        golden.report.spec_line,
+        golden.report.candidates_total,
+        golden.report.frontier.len(),
+        golden.wall_ms,
+        golden.report.digest_hex(),
+        pruned.report.spec_line,
+        pruned.report.candidates_total,
+        pruned.report.frontier.len(),
+        pruned.report.pruned,
+        pruned.report.scored,
+        pruned.wall_ms,
+        candidates_per_s(&pruned),
+        exhaustive.report.scored,
+        exhaustive.wall_ms,
+        candidates_per_s(&exhaustive),
+        exhaustive.wall_ms / pruned.wall_ms,
+        pruned.report.digest_hex(),
+    );
+    std::fs::write(&json_path, &json).expect("write BENCH_plan.json");
+
+    println!(
+        "golden plan: {} candidates, {} feasible, {:.1} ms, digest {}",
+        golden.report.candidates_total,
+        golden.report.frontier.len(),
+        golden.wall_ms,
+        golden.report.digest_hex()
+    );
+    if let Some(w) = golden.report.winner() {
+        println!(
+            "  winner: {} ({} chip(s), {}, {}) — {:.3} mJ/req, p99 {:.4} ms",
+            w.fleet_label,
+            w.chips,
+            w.policy_label,
+            w.autoscale_label,
+            w.energy_per_request_mj(),
+            w.p99_ms
+        );
+    }
+    println!(
+        "wide search: {} candidates — pruned {:.1} ms ({:.1} cand/s, {} pruned / {} scored), \
+         exhaustive {:.1} ms ({:.1} cand/s), speedup {:.2}x, digest {}",
+        pruned.report.candidates_total,
+        pruned.wall_ms,
+        candidates_per_s(&pruned),
+        pruned.report.pruned,
+        pruned.report.scored,
+        exhaustive.wall_ms,
+        candidates_per_s(&exhaustive),
+        exhaustive.wall_ms / pruned.wall_ms,
+        pruned.report.digest_hex()
+    );
+    println!("wrote {frontier_csv}, {json_path}");
+}

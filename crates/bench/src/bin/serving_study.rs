@@ -58,6 +58,7 @@ fn measure_obs_overhead(options: &StudyOptions) -> ObsOverhead {
         admission: options.admission,
         faults: FaultScenario::none(),
         record_cap: usize::MAX,
+        autoscale: albireo_runtime::AutoscalePolicy::None,
     };
     let reps = 9;
     let median = |mut xs: Vec<f64>| {

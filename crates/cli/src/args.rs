@@ -56,6 +56,7 @@ const BOOL_FLAGS: &[&str] = &[
     "help",
     "json",
     "wall-clock",
+    "exhaustive",
 ];
 
 impl Args {

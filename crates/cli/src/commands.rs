@@ -93,6 +93,16 @@ COMMANDS:
         [--fail CHIP@T,...] [--degrade CHIP:K@T,...] [--recover CHIP@T,...]
         [--trace-out FILE] [--events-out FILE]
                                               multi-chip serving simulation
+    plan       --slo \"p99<MS[,attain>=A][,shed<=S]\" [--rate RPS]
+        [--chips ENTRY,...] [--max-chips N] [--networks A,B]
+        [--arrival poisson|bursty|diurnal|flash] [--burst X] [--amplitude A]
+        [--period S] [--spike X] [--spike-at T] [--spike-decay S]
+        [--classes NAME:WEIGHT[:SLO_MS],...] [--requests N]
+        [--screen-requests N] [--seed S] [--replicas R]
+        [--policies immediate|size:N|deadline:USEC[:MAX],...]
+        [--queue-cap N] [--autoscale none|static|elastic:UP:WARM[:MIN],...]
+        [--spec LINE] [--exhaustive] [--json] [--out FILE] [--csv-out FILE]
+                                              capacity planner / fleet optimizer
     help                                      show this message
 
 GLOBAL OPTIONS:
@@ -487,9 +497,79 @@ fn parse_at(entry: &str, what: &str) -> Result<(String, f64), CliError> {
 }
 
 /// `albireo serve [...]` — run the multi-chip serving simulation.
+/// Parses the shared arrival-process flags — `--arrival` plus its
+/// shape parameters (`--burst`, `--amplitude`/`--period`,
+/// `--spike*`) or `--trace-jsonl` — used by both `serve` and `plan`.
+fn parse_arrival(args: &Args, rate: f64) -> Result<albireo_runtime::ArrivalProcess, CliError> {
+    use albireo_runtime::ArrivalProcess;
+
+    if let Some(path) = args.get("trace-jsonl") {
+        if !std::path::Path::new(path).is_file() {
+            return Err(CliError::Unknown(format!(
+                "--trace-jsonl file `{path}` does not exist"
+            )));
+        }
+        return Ok(ArrivalProcess::TraceFile { path: path.into() });
+    }
+    match args.get_or("arrival", "poisson") {
+        "poisson" => Ok(ArrivalProcess::Poisson { rate_rps: rate }),
+        "bursty" => {
+            let burst = args.get_parsed_or("burst", 4.0f64, "a burst multiplier > 1")?;
+            if burst <= 1.0 || !burst.is_finite() {
+                return Err(CliError::Unknown("--burst must exceed 1".into()));
+            }
+            Ok(ArrivalProcess::Bursty {
+                rate_rps: rate,
+                burst,
+                on_s: 0.01,
+                off_s: 0.04,
+            })
+        }
+        "diurnal" => {
+            let amplitude = args.get_parsed_or("amplitude", 0.5f64, "an amplitude in [0, 1]")?;
+            if !(0.0..=1.0).contains(&amplitude) {
+                return Err(CliError::Unknown("--amplitude must lie in [0, 1]".into()));
+            }
+            let period_s = args.get_parsed_or("period", 1.0f64, "a period in seconds")?;
+            if !(period_s.is_finite() && period_s > 0.0) {
+                return Err(CliError::Unknown("--period must be positive".into()));
+            }
+            Ok(ArrivalProcess::Diurnal {
+                rate_rps: rate,
+                amplitude,
+                period_s,
+            })
+        }
+        "flash" => {
+            let spike = args.get_parsed_or("spike", 8.0f64, "a spike multiplier > 1")?;
+            if spike <= 1.0 || !spike.is_finite() {
+                return Err(CliError::Unknown("--spike must exceed 1".into()));
+            }
+            let at_s = args.get_parsed_or("spike-at", 0.05f64, "an onset time in seconds")?;
+            if !(at_s.is_finite() && at_s >= 0.0) {
+                return Err(CliError::Unknown("--spike-at must be non-negative".into()));
+            }
+            let decay_s =
+                args.get_parsed_or("spike-decay", 0.1f64, "a decay constant in seconds")?;
+            if !(decay_s.is_finite() && decay_s > 0.0) {
+                return Err(CliError::Unknown("--spike-decay must be positive".into()));
+            }
+            Ok(ArrivalProcess::FlashCrowd {
+                rate_rps: rate,
+                spike,
+                at_s,
+                decay_s,
+            })
+        }
+        other => Err(CliError::Unknown(format!(
+            "unknown arrival process `{other}` (try: poisson, bursty, diurnal, flash)"
+        ))),
+    }
+}
+
 pub fn serve(args: &Args) -> Result<String, CliError> {
     use albireo_runtime::{
-        replicate, simulate_observed, trace_track_names, AdmissionControl, ArrivalProcess,
+        replicate, simulate_observed, trace_track_names, AdmissionControl, AutoscalePolicy,
         BatchPolicy, ClassSpec, FaultKind, FaultScenario, FleetConfig, ServeConfig, Workload,
     };
 
@@ -555,72 +635,7 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         return Err(CliError::Unknown("--networks names no network".into()));
     }
 
-    let process = if let Some(path) = args.get("trace-jsonl") {
-        if !std::path::Path::new(path).is_file() {
-            return Err(CliError::Unknown(format!(
-                "--trace-jsonl file `{path}` does not exist"
-            )));
-        }
-        ArrivalProcess::TraceFile { path: path.into() }
-    } else {
-        match args.get_or("arrival", "poisson") {
-            "poisson" => ArrivalProcess::Poisson { rate_rps: rate },
-            "bursty" => {
-                let burst = args.get_parsed_or("burst", 4.0f64, "a burst multiplier > 1")?;
-                if burst <= 1.0 || !burst.is_finite() {
-                    return Err(CliError::Unknown("--burst must exceed 1".into()));
-                }
-                ArrivalProcess::Bursty {
-                    rate_rps: rate,
-                    burst,
-                    on_s: 0.01,
-                    off_s: 0.04,
-                }
-            }
-            "diurnal" => {
-                let amplitude =
-                    args.get_parsed_or("amplitude", 0.5f64, "an amplitude in [0, 1]")?;
-                if !(0.0..=1.0).contains(&amplitude) {
-                    return Err(CliError::Unknown("--amplitude must lie in [0, 1]".into()));
-                }
-                let period_s = args.get_parsed_or("period", 1.0f64, "a period in seconds")?;
-                if !(period_s.is_finite() && period_s > 0.0) {
-                    return Err(CliError::Unknown("--period must be positive".into()));
-                }
-                ArrivalProcess::Diurnal {
-                    rate_rps: rate,
-                    amplitude,
-                    period_s,
-                }
-            }
-            "flash" => {
-                let spike = args.get_parsed_or("spike", 8.0f64, "a spike multiplier > 1")?;
-                if spike <= 1.0 || !spike.is_finite() {
-                    return Err(CliError::Unknown("--spike must exceed 1".into()));
-                }
-                let at_s = args.get_parsed_or("spike-at", 0.05f64, "an onset time in seconds")?;
-                if !(at_s.is_finite() && at_s >= 0.0) {
-                    return Err(CliError::Unknown("--spike-at must be non-negative".into()));
-                }
-                let decay_s =
-                    args.get_parsed_or("spike-decay", 0.1f64, "a decay constant in seconds")?;
-                if !(decay_s.is_finite() && decay_s > 0.0) {
-                    return Err(CliError::Unknown("--spike-decay must be positive".into()));
-                }
-                ArrivalProcess::FlashCrowd {
-                    rate_rps: rate,
-                    spike,
-                    at_s,
-                    decay_s,
-                }
-            }
-            other => {
-                return Err(CliError::Unknown(format!(
-                    "unknown arrival process `{other}` (try: poisson, bursty, diurnal, flash)"
-                )))
-            }
-        }
-    };
+    let process = parse_arrival(args, rate)?;
 
     // Multi-tenant request classes: `--classes name:weight[:slo_ms],...`
     // plus `--slo MS` as the default target (alone it wraps all traffic
@@ -637,55 +652,17 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         }
         None => None,
     };
-    let mut classes = Vec::new();
-    if let Some(list) = args.get("classes") {
-        for entry in list.split(',').filter(|e| !e.trim().is_empty()) {
-            let mut parts = entry.trim().splitn(3, ':');
-            let name = parts.next().unwrap_or("").trim();
-            if name.is_empty() {
-                return Err(CliError::Unknown(format!(
-                    "--classes entry `{entry}` needs NAME:WEIGHT[:SLO_MS]"
-                )));
-            }
-            let weight: f64 = parts
-                .next()
-                .ok_or_else(|| {
-                    CliError::Unknown(format!("--classes entry `{entry}` needs a weight"))
-                })?
-                .trim()
-                .parse()
-                .map_err(|_| CliError::Unknown(format!("bad weight in `{entry}`")))?;
-            if !(weight.is_finite() && weight > 0.0) {
-                return Err(CliError::Unknown(format!(
-                    "class weight must be positive in `{entry}`"
-                )));
-            }
-            let slo_ms = match parts.next() {
-                Some(s) => {
-                    let slo: f64 = s
-                        .trim()
-                        .parse()
-                        .map_err(|_| CliError::Unknown(format!("bad SLO in `{entry}`")))?;
-                    if !(slo.is_finite() && slo > 0.0) {
-                        return Err(CliError::Unknown(format!(
-                            "class SLO must be positive in `{entry}`"
-                        )));
-                    }
-                    Some(slo)
-                }
-                None => default_slo,
-            };
-            classes.push(match slo_ms {
-                Some(slo) => ClassSpec::with_slo(name, weight, slo),
-                None => ClassSpec::best_effort(name, weight),
-            });
-        }
-        if classes.is_empty() {
-            return Err(CliError::Unknown("--classes names no class".into()));
-        }
-    } else if let Some(slo) = default_slo {
-        classes.push(ClassSpec::with_slo("default", 1.0, slo));
-    }
+    let classes = match args.get("classes") {
+        Some(list) => ClassSpec::parse_list(list, default_slo)
+            .map_err(|e| CliError::Unknown(format!("--classes: {e}")))?,
+        None => match default_slo {
+            Some(slo) => vec![ClassSpec::with_slo("default", 1.0, slo)],
+            None => Vec::new(),
+        },
+    };
+
+    let autoscale =
+        AutoscalePolicy::parse(args.get_or("autoscale", "none")).map_err(CliError::Unknown)?;
 
     let record_cap = args.get_parsed_or(
         "record-cap",
@@ -752,6 +729,7 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         admission,
         faults,
         record_cap,
+        autoscale,
     };
     let reports = replicate(&fleet, &cfg, replicas, Parallelism::default());
 
@@ -813,6 +791,189 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
                 "wrote {path}: {} replica(s), digest {}\n",
                 reports.len(),
                 reports[0].digest_hex()
+            ))
+        }
+        None => Ok(out),
+    }
+}
+
+/// `albireo plan [...]` — the capacity planner: searches chip mixes,
+/// batching policies, and autoscaling policies for the minimum-energy
+/// fleet that meets an SLO, scoring every candidate with the serving
+/// simulator. Deterministic at any `--threads` value; `--spec` replays
+/// a plan from its canonical one-line echo.
+pub fn plan(args: &Args) -> Result<String, CliError> {
+    use albireo_obs::Obs;
+    use albireo_plan::{parse_policy, PlanSpec, SloSpec};
+    use albireo_runtime::{AutoscalePolicy, Workload};
+
+    let spec = match args.get("spec") {
+        Some(line) => {
+            // The spec line fixes the whole plan; mixing it with shape
+            // flags would silently ignore one side.
+            let shape_flags = [
+                "rate",
+                "slo",
+                "chips",
+                "max-chips",
+                "networks",
+                "arrival",
+                "burst",
+                "amplitude",
+                "period",
+                "spike",
+                "spike-at",
+                "spike-decay",
+                "classes",
+                "requests",
+                "screen-requests",
+                "seed",
+                "replicas",
+                "policies",
+                "queue-cap",
+                "autoscale",
+            ];
+            if let Some(conflict) = shape_flags.iter().find(|f| args.get(f).is_some()) {
+                return Err(CliError::Unknown(format!(
+                    "--spec already fixes the whole plan; drop --{conflict}"
+                )));
+            }
+            PlanSpec::parse(line).map_err(CliError::Unknown)?
+        }
+        None => {
+            let rate = args.get_parsed_or("rate", 2000.0f64, "a rate in requests/s")?;
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(CliError::Unknown("--rate must be positive".into()));
+            }
+            let slo = args
+                .get("slo")
+                .ok_or_else(|| CliError::Args(ArgError::MissingOption("slo".to_string())))
+                .and_then(|raw| SloSpec::parse(raw).map_err(CliError::Unknown))?;
+            let requests = args.get_parsed_or("requests", 2000usize, "a request count")?;
+            if requests == 0 {
+                return Err(CliError::Unknown("--requests must be at least 1".into()));
+            }
+            let screen_requests = args.get_parsed_or(
+                "screen-requests",
+                requests.min(300),
+                "a screening run length",
+            )?;
+            let seed = args.get_parsed_or("seed", 42u64, "a seed")?;
+            let replicas = args.get_parsed_or("replicas", 1usize, "a replica count")?;
+
+            // Equal-weight network mix by name over the model zoo (the
+            // fleet varies per candidate, so unsupported networks
+            // surface as infeasible candidates, not errors).
+            let models = zoo::all_benchmarks();
+            let mut mix = Vec::new();
+            for name in args.get_or("networks", "alexnet").split(',') {
+                let name = name.trim();
+                if name.is_empty() {
+                    continue;
+                }
+                let idx = models
+                    .iter()
+                    .position(|m| m.name().eq_ignore_ascii_case(name))
+                    .ok_or_else(|| {
+                        CliError::Unknown(format!(
+                            "unknown network `{name}` (the planner serves: {})",
+                            models
+                                .iter()
+                                .map(|m| m.name())
+                                .collect::<Vec<&str>>()
+                                .join(", ")
+                        ))
+                    })?;
+                if mix.iter().any(|&(seen, _)| seen == idx) {
+                    return Err(CliError::Unknown(format!(
+                        "network `{name}` appears twice in --networks"
+                    )));
+                }
+                mix.push((idx, 1.0));
+            }
+            if mix.is_empty() {
+                return Err(CliError::Unknown("--networks names no network".into()));
+            }
+
+            let process = parse_arrival(args, rate)?;
+            let classes = match args.get("classes") {
+                Some(list) => albireo_runtime::ClassSpec::parse_list(list, None)
+                    .map_err(|e| CliError::Unknown(format!("--classes: {e}")))?,
+                None => Vec::new(),
+            };
+
+            let list = |raw: &str| -> Vec<String> {
+                raw.split(['|', ','])
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            };
+            let chip_kinds = list(args.get_or("chips", "albireo_9:C"));
+            let max_chips = args.get_parsed_or("max-chips", 3usize, "a fleet size")?;
+            let mut policies = Vec::new();
+            for p in list(args.get_or("policies", "immediate")) {
+                policies.push(parse_policy(&p).map_err(CliError::Unknown)?);
+            }
+            let mut autoscale = Vec::new();
+            for a in list(args.get_or("autoscale", "static")) {
+                autoscale.push(AutoscalePolicy::parse(&a).map_err(CliError::Unknown)?);
+            }
+            let queue_cap =
+                args.get_parsed_or("queue-cap", 64usize, "a capacity (0 = unbounded)")?;
+
+            let spec = PlanSpec {
+                workload: Workload {
+                    process,
+                    mix,
+                    classes,
+                },
+                requests,
+                screen_requests,
+                seed,
+                replicas,
+                slo,
+                chip_kinds,
+                max_chips,
+                policies,
+                queue_capacity: if queue_cap == 0 {
+                    usize::MAX
+                } else {
+                    queue_cap
+                },
+                autoscale,
+            };
+            spec.validate().map_err(CliError::Unknown)?;
+            spec
+        }
+    };
+
+    let report = albireo_plan::plan(
+        &spec,
+        Parallelism::global(),
+        &Obs::disabled(),
+        args.flag("exhaustive"),
+    )
+    .map_err(CliError::Unknown)?;
+
+    if let Some(path) = args.get("csv-out") {
+        std::fs::write(path, report.to_csv())
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+    }
+    let out = if args.flag("json") {
+        report.to_json()
+    } else {
+        report.render_text()
+    };
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &out)
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+            Ok(format!(
+                "wrote {path}: {} candidate(s), {} feasible, digest {}\n",
+                report.candidates_total,
+                report.frontier.len(),
+                report.digest_hex()
             ))
         }
         None => Ok(out),
@@ -996,6 +1157,7 @@ pub fn dispatch(command: &str, args: &Args) -> Result<String, CliError> {
         "experiment" => experiment(args),
         "bench" => bench(args),
         "serve" => serve(args),
+        "plan" => plan(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Unknown(format!(
             "unknown command `{other}`; run `albireo help`"
@@ -1222,7 +1384,7 @@ mod tests {
     #[test]
     fn serve_json_carries_schema_and_digest() {
         let out = serve(&args(&["--requests", "80", "--json"])).unwrap();
-        assert!(out.contains("albireo.bench.serving/v2"));
+        assert!(out.contains("albireo.bench.serving/v3"));
         assert!(out.contains("\"digest\""));
         assert_eq!(out.matches('{').count(), out.matches('}').count());
     }
@@ -1370,7 +1532,7 @@ mod tests {
         // Deterministic across repeat runs.
         assert_eq!(out, run(&[]));
         let json = run(&["--json"]);
-        assert!(json.contains("albireo.bench.serving/v2"));
+        assert!(json.contains("albireo.bench.serving/v3"));
     }
 
     #[test]
@@ -1510,5 +1672,113 @@ mod tests {
         Parallelism::set_global(Parallelism::auto());
         let err = dispatch("networks", &args(&["--threads", "many"])).unwrap_err();
         assert!(err.to_string().contains("many"));
+    }
+
+    #[test]
+    fn plan_reports_winner_and_frontier() {
+        let out = plan(&args(&[
+            "--slo",
+            "p99<5ms",
+            "--rate",
+            "8000",
+            "--requests",
+            "500",
+            "--screen-requests",
+            "120",
+        ]))
+        .unwrap();
+        for key in ["winner:", "rank", "mJ/req", "pareto", "feasible"] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+        // The 8000 rps AlexNet stream needs two Albireo-9 chips; three
+        // only add idle power.
+        assert!(out.contains("albireo_9_C+albireo_9_C "), "{out}");
+    }
+
+    #[test]
+    fn plan_json_carries_schema_and_digest() {
+        let argv = [
+            "--slo",
+            "p99<5ms",
+            "--rate",
+            "8000",
+            "--requests",
+            "400",
+            "--screen-requests",
+            "100",
+            "--json",
+        ];
+        let out = plan(&args(&argv)).unwrap();
+        assert!(out.contains("albireo.plan/v1"), "{out}");
+        assert!(out.contains("\"digest\""), "{out}");
+        assert!(out.contains("\"frontier\""), "{out}");
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+        // Same flags, same plan, byte-for-byte.
+        assert_eq!(out, plan(&args(&argv)).unwrap());
+    }
+
+    #[test]
+    fn plan_spec_flag_replays_the_canonical_echo() {
+        let flags = plan(&args(&[
+            "--slo",
+            "p99<6ms",
+            "--rate",
+            "7000",
+            "--requests",
+            "300",
+            "--screen-requests",
+            "80",
+            "--json",
+        ]))
+        .unwrap();
+        // The emitted spec line reproduces the identical plan via --spec.
+        let spec_line = flags
+            .lines()
+            .find(|l| l.contains("\"spec\""))
+            .and_then(|l| l.split('"').nth(3))
+            .unwrap()
+            .to_string();
+        let replay = plan(&args(&["--spec", &spec_line, "--json"])).unwrap();
+        assert_eq!(flags, replay);
+    }
+
+    #[test]
+    fn plan_spec_conflicts_with_shape_flags() {
+        let err = plan(&args(&["--spec", "slo=p99<5ms", "--rate", "9000"])).unwrap_err();
+        assert!(err.to_string().contains("drop --rate"), "{err}");
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn plan_validates_inputs() {
+        // --slo is mandatory: a planner without a target has no feasible set.
+        let err = plan(&args(&[])).unwrap_err();
+        assert!(err.to_string().contains("--slo"), "{err}");
+        assert!(plan(&args(&["--slo", "p99<5ms", "--rate", "0"])).is_err());
+        assert!(plan(&args(&["--slo", "p99<5ms", "--networks", "lenet"])).is_err());
+        assert!(plan(&args(&[
+            "--slo",
+            "p99<5ms",
+            "--networks",
+            "alexnet,alexnet"
+        ]))
+        .is_err());
+        assert!(plan(&args(&["--slo", "p99<5ms", "--chips", "tpu"])).is_err());
+        assert!(plan(&args(&["--slo", "p99<5ms", "--autoscale", "magic"])).is_err());
+        assert!(plan(&args(&["--slo", "p99<5ms", "--policies", "fifo"])).is_err());
+        assert!(plan(&args(&["--slo", "p99<5ms", "--requests", "0"])).is_err());
+        // Aliased chip kinds cannot be repeated into multiset fleets.
+        let err = plan(&args(&["--slo", "p99<5ms", "--chips", "edge=albireo_9:C"])).unwrap_err();
+        assert!(err.to_string().contains("alias"), "{err}");
+    }
+
+    #[test]
+    fn serve_rejects_duplicate_aliases_and_class_names() {
+        let err = serve(&args(&["--fleet", "edge=albireo_9:C,edge=albireo_27:C"])).unwrap_err();
+        assert!(err.to_string().contains("duplicate chip alias"), "{err}");
+        assert_eq!(err.exit_code(), 2);
+        let err = serve(&args(&["--classes", "vip:2:5,vip:1"])).unwrap_err();
+        assert!(err.to_string().contains("duplicate class name"), "{err}");
+        assert_eq!(err.exit_code(), 2);
     }
 }

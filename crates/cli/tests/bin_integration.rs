@@ -290,7 +290,7 @@ fn serve_json_end_to_end() {
     let (stdout, _, ok) = run(&["serve", "--requests", "100", "--json"]);
     assert!(ok, "{stdout}");
     for key in [
-        "\"schema\": \"albireo.bench.serving/v2\"",
+        "\"schema\": \"albireo.bench.serving/v3\"",
         "\"latency_ms\"",
         "\"goodput_rps\"",
         "\"energy_per_request_mj\"",
@@ -315,6 +315,86 @@ fn serve_chip_failure_degrades_without_error() {
     assert!(ok, "a mid-run chip failure must not error: {stdout}");
     assert!(stdout.contains("OFFLINE"), "{stdout}");
     assert!(!stdout.contains("completed 0 "), "{stdout}");
+}
+
+#[test]
+fn plan_end_to_end_is_thread_count_invariant() {
+    let run_at = |threads: &str| {
+        run(&[
+            "plan",
+            "--slo",
+            "p99<5ms",
+            "--rate",
+            "8000",
+            "--requests",
+            "400",
+            "--screen-requests",
+            "100",
+            "--json",
+            "--threads",
+            threads,
+        ])
+    };
+    let (baseline, _, ok) = run_at("1");
+    assert!(ok, "{baseline}");
+    for key in [
+        "\"schema\": \"albireo.plan/v1\"",
+        "\"winner\"",
+        "\"frontier\"",
+        "\"energy_per_request_mj\"",
+        "\"digest\"",
+    ] {
+        assert!(baseline.contains(key), "missing {key} in {baseline}");
+    }
+    for threads in ["2", "8"] {
+        let (other, _, ok) = run_at(threads);
+        assert!(ok);
+        assert_eq!(other, baseline, "plan diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn plan_writes_report_and_frontier_csv() {
+    let dir = std::env::temp_dir().join("albireo_plan_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let json_path = dir.join("plan.json");
+    let csv_path = dir.join("frontier.csv");
+    let (stdout, _, ok) = run(&[
+        "plan",
+        "--slo",
+        "p99<5ms",
+        "--rate",
+        "8000",
+        "--requests",
+        "400",
+        "--screen-requests",
+        "100",
+        "--json",
+        "--out",
+        json_path.to_str().unwrap(),
+        "--csv-out",
+        csv_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("wrote"), "{stdout}");
+    assert!(stdout.contains("digest"), "{stdout}");
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("albireo.plan/v1"));
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    assert!(
+        csv.starts_with("rank,fleet,chips,policy,autoscale,"),
+        "{csv}"
+    );
+    assert!(csv.lines().count() >= 2, "{csv}");
+    std::fs::remove_file(&json_path).ok();
+    std::fs::remove_file(&csv_path).ok();
+}
+
+#[test]
+fn plan_without_slo_fails_with_usage_error() {
+    let (_, stderr, ok) = run(&["plan"]);
+    assert!(!ok);
+    assert!(stderr.contains("--slo"), "{stderr}");
 }
 
 #[test]

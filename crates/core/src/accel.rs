@@ -147,6 +147,19 @@ pub trait Accelerator: Send + Sync {
     fn cost(&self, model: &Model) -> NetworkCost {
         self.cost_with_groups(model, self.compute_groups())
     }
+
+    /// Power the chip draws while provisioned but not serving, W.
+    ///
+    /// Photonic accelerators cannot power-gate to zero: the laser must
+    /// stay locked and the microring resonators thermally tuned to their
+    /// resonances, or the chip pays a (multi-ms) re-lock penalty that
+    /// would dwarf any serving-scale warm-up. Electronic designs clock-
+    /// and power-gate aggressively, so the default is 0 W. The serving
+    /// simulator charges this for every provisioned-but-idle second when
+    /// an autoscaling policy enables idle accounting.
+    fn idle_power_w(&self) -> f64 {
+        0.0
+    }
 }
 
 /// The Albireo chip as an [`Accelerator`]: a [`ChipConfig`] under a
@@ -199,6 +212,16 @@ impl Accelerator for AlbireoAccelerator {
 
     fn compute_groups(&self) -> usize {
         self.chip.ng
+    }
+
+    /// The always-on photonic floor: laser plus MRR thermal tuning from
+    /// the Table III breakdown. These stay powered while the chip idles
+    /// (losing thermal lock costs far more than it saves at serving
+    /// timescales); DACs, ADCs, TIAs, and modulators gate off with the
+    /// datapath.
+    fn idle_power_w(&self) -> f64 {
+        let b = crate::power::PowerBreakdown::for_chip(&self.chip, self.estimate);
+        b.laser_w + b.mrr_w
     }
 
     fn cost_with_groups(&self, model: &Model, active_groups: usize) -> NetworkCost {
@@ -305,6 +328,21 @@ mod tests {
     fn zero_groups_rejected() {
         let accel = AlbireoAccelerator::albireo_9(TechnologyEstimate::Conservative);
         let _ = accel.cost_with_groups(&zoo::tiny(), 0);
+    }
+
+    #[test]
+    fn idle_power_is_the_laser_plus_mrr_floor() {
+        let accel = AlbireoAccelerator::albireo_9(TechnologyEstimate::Conservative);
+        let b = crate::power::PowerBreakdown::for_chip(
+            &ChipConfig::albireo_9(),
+            TechnologyEstimate::Conservative,
+        );
+        assert_eq!(accel.idle_power_w(), b.laser_w + b.mrr_w);
+        // Table III: laser 2.36 W + MRR 7.52 W ≈ 9.9 W of 22.7 W total —
+        // idle is material but well below running power.
+        assert!(accel.idle_power_w() > 5.0);
+        let running = accel.cost(&zoo::alexnet()).power_w;
+        assert!(accel.idle_power_w() < running);
     }
 
     #[test]

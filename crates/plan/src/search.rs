@@ -1,0 +1,459 @@
+//! The deterministic coarse-to-fine search over candidate fleets.
+//!
+//! ## Candidate space
+//!
+//! A candidate is (chip multiset, batching policy, autoscale policy):
+//! every multiset of the spec's chip kinds with 1..=`max_chips` chips,
+//! crossed with every policy and autoscale entry. Multisets (not
+//! sequences) because the serving engine dispatches to the first free
+//! chip — chip order within a fleet does not change the run. Elastic
+//! autoscaling whose floor covers the whole fleet is skipped: it
+//! degenerates to `static` and would duplicate that candidate.
+//!
+//! ## Coarse-to-fine pruning
+//!
+//! Scoring every candidate with full-length replica runs is the
+//! dominant cost, so the search first runs a short **screening**
+//! simulation per candidate (`screen` requests, replica-0 seed). The
+//! screening run is an exact *prefix* of the scoring run — same
+//! workload, same seed, fewer requests — so its metrics are the real
+//! run's opening window, not a noisy proxy. A candidate is pruned
+//! without scoring when that window already misses the SLO by a wide
+//! margin:
+//!
+//! * screening p99 above `4×` the target, or
+//! * screening shed rate above `max(5%, 2×shed_budget + 2%)`.
+//!
+//! The slack absorbs small-sample noise and arrival nonstationarity
+//! (a screening window that happens to cover a burst). The shed rule is
+//! *exactly* sound when the spec's shed budget is zero: every shed in
+//! the screening prefix also happens in the full run (same arrivals,
+//! same decisions), so a shedding screen run proves the full run sheds
+//! too. The latency rule is an engineering bound, not a theorem —
+//! `exhaustive: true` scores everything, and the planner's determinism
+//! tests assert that pruned and exhaustive searches produce
+//! byte-identical plan JSON on the golden spec (pruning only ever
+//! removes candidates that full scoring would also call infeasible).
+//!
+//! ## Determinism
+//!
+//! The plan is a pure function of the spec. All candidates share the
+//! same replica seeds (replica 0 = the spec seed, replica `r` =
+//! `split_seed(seed, stream_id(PLAN_PASS, 0, r))`), so candidates are
+//! compared on identical arrival sequences and the screening run is a
+//! prefix of scoring replica 0. Fan-out goes through
+//! [`Parallelism::map_indexed`], which preserves index order at any
+//! thread count, and candidates are aggregated in enumeration order —
+//! the report is byte-identical from `--threads 1` to `--threads N`.
+
+use crate::report::{CandidateOutcome, PlanReport};
+use crate::spec::PlanSpec;
+use albireo_nn::zoo;
+use albireo_obs::Obs;
+use albireo_parallel::{split_seed, stream_id, Parallelism};
+use albireo_runtime::{
+    simulate, AdmissionControl, AutoscalePolicy, BatchPolicy, FaultScenario, FleetConfig,
+    ServeConfig, ServiceReport,
+};
+
+/// Seed-split pass id for planner replicas (serving studies use
+/// `0xA1B`; workload streams use `0x5E1..0x5E3`).
+pub const PLAN_PASS: u64 = 0xA1C;
+
+/// One point in the search space.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Candidate {
+    /// Comma-joined fleet spec, parseable by [`FleetConfig::parse`].
+    pub fleet_spec: String,
+    /// Fleet size.
+    pub chips: usize,
+    /// Batching policy.
+    pub policy: BatchPolicy,
+    /// Autoscale policy.
+    pub autoscale: AutoscalePolicy,
+}
+
+/// Enumerates chip multisets as nondecreasing index sequences, depth
+/// first — `[0] [0,0] [0,0,1] [0,1] [1] ...` for two kinds — so the
+/// candidate order is a pure function of the spec.
+fn multisets(kinds: usize, max_chips: usize) -> Vec<Vec<usize>> {
+    fn rec(
+        kinds: usize,
+        max: usize,
+        start: usize,
+        cur: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if !cur.is_empty() {
+            out.push(cur.clone());
+        }
+        if cur.len() == max {
+            return;
+        }
+        for k in start..kinds {
+            cur.push(k);
+            rec(kinds, max, k, cur, out);
+            cur.pop();
+        }
+    }
+    let mut out = Vec::new();
+    rec(kinds, max_chips, 0, &mut Vec::new(), &mut out);
+    out
+}
+
+pub(crate) fn enumerate(spec: &PlanSpec) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for fleet in multisets(spec.chip_kinds.len(), spec.max_chips) {
+        let fleet_spec = fleet
+            .iter()
+            .map(|&k| spec.chip_kinds[k].as_str())
+            .collect::<Vec<_>>()
+            .join(",");
+        for &policy in &spec.policies {
+            for &autoscale in &spec.autoscale {
+                if let AutoscalePolicy::Elastic { min_chips, .. } = autoscale {
+                    // A floor covering the whole fleet never parks a
+                    // chip — identical to `static`, so skip the dup.
+                    if min_chips >= fleet.len() {
+                        continue;
+                    }
+                }
+                out.push(Candidate {
+                    fleet_spec: fleet_spec.clone(),
+                    chips: fleet.len(),
+                    policy,
+                    autoscale,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn run_candidate(
+    spec: &PlanSpec,
+    candidate: &Candidate,
+    requests: usize,
+    seed: u64,
+) -> ServiceReport {
+    let fleet = FleetConfig::parse(&candidate.fleet_spec, zoo::all_benchmarks())
+        .expect("candidate fleet specs are validated before the search fans out");
+    let cfg = ServeConfig {
+        workload: spec.workload.clone(),
+        requests,
+        seed,
+        policy: candidate.policy,
+        admission: if spec.queue_capacity == usize::MAX {
+            AdmissionControl::unbounded()
+        } else {
+            AdmissionControl::bounded(spec.queue_capacity)
+        },
+        faults: FaultScenario::none(),
+        record_cap: 0,
+        autoscale: candidate.autoscale,
+    };
+    simulate(&fleet, &cfg)
+}
+
+/// The per-replica numbers a candidate is judged and ranked on.
+#[derive(Debug, Clone, Copy)]
+struct RunStats {
+    p99_ms: f64,
+    shed_rate: f64,
+    attainment: f64,
+    energy_total_j: f64,
+    energy_per_request_j: f64,
+    goodput_rps: f64,
+    spin_ups: u64,
+    digest: u64,
+}
+
+fn run_stats(report: &ServiceReport) -> RunStats {
+    RunStats {
+        p99_ms: report.p99_ms,
+        shed_rate: report.shed_rate,
+        // The floor over SLO-carrying classes; 1.0 when the workload
+        // declares none (the clause is then vacuous).
+        attainment: report
+            .classes
+            .iter()
+            .filter_map(|c| c.slo_attainment)
+            .fold(1.0, f64::min),
+        energy_total_j: report.energy_total_j,
+        energy_per_request_j: report.energy_per_request_j,
+        goodput_rps: report.goodput_rps,
+        spin_ups: report.per_chip.iter().map(|c| c.spin_ups).sum(),
+        digest: report.digest(),
+    }
+}
+
+fn screen_survives(spec: &PlanSpec, report: &ServiceReport) -> bool {
+    let shed_ceiling = (2.0 * spec.slo.max_shed_rate + 0.02).max(0.05);
+    report.p99_ms <= 4.0 * spec.slo.p99_ms && report.shed_rate <= shed_ceiling
+}
+
+/// Runs the full planner search and returns the ranked plan.
+///
+/// `exhaustive: false` screens-then-scores (the default);
+/// `exhaustive: true` skips screening and scores every candidate. Both
+/// modes produce byte-identical plan JSON whenever pruning removes only
+/// candidates that scoring would call infeasible — the mode only shows
+/// up in the report's search counters (text rendering and obs metrics).
+///
+/// Obs counters: `plan.candidates`, `plan.screened`, `plan.pruned`,
+/// `plan.scored`, `plan.feasible`.
+pub fn plan(
+    spec: &PlanSpec,
+    par: Parallelism,
+    obs: &Obs,
+    exhaustive: bool,
+) -> Result<PlanReport, String> {
+    spec.validate()?;
+    let models = zoo::all_benchmarks();
+    for &(network, _) in &spec.workload.mix {
+        if network >= models.len() {
+            return Err(format!(
+                "mix names network {network} but the model zoo has {} entries",
+                models.len()
+            ));
+        }
+    }
+    for kind in &spec.chip_kinds {
+        FleetConfig::parse(kind, zoo::all_benchmarks())
+            .map_err(|e| format!("chip kind `{kind}`: {e}"))?;
+    }
+
+    let candidates = enumerate(spec);
+    let seeds: Vec<u64> = (0..spec.replicas)
+        .map(|r| {
+            if r == 0 {
+                spec.seed
+            } else {
+                split_seed(spec.seed, stream_id(PLAN_PASS, 0, r as u64))
+            }
+        })
+        .collect();
+
+    // Phase 1 — screening. Short prefix runs on the replica-0 seed cut
+    // hopeless candidates before the expensive scoring fan-out. The
+    // survivor list is a pure function of the spec (map_indexed is
+    // order-preserving), so the scoring phase below sees the same jobs
+    // in the same order at any thread count.
+    let screen_everything = exhaustive || spec.screen_requests == spec.requests;
+    let (survivors, screened) = if screen_everything {
+        ((0..candidates.len()).collect::<Vec<_>>(), 0)
+    } else {
+        let flags = par.map_indexed(candidates.len(), |i| {
+            let report = run_candidate(spec, &candidates[i], spec.screen_requests, seeds[0]);
+            screen_survives(spec, &report)
+        });
+        let survivors: Vec<usize> = (0..candidates.len()).filter(|&i| flags[i]).collect();
+        (survivors, candidates.len())
+    };
+    let pruned = candidates.len() - survivors.len();
+
+    // Phase 2 — scoring. Full-length runs, `replicas` per survivor, all
+    // candidates on the same replica seeds so they are compared on
+    // identical arrival sequences.
+    let stats = par.map_indexed(survivors.len() * spec.replicas, |j| {
+        let candidate = &candidates[survivors[j / spec.replicas]];
+        run_stats(&run_candidate(
+            spec,
+            candidate,
+            spec.requests,
+            seeds[j % spec.replicas],
+        ))
+    });
+
+    // Aggregate replicas conservatively: worst-case latency/shed/
+    // attainment across replicas gate feasibility; energy and goodput
+    // average. A candidate is feasible only if every replica is.
+    let mut outcomes: Vec<CandidateOutcome> = Vec::new();
+    for (s, &index) in survivors.iter().enumerate() {
+        let candidate = &candidates[index];
+        let runs = &stats[s * spec.replicas..(s + 1) * spec.replicas];
+        let n = runs.len() as f64;
+        let fleet_label = FleetConfig::parse(&candidate.fleet_spec, zoo::all_benchmarks())
+            .expect("validated above")
+            .label();
+        let mut digest = 0u64;
+        for r in runs {
+            digest = digest.rotate_left(13) ^ r.digest;
+        }
+        let p99_ms = runs.iter().map(|r| r.p99_ms).fold(0.0, f64::max);
+        let shed_rate = runs.iter().map(|r| r.shed_rate).fold(0.0, f64::max);
+        let attainment = runs.iter().map(|r| r.attainment).fold(1.0, f64::min);
+        let feasible = p99_ms <= spec.slo.p99_ms
+            && shed_rate <= spec.slo.max_shed_rate
+            && spec
+                .slo
+                .min_attainment
+                .is_none_or(|floor| attainment >= floor);
+        outcomes.push(CandidateOutcome {
+            fleet_spec: candidate.fleet_spec.clone(),
+            fleet_label,
+            chips: candidate.chips,
+            policy_label: candidate.policy.label(),
+            autoscale_label: candidate.autoscale.to_string(),
+            p99_ms,
+            shed_rate,
+            attainment,
+            energy_total_j: runs.iter().map(|r| r.energy_total_j).sum::<f64>() / n,
+            energy_per_request_j: runs.iter().map(|r| r.energy_per_request_j).sum::<f64>() / n,
+            goodput_rps: runs.iter().map(|r| r.goodput_rps).sum::<f64>() / n,
+            spin_ups: runs.iter().map(|r| r.spin_ups).sum(),
+            feasible,
+            pareto: false,
+            digest,
+        });
+    }
+
+    // Rank the feasible set by mean energy per request (the objective),
+    // tie-broken on latency then labels so the order is total.
+    let mut frontier: Vec<CandidateOutcome> =
+        outcomes.iter().filter(|o| o.feasible).cloned().collect();
+    frontier.sort_by(|a, b| {
+        a.energy_per_request_j
+            .total_cmp(&b.energy_per_request_j)
+            .then(a.p99_ms.total_cmp(&b.p99_ms))
+            .then(a.fleet_spec.cmp(&b.fleet_spec))
+            .then(a.policy_label.cmp(&b.policy_label))
+            .then(a.autoscale_label.cmp(&b.autoscale_label))
+    });
+    for i in 0..frontier.len() {
+        let dominated = frontier.iter().any(|other| {
+            other.energy_per_request_j <= frontier[i].energy_per_request_j
+                && other.p99_ms <= frontier[i].p99_ms
+                && (other.energy_per_request_j < frontier[i].energy_per_request_j
+                    || other.p99_ms < frontier[i].p99_ms)
+        });
+        frontier[i].pareto = !dominated;
+    }
+
+    let scored = survivors.len();
+    let feasible = frontier.len();
+    obs.counter("plan.candidates").add(candidates.len() as u64);
+    obs.counter("plan.screened").add(screened as u64);
+    obs.counter("plan.pruned").add(pruned as u64);
+    obs.counter("plan.scored").add(scored as u64);
+    obs.counter("plan.feasible").add(feasible as u64);
+
+    Ok(PlanReport {
+        spec_line: spec.to_string(),
+        slo_line: spec.slo.to_string(),
+        exhaustive: screen_everything,
+        candidates_total: candidates.len(),
+        screened,
+        pruned,
+        scored,
+        replicas: spec.replicas,
+        frontier,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multisets_enumerate_nondecreasing_sequences() {
+        let sets = multisets(2, 2);
+        assert_eq!(
+            sets,
+            vec![vec![0], vec![0, 0], vec![0, 1], vec![1], vec![1, 1],]
+        );
+        // Sanity: C(kinds + size - 1, size) summed over sizes.
+        assert_eq!(multisets(3, 3).len(), 3 + 6 + 10);
+    }
+
+    #[test]
+    fn enumerate_skips_degenerate_elastic_candidates() {
+        let mut spec = PlanSpec::poisson(1000.0, 5.0, "albireo_9:C", 2);
+        spec.autoscale = vec![
+            AutoscalePolicy::Static,
+            AutoscalePolicy::Elastic {
+                up_depth: 8,
+                warmup_s: 0.002,
+                min_chips: 1,
+            },
+        ];
+        let candidates = enumerate(&spec);
+        // Size-1 fleets: static only (elastic floor covers the fleet).
+        // Size-2 fleet: static + elastic.
+        assert_eq!(candidates.len(), 3);
+        assert!(candidates
+            .iter()
+            .all(|c| c.chips == 2 || c.autoscale == AutoscalePolicy::Static));
+    }
+
+    #[test]
+    fn planner_finds_the_minimum_feasible_fleet() {
+        // 8000 rps of AlexNet against a ~4500 rps chip: one chip is
+        // overloaded, two chips are the minimum feasible fleet, three
+        // meet the SLO too but pay an extra chip's idle power. The
+        // winner must be the pair — under the default `static` idle
+        // accounting, extra capacity costs energy.
+        let spec = PlanSpec::parse(
+            "rate=8000;requests=600;screen=150;slo=p99<5ms;chips=albireo_9:C;max-chips=3",
+        )
+        .unwrap();
+        let report = plan(&spec, Parallelism::serial(), &Obs::disabled(), false).unwrap();
+        assert_eq!(report.candidates_total, 3);
+        assert_eq!(report.frontier.len(), 2, "two and three chips are feasible");
+        let winner = report.winner().expect("a feasible fleet exists");
+        assert_eq!(winner.chips, 2);
+        assert!(winner.p99_ms <= 5.0);
+        assert_eq!(winner.shed_rate, 0.0);
+        assert!(
+            winner.energy_per_request_j < report.frontier[1].energy_per_request_j,
+            "the 3-chip fleet must pay for its idle chip"
+        );
+    }
+
+    #[test]
+    fn pruned_and_exhaustive_searches_agree() {
+        // At 10000 rps the 1-chip fleet sheds hard inside the screening
+        // window and is pruned; the scored sets differ between modes but
+        // the feasible frontier (and thus JSON and digest) must not.
+        let spec = PlanSpec::parse(
+            "rate=10000;requests=600;screen=150;slo=p99<5ms;chips=albireo_9:C;max-chips=3",
+        )
+        .unwrap();
+        let obs = Obs::disabled();
+        let pruned = plan(&spec, Parallelism::serial(), &obs, false).unwrap();
+        let exhaustive = plan(&spec, Parallelism::serial(), &obs, true).unwrap();
+        assert!(pruned.pruned >= 1, "screening should cut the 1-chip fleet");
+        assert!(pruned.scored < exhaustive.scored);
+        assert_eq!(pruned.frontier, exhaustive.frontier);
+        assert_eq!(pruned.to_json(), exhaustive.to_json());
+        assert_eq!(pruned.digest(), exhaustive.digest());
+    }
+
+    #[test]
+    fn plans_are_identical_at_any_thread_count() {
+        let spec = PlanSpec::parse(
+            "rate=1800;requests=400;screen=100;replicas=2;slo=p99<6ms;\
+             chips=albireo_9:C|albireo_27:C;max-chips=2;autoscale=none|static",
+        )
+        .unwrap();
+        let obs = Obs::disabled();
+        let serial = plan(&spec, Parallelism::serial(), &obs, false).unwrap();
+        for threads in [2, 5] {
+            let parallel = plan(&spec, Parallelism::with_threads(threads), &obs, false).unwrap();
+            assert_eq!(serial.to_json(), parallel.to_json());
+            assert_eq!(serial.to_csv(), parallel.to_csv());
+        }
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected_before_the_fan_out() {
+        let mut spec = PlanSpec::poisson(1000.0, 5.0, "albireo_9:C", 1);
+        spec.workload.mix = vec![(99, 1.0)];
+        let err = plan(&spec, Parallelism::serial(), &Obs::disabled(), false).unwrap_err();
+        assert!(err.contains("model zoo"), "got: {err}");
+
+        let bad_chip = PlanSpec::poisson(1000.0, 5.0, "warp_drive", 1);
+        let err = plan(&bad_chip, Parallelism::serial(), &Obs::disabled(), false).unwrap_err();
+        assert!(err.contains("warp_drive"), "got: {err}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration tests for the planner's determinism contract and the
+//! headline capacity-planning result.
+//!
+//! * The plan (JSON, CSV, digest) is byte-identical from 1 to 8 threads.
+//! * Pruned and exhaustive searches emit byte-identical plans.
+//! * On a bursty mixed AlexNet/MobileNet workload under `p99<5ms`, an
+//!   elastic fleet beats every static fleet on energy while meeting the
+//!   SLO — the planner's reason to exist.
+
+use albireo_obs::Obs;
+use albireo_parallel::Parallelism;
+use albireo_plan::{plan, PlanSpec, GOLDEN_PLAN_SPEC};
+
+#[test]
+fn plan_json_is_byte_identical_from_one_to_eight_threads() {
+    let spec = PlanSpec::parse(GOLDEN_PLAN_SPEC).unwrap();
+    let obs = Obs::disabled();
+    let baseline = plan(&spec, Parallelism::with_threads(1), &obs, false).unwrap();
+    for threads in 2..=8 {
+        let run = plan(&spec, Parallelism::with_threads(threads), &obs, false).unwrap();
+        assert_eq!(
+            baseline.to_json(),
+            run.to_json(),
+            "JSON diverged at {threads} threads"
+        );
+        assert_eq!(
+            baseline.to_csv(),
+            run.to_csv(),
+            "CSV diverged at {threads} threads"
+        );
+        assert_eq!(
+            baseline.digest_hex(),
+            run.digest_hex(),
+            "digest diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn pruned_and_exhaustive_plans_are_byte_identical() {
+    let spec = PlanSpec::parse(GOLDEN_PLAN_SPEC).unwrap();
+    let obs = Obs::disabled();
+    let pruned = plan(&spec, Parallelism::with_threads(4), &obs, false).unwrap();
+    let exhaustive = plan(&spec, Parallelism::with_threads(4), &obs, true).unwrap();
+    assert_eq!(pruned.to_json(), exhaustive.to_json());
+    assert_eq!(pruned.to_csv(), exhaustive.to_csv());
+    assert_eq!(pruned.digest_hex(), exhaustive.digest_hex());
+}
+
+#[test]
+fn elastic_beats_every_static_fleet_on_the_bursty_mixed_workload() {
+    let spec = PlanSpec::parse(GOLDEN_PLAN_SPEC).unwrap();
+    let report = plan(&spec, Parallelism::with_threads(4), &Obs::disabled(), false).unwrap();
+    let winner = report
+        .winner()
+        .expect("the golden scenario has feasible fleets");
+
+    // The winner is an elastic fleet that actually scaled during the
+    // run, met the SLO, and shed nothing.
+    assert!(
+        winner.autoscale_label.starts_with("elastic"),
+        "expected an elastic winner, got {} / {}",
+        winner.fleet_label,
+        winner.autoscale_label
+    );
+    assert!(winner.p99_ms <= 5.0, "winner p99 {} ms", winner.p99_ms);
+    assert_eq!(winner.shed_rate, 0.0);
+    assert!(winner.spin_ups > 0, "an elastic winner must have spun up");
+
+    // And it beats the best *static* feasible fleet on energy — idle
+    // power parked between bursts is the planner-visible saving.
+    let best_static = report
+        .frontier
+        .iter()
+        .find(|e| e.autoscale_label == "static")
+        .expect("a static fleet is feasible in the golden scenario");
+    assert!(
+        winner.energy_per_request_j < best_static.energy_per_request_j,
+        "elastic {} J/req should beat static {} J/req",
+        winner.energy_per_request_j,
+        best_static.energy_per_request_j
+    );
+}
+
+#[test]
+fn obs_counters_record_the_search_effort() {
+    let spec = PlanSpec::parse(GOLDEN_PLAN_SPEC).unwrap();
+    let obs = Obs::enabled();
+    let report = plan(&spec, Parallelism::with_threads(2), &obs, false).unwrap();
+    let snapshot = obs.snapshot();
+    let counter = |name: &str| {
+        snapshot
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    assert_eq!(counter("plan.candidates"), report.candidates_total as u64);
+    assert_eq!(counter("plan.screened"), report.candidates_total as u64);
+    assert_eq!(counter("plan.pruned"), report.pruned as u64);
+    assert_eq!(counter("plan.scored"), report.scored as u64);
+    assert_eq!(counter("plan.feasible"), report.frontier.len() as u64);
+    assert_eq!(report.pruned + report.scored, report.candidates_total);
+}

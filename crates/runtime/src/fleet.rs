@@ -117,13 +117,35 @@ impl FleetConfig {
     /// Estimate ∈ {C, M, A} (default C). Entries that accept an estimate
     /// are named `<chip>_<suffix>` (e.g. `deap_M`); electronic entries
     /// keep their bare name.
+    ///
+    /// An entry may carry an explicit alias, `<alias>=<chip>[:<estimate>]`
+    /// (e.g. `edge=albireo_9:C`), which replaces the derived name in
+    /// labels and reports. Aliases must be unique across the fleet —
+    /// a duplicate alias is a spec error, never last-one-wins — while
+    /// *unaliased* duplicate entries stay legal (two `albireo_9:C`
+    /// entries are simply a two-chip fleet).
     pub fn parse(spec: &str, models: Vec<Model>) -> Result<FleetConfig, String> {
-        let mut chips = Vec::new();
+        let mut chips: Vec<ChipSpec> = Vec::new();
+        let mut aliases: Vec<String> = Vec::new();
         for entry in spec.split(',') {
             let entry = entry.trim();
             if entry.is_empty() {
                 continue;
             }
+            let (alias, entry) = match entry.split_once('=') {
+                Some((a, rest)) => {
+                    let a = a.trim();
+                    if a.is_empty()
+                        || !a
+                            .chars()
+                            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+                    {
+                        return Err(format!("bad chip alias `{a}` in fleet entry `{entry}`"));
+                    }
+                    (Some(a.to_string()), rest.trim())
+                }
+                None => (None, entry),
+            };
             let (chip_name, est_tag) = match entry.split_once(':') {
                 Some((c, e)) => (c.trim(), Some(e.trim())),
                 None => (entry, None),
@@ -190,10 +212,27 @@ impl FleetConfig {
                     None => return Err(format!("unknown chip `{other}` in fleet spec")),
                 },
             };
+            let spec = match alias {
+                Some(alias) => {
+                    aliases.push(alias.clone());
+                    ChipSpec {
+                        name: alias,
+                        accel: spec.accel,
+                    }
+                }
+                None => spec,
+            };
             chips.push(spec);
         }
         if chips.is_empty() {
             return Err("fleet spec names no chips".to_string());
+        }
+        for alias in &aliases {
+            if chips.iter().filter(|c| &c.name == alias).count() > 1 {
+                return Err(format!(
+                    "duplicate chip alias `{alias}` in fleet spec (aliases must be unique)"
+                ));
+            }
         }
         Ok(FleetConfig { chips, models })
     }
@@ -333,6 +372,40 @@ mod tests {
         assert!(FleetConfig::parse("albireo_9:X", zoo::all_benchmarks()).is_err());
         assert!(FleetConfig::parse("ng0", zoo::all_benchmarks()).is_err());
         assert!(FleetConfig::parse("tpu", zoo::all_benchmarks()).is_err());
+    }
+
+    #[test]
+    fn parse_aliases_rename_chips_and_must_be_unique() {
+        let fleet = FleetConfig::parse(
+            "edge=albireo_9:C, bulk=albireo_27:C, albireo_9:C",
+            zoo::all_benchmarks(),
+        )
+        .unwrap();
+        assert_eq!(fleet.chips[0].name, "edge");
+        assert_eq!(fleet.chips[1].name, "bulk");
+        assert_eq!(fleet.chips[2].name, "albireo_9_C");
+        assert_eq!(fleet.label(), "edge+bulk+albireo_9_C");
+
+        // Duplicate aliases are a typed error, never last-one-wins.
+        let err =
+            FleetConfig::parse("a=albireo_9, a=albireo_27", zoo::all_benchmarks()).unwrap_err();
+        assert!(
+            err.contains("duplicate chip alias `a`"),
+            "unexpected message: {err}"
+        );
+        // An alias shadowing a derived name is the same error.
+        let err = FleetConfig::parse(
+            "albireo_9_C=albireo_27:C, albireo_9:C",
+            zoo::all_benchmarks(),
+        )
+        .unwrap_err();
+        assert!(err.contains("duplicate chip alias `albireo_9_C`"));
+        // Unaliased duplicates stay legal: that is just an n-chip fleet.
+        let twins = FleetConfig::parse("albireo_9:C, albireo_9:C", zoo::all_benchmarks()).unwrap();
+        assert_eq!(twins.chips.len(), 2);
+        // Malformed aliases are rejected.
+        assert!(FleetConfig::parse("=albireo_9", zoo::all_benchmarks()).is_err());
+        assert!(FleetConfig::parse("a b=albireo_9", zoo::all_benchmarks()).is_err());
     }
 
     #[test]

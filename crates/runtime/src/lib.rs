@@ -27,6 +27,8 @@
 //!   [`fleet::ServiceOracle`] that turns `(chip, active groups, network)`
 //!   into latency/energy through the `Accelerator` trait;
 //! * [`policy`] — micro-batching policies and admission control;
+//! * [`autoscale`] — fleet provisioning: static idle-power accounting
+//!   and queue-depth-driven elastic spin-up/park with warm-up latency;
 //! * [`fault`] — timed chip/PLCG fault scenarios, including
 //!   classification of analog fault sets;
 //! * [`sim`] — the discrete-event engine ([`sim::simulate`], plus
@@ -46,6 +48,7 @@
 //! study results — and their digests — are bit-identical at any thread
 //! count. DESIGN.md §8 states the full contract.
 
+pub mod autoscale;
 pub mod fault;
 pub mod fleet;
 pub mod policy;
@@ -55,6 +58,7 @@ pub mod sim;
 pub mod study;
 pub mod workload;
 
+pub use autoscale::AutoscalePolicy;
 pub use fault::{FaultEvent, FaultKind, FaultScenario};
 pub use fleet::{ChipSpec, FleetConfig, ServiceCost, ServiceOracle};
 pub use policy::{AdmissionControl, BatchPolicy};

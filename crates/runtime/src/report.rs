@@ -7,7 +7,7 @@
 //! `digest.rotate_left(7) ^ bits` (order-sensitive, so it also certifies
 //! *dispatch order*, not just the multiset of results), and the JSON is
 //! hand-rolled against a versioned schema string
-//! (`albireo.bench.serving/v2`). The full field list is documented in
+//! (`albireo.bench.serving/v3`). The full field list is documented in
 //! DESIGN.md §8 and §11.
 //!
 //! ## Streaming accumulation
@@ -61,6 +61,17 @@ pub struct ChipReport {
     pub online_at_end: bool,
     /// PLCGs retired by the fault scenario.
     pub plcgs_down: usize,
+    /// Seconds the chip was provisioned (busy, idle, or warming). Zero
+    /// when the run's [`AutoscalePolicy`](crate::AutoscalePolicy) is
+    /// `None` — the legacy engine has no provisioning notion.
+    pub provisioned_s: f64,
+    /// Idle energy charged at the accelerator's
+    /// [`idle_power_w`](albireo_core::accel::Accelerator::idle_power_w)
+    /// over `provisioned_s − busy_s` — already included in `energy_j`.
+    /// Zero under `AutoscalePolicy::None`.
+    pub idle_energy_j: f64,
+    /// Elastic spin-ups of this chip.
+    pub spin_ups: u64,
 }
 
 impl ChipReport {
@@ -445,7 +456,7 @@ impl ServiceReport {
         }
         for c in &self.per_chip {
             out.push_str(&format!(
-                "  chip {:<14} served {:>6}  batches {:>6}  util {:>6.2}%  energy {:.6} J  {}{}\n",
+                "  chip {:<14} served {:>6}  batches {:>6}  util {:>6.2}%  energy {:.6} J  {}{}{}\n",
                 c.name,
                 c.served,
                 c.batches,
@@ -454,6 +465,14 @@ impl ServiceReport {
                 if c.online_at_end { "online" } else { "OFFLINE" },
                 if c.plcgs_down > 0 {
                     format!(" ({} PLCGs down)", c.plcgs_down)
+                } else {
+                    String::new()
+                },
+                if c.provisioned_s > 0.0 {
+                    format!(
+                        " (idle {:.6} J over {:.6} s, {} spin-up(s))",
+                        c.idle_energy_j, c.provisioned_s, c.spin_ups
+                    )
                 } else {
                     String::new()
                 }
@@ -500,12 +519,13 @@ impl ServiceReport {
     }
 
     /// Hand-rolled JSON digest of the run (schema
-    /// `albireo.bench.serving/v2`, documented in DESIGN.md §8/§11). Does
-    /// not embed per-request records; the digest covers them.
+    /// `albireo.bench.serving/v3`, documented in DESIGN.md §8/§11; v3
+    /// adds the per-chip autoscaling fields). Does not embed per-request
+    /// records; the digest covers them.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"albireo.bench.serving/v2\",\n");
+        s.push_str("  \"schema\": \"albireo.bench.serving/v3\",\n");
         s.push_str(&format!("  \"fleet\": \"{}\",\n", self.fleet_label));
         s.push_str(&format!("  \"policy\": \"{}\",\n", self.policy_label));
         s.push_str(&format!("  \"arrival\": \"{}\",\n", self.arrival_label));
@@ -597,12 +617,15 @@ impl ServiceReport {
         s.push_str("  \"chips\": [\n");
         for (i, c) in self.per_chip.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"name\": \"{}\", \"served\": {}, \"batches\": {}, \"utilization\": {}, \"energy_j\": {}, \"online\": {}, \"plcgs_down\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"served\": {}, \"batches\": {}, \"utilization\": {}, \"energy_j\": {}, \"idle_energy_j\": {}, \"provisioned_s\": {}, \"spin_ups\": {}, \"online\": {}, \"plcgs_down\": {}}}{}\n",
                 c.name,
                 c.served,
                 c.batches,
                 json::num(c.utilization(self.makespan_s)),
                 json::num(c.energy_j),
+                json::num(c.idle_energy_j),
+                json::num(c.provisioned_s),
+                c.spin_ups,
                 c.online_at_end,
                 c.plcgs_down,
                 json::sep(i, self.per_chip.len())
@@ -651,7 +674,7 @@ mod tests {
         assert!(report.render_text().contains(&hex));
         assert!(report.csv_row().ends_with(&hex));
         let json = report.to_json();
-        assert!(json.contains("albireo.bench.serving/v2"));
+        assert!(json.contains("albireo.bench.serving/v3"));
         assert!(json.contains(&hex));
         assert_eq!(
             ServiceReport::csv_header().split(',').count(),
@@ -700,6 +723,9 @@ mod tests {
             energy_j: 0.0,
             online_at_end: true,
             plcgs_down: 0,
+            provisioned_s: 0.0,
+            idle_energy_j: 0.0,
+            spin_ups: 0,
         }];
         let r = ServiceReport::from_run(&cfg, &fleet, per_chip, totals);
         for v in [

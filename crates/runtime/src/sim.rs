@@ -44,6 +44,7 @@
 //! serviceable chip are counted as shed, so total chip loss degrades
 //! goodput instead of erroring.
 
+use crate::autoscale::AutoscalePolicy;
 use crate::fault::{FaultKind, FaultScenario};
 use crate::fleet::{FleetConfig, ServiceOracle};
 use crate::policy::{AdmissionControl, BatchPolicy};
@@ -78,6 +79,11 @@ pub struct ServeConfig {
     /// only bounds the report's `records` sample — set it to 0 for
     /// million-request runs.
     pub record_cap: usize,
+    /// Fleet provisioning policy. [`AutoscalePolicy::None`] reproduces
+    /// the historical engine byte for byte (no warm-up states, no idle
+    /// power); `Static`/`Elastic` charge idle power and, for `Elastic`,
+    /// spin chips up and down on queue depth.
+    pub autoscale: AutoscalePolicy,
 }
 
 impl ServeConfig {
@@ -92,6 +98,7 @@ impl ServeConfig {
             admission: AdmissionControl::default(),
             faults: FaultScenario::none(),
             record_cap: usize::MAX,
+            autoscale: AutoscalePolicy::None,
         }
     }
 }
@@ -115,7 +122,11 @@ impl fmt::Display for ServeConfig {
             self.policy.label(),
             capacity,
             self.faults.len(),
-        )
+        )?;
+        if self.autoscale != AutoscalePolicy::None {
+            write!(f, ", autoscale {}", self.autoscale)?;
+        }
+        Ok(())
     }
 }
 
@@ -123,7 +134,13 @@ impl fmt::Display for ServeConfig {
 #[derive(Debug, Clone, PartialEq)]
 enum EventKind {
     Fault(FaultKind),
-    Completion { chip: usize },
+    Completion {
+        chip: usize,
+    },
+    /// A spun-up chip finished warming and becomes serviceable.
+    WarmedUp {
+        chip: usize,
+    },
     Timer,
 }
 
@@ -131,7 +148,9 @@ impl EventKind {
     fn class(&self) -> u8 {
         match self {
             EventKind::Fault(_) => 0,
-            EventKind::Completion { .. } => 1,
+            // Warm-up completions share the completion class: capacity
+            // freed (or gained) at t is visible to arrivals at t.
+            EventKind::Completion { .. } | EventKind::WarmedUp { .. } => 1,
             EventKind::Timer => 3,
         }
     }
@@ -146,6 +165,18 @@ struct ChipState {
     energy_j: f64,
     served: u64,
     batches: u64,
+    /// Autoscaling: parked chips are deprovisioned (no power, no work).
+    parked: bool,
+    /// Autoscaling: warming chips draw idle power but cannot serve yet.
+    warming: bool,
+    /// Provisioned seconds accumulated over completed park cycles (the
+    /// open cycle since `provisioned_at_s` is closed at park/end time).
+    provisioned_s: f64,
+    /// Start of the current provisioned interval (meaningful while not
+    /// parked).
+    provisioned_at_s: f64,
+    /// Elastic spin-ups of this chip.
+    spin_ups: u64,
 }
 
 struct Sim<'a> {
@@ -202,6 +233,8 @@ impl<'a> Sim<'a> {
         let c = &self.chips[chip];
         c.online
             && !c.busy
+            && !c.parked
+            && !c.warming
             && self.groups_active(chip) > 0
             && self.fleet.chips[chip]
                 .accel
@@ -398,6 +431,75 @@ impl<'a> Sim<'a> {
         }
     }
 
+    /// Elastic scale-up: while the queue holds at least `up_depth`
+    /// pending requests per chip already warming (so in-flight warm-ups
+    /// discount further spin-ups), unpark the lowest-indexed parked chip
+    /// and schedule its warm-up completion. A pure function of DES state
+    /// at an event instant, so determinism is untouched.
+    fn autoscale_up(&mut self, now: f64) {
+        let AutoscalePolicy::Elastic {
+            up_depth, warmup_s, ..
+        } = self.cfg.autoscale
+        else {
+            return;
+        };
+        loop {
+            let warming = self.chips.iter().filter(|c| c.warming).count();
+            if self.queue.len() < up_depth * (warming + 1) {
+                return;
+            }
+            let Some(idx) = self.chips.iter().position(|c| c.parked) else {
+                return;
+            };
+            let c = &mut self.chips[idx];
+            c.parked = false;
+            c.warming = true;
+            c.provisioned_at_s = now;
+            c.spin_ups += 1;
+            self.push(now + warmup_s, EventKind::WarmedUp { chip: idx });
+            if self.obs.is_enabled() {
+                self.obs.record_instant(
+                    track::DISPATCH,
+                    now,
+                    "scale_up",
+                    vec![
+                        ("chip", ArgValue::from(idx)),
+                        ("queue", ArgValue::from(self.queue.len())),
+                    ],
+                );
+                self.obs.counter("serve.spin_ups").add(1);
+            }
+        }
+    }
+
+    /// Elastic scale-down: when the system is fully idle (empty queue,
+    /// nothing busy or warming toward queued work), park every
+    /// provisioned chip above the `min_chips` floor, closing its
+    /// provisioned interval.
+    fn autoscale_down(&mut self, now: f64) {
+        let AutoscalePolicy::Elastic { min_chips, .. } = self.cfg.autoscale else {
+            return;
+        };
+        if !self.queue.is_empty() || self.chips.iter().any(|c| c.busy) {
+            return;
+        }
+        for idx in min_chips..self.chips.len() {
+            let c = &mut self.chips[idx];
+            if !c.parked && !c.warming && !c.busy {
+                c.provisioned_s += now - c.provisioned_at_s;
+                c.parked = true;
+                if self.obs.is_enabled() {
+                    self.obs.record_instant(
+                        track::DISPATCH,
+                        now,
+                        "scale_down",
+                        vec![("chip", ArgValue::from(idx))],
+                    );
+                }
+            }
+        }
+    }
+
     /// Records one shed request (admission rejection or end-of-run
     /// stranding) in the totals.
     fn shed_request(&mut self, class: usize) {
@@ -443,6 +545,7 @@ impl<'a> Sim<'a> {
                 );
             }
         }
+        self.autoscale_up(now);
         self.try_dispatch(now);
     }
 
@@ -487,6 +590,14 @@ impl<'a> Sim<'a> {
                 EventKind::Completion { chip } => {
                     self.chips[chip].busy = false;
                     self.try_dispatch(now);
+                    self.autoscale_down(now);
+                }
+                EventKind::WarmedUp { chip } => {
+                    self.chips[chip].warming = false;
+                    self.try_dispatch(now);
+                    // A chip that warmed into an already-drained burst
+                    // parks again immediately.
+                    self.autoscale_down(now);
                 }
                 EventKind::Timer => {
                     self.try_dispatch(now);
@@ -509,19 +620,49 @@ impl<'a> Sim<'a> {
     fn finish(mut self) -> ServiceReport {
         let obs = self.obs;
         self.totals.peak_event_queue = self.events.peak_len();
+        // Close every open provisioned interval at the makespan, then
+        // charge idle power (provisioned seconds minus busy seconds) when
+        // the policy accounts for it. Under `AutoscalePolicy::None`
+        // nothing here runs and chip energies are the legacy per-batch
+        // sums, bit for bit.
+        let accounts_idle = self.cfg.autoscale.accounts_idle();
+        if accounts_idle {
+            let end_s = self.totals.max_finish_s.max(self.totals.last_arrival_s);
+            for (i, state) in self.chips.iter_mut().enumerate() {
+                if !state.parked {
+                    state.provisioned_s += end_s - state.provisioned_at_s;
+                }
+                let idle_s = (state.provisioned_s - state.busy_s).max(0.0);
+                state.energy_j += self.fleet.chips[i].accel.idle_power_w() * idle_s;
+            }
+        }
         let per_chip: Vec<ChipReport> = self
             .fleet
             .chips
             .iter()
             .zip(&self.chips)
-            .map(|(spec, state)| ChipReport {
-                name: spec.name.clone(),
-                served: state.served,
-                batches: state.batches,
-                busy_s: state.busy_s,
-                energy_j: state.energy_j,
-                online_at_end: state.online && spec.accel.compute_groups() > state.plcgs_down,
-                plcgs_down: state.plcgs_down,
+            .map(|(spec, state)| {
+                let idle_s = (state.provisioned_s - state.busy_s).max(0.0);
+                ChipReport {
+                    name: spec.name.clone(),
+                    served: state.served,
+                    batches: state.batches,
+                    busy_s: state.busy_s,
+                    energy_j: state.energy_j,
+                    online_at_end: state.online && spec.accel.compute_groups() > state.plcgs_down,
+                    plcgs_down: state.plcgs_down,
+                    provisioned_s: if accounts_idle {
+                        state.provisioned_s
+                    } else {
+                        0.0
+                    },
+                    idle_energy_j: if accounts_idle {
+                        spec.accel.idle_power_w() * idle_s
+                    } else {
+                        0.0
+                    },
+                    spin_ups: state.spin_ups,
+                }
             })
             .collect();
         if obs.is_enabled() {
@@ -568,6 +709,15 @@ pub fn simulate(fleet: &FleetConfig, cfg: &ServeConfig) -> ServiceReport {
 pub fn simulate_observed(fleet: &FleetConfig, cfg: &ServeConfig, obs: &Obs) -> ServiceReport {
     assert!(!fleet.chips.is_empty(), "fleet must contain a chip");
     assert!(!fleet.models.is_empty(), "fleet must serve a network");
+    // Chips beyond the elastic floor start parked; `min_chips` beyond the
+    // fleet size just means a fully static fleet.
+    let floor = match cfg.autoscale {
+        AutoscalePolicy::Elastic { min_chips, .. } => {
+            assert!(min_chips >= 1, "elastic floor must keep one chip up");
+            min_chips.min(fleet.chips.len())
+        }
+        _ => fleet.chips.len(),
+    };
     let stream = cfg.workload.stream(cfg.requests, cfg.seed);
     let classes = stream
         .classes()
@@ -582,8 +732,8 @@ pub fn simulate_observed(fleet: &FleetConfig, cfg: &ServeConfig, obs: &Obs) -> S
         events: EventQueue::new(),
         seq: 0,
         queue: VecDeque::new(),
-        chips: vec![
-            ChipState {
+        chips: (0..fleet.chips.len())
+            .map(|i| ChipState {
                 online: true,
                 plcgs_down: 0,
                 busy: false,
@@ -591,9 +741,13 @@ pub fn simulate_observed(fleet: &FleetConfig, cfg: &ServeConfig, obs: &Obs) -> S
                 energy_j: 0.0,
                 served: 0,
                 batches: 0,
-            };
-            fleet.chips.len()
-        ],
+                parked: i >= floor,
+                warming: false,
+                provisioned_s: 0.0,
+                provisioned_at_s: 0.0,
+                spin_ups: 0,
+            })
+            .collect(),
         stream,
         next_arrival: None,
         totals: RunTotals::new(classes),
@@ -1031,6 +1185,131 @@ mod tests {
         let report = simulate(&fleet, &ServeConfig::poisson(3000.0, 300, 42, 0));
         assert!(report.classes.is_empty());
         assert!(report.to_json().contains("\"classes\": [\n  ],"));
+    }
+
+    #[test]
+    fn autoscale_none_is_byte_identical_to_the_legacy_engine() {
+        // `AutoscalePolicy::None` is the default on every constructor;
+        // a config that sets it explicitly must not move the digest.
+        let fleet = small_fleet();
+        let base = ServeConfig::poisson(3000.0, 300, 42, 0);
+        let mut explicit = base.clone();
+        explicit.autoscale = AutoscalePolicy::None;
+        let a = simulate(&fleet, &base);
+        let b = simulate(&fleet, &explicit);
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        assert!(a
+            .per_chip
+            .iter()
+            .all(|c| c.provisioned_s == 0.0 && c.idle_energy_j == 0.0 && c.spin_ups == 0));
+    }
+
+    #[test]
+    fn static_provisioning_charges_the_photonic_idle_floor() {
+        let fleet = small_fleet();
+        let base = ServeConfig::poisson(2000.0, 200, 7, 0);
+        let mut accounted = base.clone();
+        accounted.autoscale = AutoscalePolicy::Static;
+        let legacy = simulate(&fleet, &base);
+        let s = simulate(&fleet, &accounted);
+        // Same service decisions: only the energy account changes.
+        assert_eq!(s.completed, legacy.completed);
+        assert_eq!(s.p99_ms, legacy.p99_ms);
+        assert!(s.energy_total_j > legacy.energy_total_j);
+        for c in &s.per_chip {
+            assert!((c.provisioned_s - s.makespan_s).abs() < 1e-12);
+            assert!(c.idle_energy_j > 0.0, "idle floor must be charged");
+        }
+        let idle: f64 = s.per_chip.iter().map(|c| c.idle_energy_j).sum();
+        assert!((s.energy_total_j - legacy.energy_total_j - idle).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elastic_floor_parks_spare_chips_and_spins_up_under_load() {
+        let fleet = small_fleet();
+        // Rate high enough that one albireo_9 falls behind AlexNet
+        // (~0.46 ms/req incl. setup): the queue backs up past the
+        // up-depth and chip 1 spins up with a 200 µs warm-up.
+        let mut cfg = ServeConfig::poisson(6000.0, 400, 11, 0);
+        cfg.admission = AdmissionControl::unbounded();
+        cfg.autoscale = AutoscalePolicy::Elastic {
+            up_depth: 4,
+            warmup_s: 200e-6,
+            min_chips: 1,
+        };
+        let report = simulate(&fleet, &cfg);
+        assert_eq!(report.completed, 400);
+        assert!(
+            report.per_chip[1].spin_ups > 0,
+            "overload must spin up the parked chip"
+        );
+        assert!(report.per_chip[1].served > 0);
+        // The parked chip is provisioned for less than the run.
+        assert!(report.per_chip[1].provisioned_s < report.makespan_s);
+        assert!(report.per_chip[0].provisioned_s >= report.per_chip[1].provisioned_s);
+    }
+
+    #[test]
+    fn warming_chips_are_unavailable_until_warmed() {
+        let fleet = small_fleet();
+        let mut cfg = ServeConfig::poisson(6000.0, 300, 11, 0);
+        cfg.admission = AdmissionControl::unbounded();
+        // Warm-up far beyond the run horizon: the spare chip spins up
+        // but never becomes serviceable.
+        cfg.autoscale = AutoscalePolicy::Elastic {
+            up_depth: 4,
+            warmup_s: 1e6,
+            min_chips: 1,
+        };
+        let report = simulate(&fleet, &cfg);
+        assert_eq!(report.completed, 300);
+        assert_eq!(report.per_chip[1].served, 0, "warming chip cannot serve");
+        assert!(report.per_chip[1].spin_ups > 0);
+        assert_eq!(report.per_chip[0].served, 300);
+    }
+
+    #[test]
+    fn elastic_beats_static_on_energy_at_matched_service() {
+        // The planner's headline scenario, at engine level: a fleet
+        // sized for peaks pays the photonic idle floor all run under
+        // Static; Elastic parks the spare chip off-peak and spends
+        // strictly less energy while completing the same requests.
+        let fleet = small_fleet();
+        let mut base = ServeConfig::poisson(1500.0, 300, 13, 0);
+        base.admission = AdmissionControl::unbounded();
+        let mut stat = base.clone();
+        stat.autoscale = AutoscalePolicy::Static;
+        let mut elastic = base.clone();
+        elastic.autoscale = AutoscalePolicy::Elastic {
+            up_depth: 8,
+            warmup_s: 500e-6,
+            min_chips: 1,
+        };
+        let s = simulate(&fleet, &stat);
+        let e = simulate(&fleet, &elastic);
+        assert_eq!(s.completed, 300);
+        assert_eq!(e.completed, 300);
+        assert!(
+            e.energy_total_j < s.energy_total_j,
+            "elastic {} J vs static {} J",
+            e.energy_total_j,
+            s.energy_total_j
+        );
+    }
+
+    #[test]
+    fn display_mentions_autoscale_only_when_configured() {
+        let mut cfg = ServeConfig::poisson(3000.0, 300, 42, 0);
+        assert!(!format!("{cfg}").contains("autoscale"));
+        cfg.autoscale = AutoscalePolicy::Elastic {
+            up_depth: 4,
+            warmup_s: 0.0005,
+            min_chips: 1,
+        };
+        let line = format!("{cfg}");
+        assert!(line.contains("autoscale elastic:4:0.0005:1"));
+        assert!(!line.contains('\n'));
     }
 
     #[test]

@@ -246,6 +246,7 @@ pub fn run_serving_study(options: &StudyOptions, par: Parallelism) -> ServingStu
             admission: options.admission,
             faults: crate::fault::FaultScenario::none(),
             record_cap: usize::MAX,
+            autoscale: crate::autoscale::AutoscalePolicy::None,
         };
         StudyRun {
             cell,

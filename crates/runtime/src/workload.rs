@@ -101,6 +101,57 @@ impl ClassSpec {
             slo_ms: Some(slo_ms),
         }
     }
+
+    /// Parses a class list `NAME:WEIGHT[:SLO_MS],...` (the CLI
+    /// `--classes` grammar). Entries without an SLO inherit
+    /// `default_slo_ms`. Duplicate class names are rejected — per-class
+    /// attainment reports would silently merge tenants otherwise.
+    pub fn parse_list(list: &str, default_slo_ms: Option<f64>) -> Result<Vec<ClassSpec>, String> {
+        let mut classes: Vec<ClassSpec> = Vec::new();
+        for entry in list.split(',').filter(|e| !e.trim().is_empty()) {
+            let mut parts = entry.trim().splitn(3, ':');
+            let name = parts.next().unwrap_or("").trim();
+            if name.is_empty() {
+                return Err(format!("class entry `{entry}` needs NAME:WEIGHT[:SLO_MS]"));
+            }
+            if classes.iter().any(|c| c.name == name) {
+                return Err(format!(
+                    "duplicate class name `{name}` (each tenant class may appear once)"
+                ));
+            }
+            let weight: f64 = parts
+                .next()
+                .ok_or_else(|| format!("class entry `{entry}` needs a weight"))?
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad weight in `{entry}`"))?;
+            if !(weight.is_finite() && weight > 0.0) {
+                return Err(format!("class weight must be positive in `{entry}`"));
+            }
+            let slo_ms = match parts.next() {
+                Some(s) => {
+                    let slo: f64 = s
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad SLO in `{entry}`"))?;
+                    if !(slo.is_finite() && slo > 0.0) {
+                        return Err(format!("class SLO must be positive in `{entry}`"));
+                    }
+                    Some(slo)
+                }
+                None => default_slo_ms,
+            };
+            classes.push(ClassSpec {
+                name: name.to_string(),
+                weight,
+                slo_ms,
+            });
+        }
+        if classes.is_empty() {
+            return Err("class list names no class".to_string());
+        }
+        Ok(classes)
+    }
 }
 
 /// The arrival process shaping request interarrival times.
@@ -613,6 +664,27 @@ fn exp_gap(rng: &mut StdRng, rate: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn class_list_parses_and_rejects_duplicates() {
+        let classes = ClassSpec::parse_list("vip:3:5, batch:1", Some(20.0)).unwrap();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0], ClassSpec::with_slo("vip", 3.0, 5.0));
+        assert_eq!(classes[1], ClassSpec::with_slo("batch", 1.0, 20.0));
+        let best_effort = ClassSpec::parse_list("solo:2", None).unwrap();
+        assert_eq!(best_effort[0], ClassSpec::best_effort("solo", 2.0));
+
+        let err = ClassSpec::parse_list("vip:1, vip:2:9", None).unwrap_err();
+        assert!(
+            err.contains("duplicate class name `vip`"),
+            "unexpected message: {err}"
+        );
+        assert!(ClassSpec::parse_list("", None).is_err());
+        assert!(ClassSpec::parse_list("vip", None).is_err());
+        assert!(ClassSpec::parse_list("vip:-1", None).is_err());
+        assert!(ClassSpec::parse_list("vip:1:0", None).is_err());
+        assert!(ClassSpec::parse_list(":1", None).is_err());
+    }
 
     #[test]
     fn poisson_is_deterministic_and_sorted() {

@@ -22,8 +22,14 @@
 //!   fans out through.
 //! * [`runtime`] — the multi-chip inference-serving simulator: a
 //!   deterministic discrete-event engine with seeded arrival processes,
-//!   micro-batching, admission control, fault-aware degradation, and
-//!   service metrics (latency percentiles, goodput, energy/request).
+//!   micro-batching, admission control, autoscaling, fault-aware
+//!   degradation, and service metrics (latency percentiles, goodput,
+//!   energy/request).
+//! * [`plan`] — the capacity planner: a deterministic coarse-to-fine
+//!   search over candidate fleets (chip mix × batching policy ×
+//!   autoscaling), each scored by the serving simulator, that returns
+//!   the minimum-energy fleet meeting an SLO plus the full
+//!   (energy, attainment) frontier.
 //!
 //! # Quickstart
 //!
@@ -48,5 +54,6 @@ pub use albireo_core as core;
 pub use albireo_nn as nn;
 pub use albireo_parallel as parallel;
 pub use albireo_photonics as photonics;
+pub use albireo_plan as plan;
 pub use albireo_runtime as runtime;
 pub use albireo_tensor as tensor;
