@@ -44,6 +44,14 @@ fn main() {
         }
     }
     let report = run_parallel_sweep(&options);
+    if report.available_parallelism <= 1 {
+        eprintln!(
+            "warning: this machine exposes a single core (available_parallelism = 1); \
+             speedups will sit at ~1.0x and the sweep only demonstrates determinism, \
+             not scaling — read BENCH_parallel.json's `available_parallelism` field \
+             before comparing speedup numbers across machines"
+        );
+    }
     let json = report.to_json();
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("error: cannot write {out_path}: {e}");

@@ -19,8 +19,8 @@
 use albireo_obs::Obs;
 use albireo_parallel::Parallelism;
 use albireo_runtime::{
-    run_serving_study, simulate, simulate_observed, ArrivalProcess, FaultScenario, ServeConfig,
-    StudyOptions, Workload,
+    run_serving_study, simulate, simulate_observed, ArrivalProcess, FaultScenario, FaultSpec,
+    ServeConfig, StudyOptions, Workload,
 };
 
 /// Wall-clock medians for one serving scenario run with observability
@@ -128,6 +128,71 @@ fn measure_serving_scale(options: &StudyOptions) -> ServingScale {
     }
 }
 
+/// The correlated-fault scenario the fault-scale row runs under: a rack
+/// outage at t=30 s, a thermal epoch halving chip throughput over
+/// t=60..90 s, and two repair crews with a 20 s mean time-to-repair.
+/// Ranges are written generously and clipped to the fleet at compile
+/// time, so the clause string is fleet-size independent.
+const FAULT_SCALE_SPEC: &str = "rack:0-0@30,thermal:0-3@60-90:2,crews:2:20:11";
+
+/// One million requests through the correlated-fault scenario above —
+/// the availability row: what fraction of offered load completes when
+/// chips fail and recover mid-run, and what the tail looks like while
+/// the fleet is degraded. The offered rate is one the healthy fleet can
+/// sustain (unlike the throughput-oriented scale row, which runs into
+/// overload on purpose), so the availability loss here is attributable
+/// to the fault scenario; the healthy run at the same rate is reported
+/// alongside as the baseline. Memory stays bounded exactly as in the
+/// healthy scale row (the event queue also carries the fault events,
+/// whose count is fixed up front).
+struct FaultScale {
+    requests: usize,
+    rate_rps: f64,
+    fault_events: usize,
+    completed: u64,
+    shed: u64,
+    availability: f64,
+    healthy_availability: f64,
+    wall_ms: f64,
+    peak_event_queue: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    healthy_p99_ms: f64,
+    digest_hex: String,
+}
+
+fn measure_fault_scale(options: &StudyOptions) -> FaultScale {
+    let fleet = &options.fleets[0];
+    let rate_rps = 2000.0;
+    let mut cfg = ServeConfig::poisson(rate_rps, 1_000_000, options.base_seed, 0);
+    cfg.workload.mix = options.mix.clone();
+    cfg.record_cap = 0;
+    let healthy = simulate(fleet, &cfg);
+    let spec = FaultSpec::parse(FAULT_SCALE_SPEC).expect("fault-scale spec parses");
+    cfg.faults = spec.compile(fleet.chips.len());
+    let fault_events = cfg.faults.events().len();
+    let t0 = std::time::Instant::now();
+    let report = simulate(fleet, &cfg);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    FaultScale {
+        requests: cfg.requests,
+        rate_rps,
+        fault_events,
+        completed: report.completed,
+        shed: report.shed,
+        availability: report.completed as f64 / cfg.requests as f64,
+        healthy_availability: healthy.completed as f64 / cfg.requests as f64,
+        wall_ms,
+        peak_event_queue: report.peak_event_queue,
+        p50_ms: report.p50_ms,
+        p99_ms: report.p99_ms,
+        p999_ms: report.p999_ms,
+        healthy_p99_ms: healthy.p99_ms,
+        digest_hex: report.digest_hex(),
+    }
+}
+
 fn main() {
     let mut out_dir = "results".to_string();
     let mut json_path = "BENCH_serving.json".to_string();
@@ -179,6 +244,10 @@ fn main() {
     // The scale row: one million requests through the streamed engine.
     let scale = measure_serving_scale(&golden_options);
 
+    // The availability row: the same million requests under correlated
+    // faults with repair crews.
+    let fault_scale = measure_fault_scale(&golden_options);
+
     std::fs::create_dir_all(&out_dir).expect("create output directory");
     let study_csv = format!("{out_dir}/serving_study.csv");
     let golden_csv = format!("{out_dir}/golden_serving_metrics.csv");
@@ -223,6 +292,35 @@ fn main() {
             scale.digest_hex
         ),
     );
+    let at = json
+        .rfind("  \"combined_digest\"")
+        .expect("study JSON has a combined digest");
+    json.insert_str(
+        at,
+        &format!(
+            "  \"fault_scale\": {{\"requests\": {}, \"rate_rps\": {}, \"faults\": \"{}\", \
+             \"fault_events\": {}, \"completed\": {}, \"shed\": {}, \
+             \"availability\": {:.6}, \"healthy_availability\": {:.6}, \
+             \"wall_ms\": {:.1}, \"peak_event_queue\": {}, \
+             \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"p999_ms\": {:.4}, \
+             \"healthy_p99_ms\": {:.4}, \"digest\": \"{}\"}},\n",
+            fault_scale.requests,
+            fault_scale.rate_rps,
+            FAULT_SCALE_SPEC,
+            fault_scale.fault_events,
+            fault_scale.completed,
+            fault_scale.shed,
+            fault_scale.availability,
+            fault_scale.healthy_availability,
+            fault_scale.wall_ms,
+            fault_scale.peak_event_queue,
+            fault_scale.p50_ms,
+            fault_scale.p99_ms,
+            fault_scale.p999_ms,
+            fault_scale.healthy_p99_ms,
+            fault_scale.digest_hex
+        ),
+    );
     std::fs::write(&json_path, json).expect("write BENCH_serving.json");
 
     println!(
@@ -262,6 +360,23 @@ fn main() {
         scale.peak_event_queue,
         scale.sketch_buckets,
         scale.digest_hex
+    );
+    println!(
+        "fault scale: {} requests at {} rps under `{}` ({} fault events) in {:.1} ms — \
+         availability {:.4} (healthy {:.4}), shed {}, p99 {:.4} ms (healthy {:.4}), \
+         peak event queue {}, digest {}",
+        fault_scale.requests,
+        fault_scale.rate_rps,
+        FAULT_SCALE_SPEC,
+        fault_scale.fault_events,
+        fault_scale.wall_ms,
+        fault_scale.availability,
+        fault_scale.healthy_availability,
+        fault_scale.shed,
+        fault_scale.p99_ms,
+        fault_scale.healthy_p99_ms,
+        fault_scale.peak_event_queue,
+        fault_scale.digest_hex
     );
     println!("wrote {study_csv}, {golden_csv}, {json_path}");
     println!("combined digest {}", study.combined_digest_hex());

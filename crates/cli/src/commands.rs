@@ -91,6 +91,11 @@ COMMANDS:
         [--fleet SPEC] [--policy immediate|size:N|deadline:USEC[:MAX]]
         [--queue-cap N] [--networks A,B] [--replicas R] [--json] [--out FILE]
         [--fail CHIP@T,...] [--degrade CHIP:K@T,...] [--recover CHIP@T,...]
+        [--faults SPEC]                   correlated scenario: fail:C@T, recover:C@T,
+                                          degrade:C@T:N, rack:A-B@T,
+                                          thermal:A-B@T1-T2:N, crews:K:MEAN_S:SEED
+        [--checkpoint-every SIM_S] [--checkpoint-out FILE] [--resume FILE]
+        [--halt-after-checkpoints N] [--report-jsonl FILE]
         [--trace-out FILE] [--events-out FILE]
                                               multi-chip serving simulation
     plan       --slo \"p99<MS[,attain>=A][,shed<=S]\" [--rate RPS]
@@ -101,6 +106,7 @@ COMMANDS:
         [--screen-requests N] [--seed S] [--replicas R]
         [--policies immediate|size:N|deadline:USEC[:MAX],...]
         [--queue-cap N] [--autoscale none|static|elastic:UP:WARM[:MIN],...]
+        [--faults SPEC]                   score candidates under a fault scenario
         [--spec LINE] [--exhaustive] [--json] [--out FILE] [--csv-out FILE]
                                               capacity planner / fleet optimizer
     help                                      show this message
@@ -115,6 +121,14 @@ TRACING:
     virtual clock — open it at https://ui.perfetto.dev or chrome://tracing.
     --events-out FILE writes the same stream as JSONL. Fixed seed ⇒
     byte-identical files at any --threads value.
+
+CHECKPOINTING (serve):
+    --checkpoint-every S snapshots the simulation every S simulated
+    seconds to --checkpoint-out FILE (overwritten each time) and/or
+    appends one progress line per checkpoint to --report-jsonl FILE.
+    --halt-after-checkpoints N stops cleanly after the Nth snapshot;
+    --resume FILE restarts from a snapshot and produces a report
+    byte-identical to the uninterrupted run (digests match).
 ";
 
 fn parse_network(name: &str) -> Result<Model, CliError> {
@@ -569,8 +583,9 @@ fn parse_arrival(args: &Args, rate: f64) -> Result<albireo_runtime::ArrivalProce
 
 pub fn serve(args: &Args) -> Result<String, CliError> {
     use albireo_runtime::{
-        replicate, simulate_observed, trace_track_names, AdmissionControl, AutoscalePolicy,
-        BatchPolicy, ClassSpec, FaultKind, FaultScenario, FleetConfig, ServeConfig, Workload,
+        replicate, resume_checkpointed, simulate_checkpointed, simulate_observed,
+        trace_track_names, AdmissionControl, AutoscalePolicy, BatchPolicy, ClassSpec, FaultKind,
+        FaultScenario, FaultSpec, FleetConfig, ServeConfig, ServeOutcome, SimSnapshot, Workload,
     };
 
     let requests = args.get_parsed_or("requests", 1000usize, "a request count")?;
@@ -716,6 +731,13 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
             faults = faults.with(at_s, FaultKind::PlcgOffline { chip, count });
         }
     }
+    // `--faults` takes the full correlated-scenario grammar (rack
+    // groups, thermal epochs, repair crews) and merges with the legacy
+    // per-chip flags above.
+    if let Some(spec) = args.get("faults") {
+        let parsed = FaultSpec::parse(spec).map_err(CliError::Unknown)?;
+        faults = faults.merged(parsed.compile(fleet.chips.len()));
+    }
 
     let cfg = ServeConfig {
         workload: Workload {
@@ -731,19 +753,141 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         record_cap,
         autoscale,
     };
-    let reports = replicate(&fleet, &cfg, replicas, Parallelism::default());
-
-    // Trace capture re-runs replica 0 (same seed, same pure function)
-    // under an enabled Obs, so the replicated reports above stay
-    // byte-for-byte what an untraced run produces.
-    let obs = trace_obs(args);
-    let trace_note = if obs.is_enabled() {
-        simulate_observed(&fleet, &cfg, &obs);
-        let snapshot = obs.snapshot();
-        let note = write_trace_outputs(args, &obs, &trace_track_names(&fleet))?;
-        Some((note, snapshot))
+    // Checkpoint/resume flags. `--checkpoint-every` runs the single
+    // simulation through the checkpoint-boundary machinery; `--resume`
+    // restarts one from a snapshot file written by `--checkpoint-out`.
+    let checkpoint_every = match args.get("checkpoint-every") {
+        Some(raw) => {
+            let every: f64 = raw.parse().map_err(|_| {
+                CliError::Unknown(
+                    "--checkpoint-every needs an interval in simulated seconds".into(),
+                )
+            })?;
+            if !(every.is_finite() && every > 0.0) {
+                return Err(CliError::Unknown(
+                    "--checkpoint-every must be positive".into(),
+                ));
+            }
+            Some(every)
+        }
+        None => None,
+    };
+    let resume_path = args.get("resume");
+    let checkpoint_out = args.get("checkpoint-out");
+    let report_jsonl = args.get("report-jsonl");
+    let halt_after = args.get_parsed_or("halt-after-checkpoints", 0u64, "a checkpoint count")?;
+    let checkpointing = checkpoint_every.is_some() || resume_path.is_some();
+    if checkpointing {
+        if replicas != 1 {
+            return Err(CliError::Unknown(
+                "checkpoint/resume drives a single simulation; drop --replicas".into(),
+            ));
+        }
+        if args.get("trace-out").is_some() || args.get("events-out").is_some() {
+            return Err(CliError::Unknown(
+                "trace capture re-runs the whole simulation and cannot cross a checkpoint \
+                 boundary; drop --trace-out/--events-out"
+                    .into(),
+            ));
+        }
     } else {
-        None
+        for (flag, present) in [
+            ("checkpoint-out", checkpoint_out.is_some()),
+            ("report-jsonl", report_jsonl.is_some()),
+            ("halt-after-checkpoints", halt_after > 0),
+        ] {
+            if present {
+                return Err(CliError::Unknown(format!(
+                    "--{flag} needs --checkpoint-every (or --resume)"
+                )));
+            }
+        }
+    }
+
+    let (reports, trace_note) = if checkpointing {
+        use std::io::Write as _;
+        let mut jsonl = match report_jsonl {
+            Some(path) => {
+                // A resumed run appends: the stream is the continuation
+                // of the interrupted run's progress log.
+                let file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(resume_path.is_some())
+                    .truncate(resume_path.is_none())
+                    .write(true)
+                    .open(path)
+                    .map_err(|e| CliError::Io(format!("cannot open {path}: {e}")))?;
+                Some(file)
+            }
+            None => None,
+        };
+        let mut io_err: Option<String> = None;
+        let on_checkpoint = |snap: &SimSnapshot| -> bool {
+            if let Some(path) = checkpoint_out {
+                if let Err(e) = std::fs::write(path, snap.to_text()) {
+                    io_err = Some(format!("cannot write {path}: {e}"));
+                    return false;
+                }
+            }
+            if let Some(file) = jsonl.as_mut() {
+                if let Err(e) = writeln!(file, "{}", snap.progress_json()) {
+                    io_err = Some(format!("cannot write progress line: {e}"));
+                    return false;
+                }
+            }
+            halt_after == 0 || snap.checkpoints() < halt_after
+        };
+        let outcome = match resume_path {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+                let snapshot = SimSnapshot::parse(&text).map_err(CliError::Unknown)?;
+                resume_checkpointed(
+                    &fleet,
+                    &cfg,
+                    &snapshot,
+                    checkpoint_every.unwrap_or(0.0),
+                    on_checkpoint,
+                )
+                .map_err(CliError::Unknown)?
+            }
+            None => simulate_checkpointed(
+                &fleet,
+                &cfg,
+                checkpoint_every.expect("checkpointing implies an interval"),
+                on_checkpoint,
+            ),
+        };
+        if let Some(msg) = io_err {
+            return Err(CliError::Io(msg));
+        }
+        match outcome {
+            ServeOutcome::Completed(report) => (vec![*report], None),
+            ServeOutcome::Halted { checkpoints, at_s } => {
+                let note = checkpoint_out
+                    .map(|p| format!("; resume with --resume {p}"))
+                    .unwrap_or_default();
+                return Ok(format!(
+                    "halted after checkpoint {checkpoints} (t={at_s}s){note}\n"
+                ));
+            }
+        }
+    } else {
+        let reports = replicate(&fleet, &cfg, replicas, Parallelism::default());
+
+        // Trace capture re-runs replica 0 (same seed, same pure function)
+        // under an enabled Obs, so the replicated reports above stay
+        // byte-for-byte what an untraced run produces.
+        let obs = trace_obs(args);
+        let trace_note = if obs.is_enabled() {
+            simulate_observed(&fleet, &cfg, &obs);
+            let snapshot = obs.snapshot();
+            let note = write_trace_outputs(args, &obs, &trace_track_names(&fleet))?;
+            Some((note, snapshot))
+        } else {
+            None
+        };
+        (reports, trace_note)
     };
 
     let out = if args.flag("json") {
@@ -805,7 +949,7 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
 pub fn plan(args: &Args) -> Result<String, CliError> {
     use albireo_obs::Obs;
     use albireo_plan::{parse_policy, PlanSpec, SloSpec};
-    use albireo_runtime::{AutoscalePolicy, Workload};
+    use albireo_runtime::{AutoscalePolicy, FaultSpec, Workload};
 
     let spec = match args.get("spec") {
         Some(line) => {
@@ -832,6 +976,7 @@ pub fn plan(args: &Args) -> Result<String, CliError> {
                 "policies",
                 "queue-cap",
                 "autoscale",
+                "faults",
             ];
             if let Some(conflict) = shape_flags.iter().find(|f| args.get(f).is_some()) {
                 return Err(CliError::Unknown(format!(
@@ -921,6 +1066,10 @@ pub fn plan(args: &Args) -> Result<String, CliError> {
             }
             let queue_cap =
                 args.get_parsed_or("queue-cap", 64usize, "a capacity (0 = unbounded)")?;
+            let faults = match args.get("faults") {
+                Some(raw) => FaultSpec::parse(raw).map_err(CliError::Unknown)?,
+                None => FaultSpec::none(),
+            };
 
             let spec = PlanSpec {
                 workload: Workload {
@@ -942,6 +1091,7 @@ pub fn plan(args: &Args) -> Result<String, CliError> {
                     queue_cap
                 },
                 autoscale,
+                faults,
             };
             spec.validate().map_err(CliError::Unknown)?;
             spec
@@ -1770,6 +1920,146 @@ mod tests {
         // Aliased chip kinds cannot be repeated into multiset fleets.
         let err = plan(&args(&["--slo", "p99<5ms", "--chips", "edge=albireo_9:C"])).unwrap_err();
         assert!(err.to_string().contains("alias"), "{err}");
+    }
+
+    #[test]
+    fn serve_checkpoint_resume_reproduces_the_report() {
+        let ckpt = temp_path("serve_ckpt.snapshot");
+        let ckpt_s = ckpt.to_str().unwrap().to_string();
+        let base = [
+            "--requests",
+            "300",
+            "--rate",
+            "4000",
+            "--seed",
+            "7",
+            "--fail",
+            "1@0.01",
+            "--json",
+        ];
+        let baseline = serve(&args(&base)).unwrap();
+        // Checkpointing to completion changes nothing in the report.
+        let mut argv = base.to_vec();
+        argv.extend_from_slice(&["--checkpoint-every", "0.01", "--checkpoint-out", &ckpt_s]);
+        assert_eq!(baseline, serve(&args(&argv)).unwrap());
+        // Halt mid-run, then resume from the snapshot: byte-identical.
+        let mut argv = base.to_vec();
+        argv.extend_from_slice(&[
+            "--checkpoint-every",
+            "0.01",
+            "--checkpoint-out",
+            &ckpt_s,
+            "--halt-after-checkpoints",
+            "2",
+        ]);
+        let halted = serve(&args(&argv)).unwrap();
+        assert!(halted.contains("halted after checkpoint 2"), "{halted}");
+        assert!(halted.contains("--resume"), "{halted}");
+        let mut argv = base.to_vec();
+        argv.extend_from_slice(&["--resume", &ckpt_s]);
+        assert_eq!(baseline, serve(&args(&argv)).unwrap());
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn serve_report_jsonl_streams_progress() {
+        let path = temp_path("serve_progress.jsonl");
+        let p = path.to_str().unwrap().to_string();
+        serve(&args(&[
+            "--requests",
+            "200",
+            "--rate",
+            "4000",
+            "--checkpoint-every",
+            "0.01",
+            "--report-jsonl",
+            &p,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().count() >= 2, "{text}");
+        for line in text.lines() {
+            assert!(line.contains("albireo.serve.progress/v1"), "{line}");
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"offered\""), "{line}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_faults_spec_matches_the_legacy_flags() {
+        let legacy = serve(&args(&[
+            "--requests",
+            "200",
+            "--rate",
+            "4000",
+            "--fail",
+            "1@0.005",
+            "--degrade",
+            "0:4@0.002",
+            "--json",
+        ]))
+        .unwrap();
+        let spec = serve(&args(&[
+            "--requests",
+            "200",
+            "--rate",
+            "4000",
+            "--faults",
+            "fail:1@0.005,degrade:0@0.002:4",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(legacy, spec);
+        // Correlated clauses (rack + repair crews) run end to end.
+        let out = serve(&args(&[
+            "--requests",
+            "200",
+            "--rate",
+            "4000",
+            "--faults",
+            "rack:0-1@0.005,crews:1:0.01:7",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"offered\": 200"), "{out}");
+    }
+
+    #[test]
+    fn serve_checkpoint_flags_validate() {
+        assert!(serve(&args(&["--checkpoint-every", "0"])).is_err());
+        assert!(serve(&args(&["--checkpoint-every", "0.01", "--replicas", "2"])).is_err());
+        // The dependent flags are rejected without a checkpoint cadence.
+        assert!(serve(&args(&["--checkpoint-out", "/tmp/x"])).is_err());
+        assert!(serve(&args(&["--report-jsonl", "/tmp/x"])).is_err());
+        assert!(serve(&args(&["--halt-after-checkpoints", "1"])).is_err());
+        assert!(serve(&args(&["--resume", "/no/such/snapshot"])).is_err());
+        assert!(serve(&args(&["--faults", "melt:0@1"])).is_err());
+        let tr = temp_path("ckpt_trace.json");
+        let trs = tr.to_str().unwrap().to_string();
+        assert!(serve(&args(&["--checkpoint-every", "0.01", "--trace-out", &trs])).is_err());
+    }
+
+    #[test]
+    fn plan_faults_flag_threads_into_the_spec() {
+        let out = plan(&args(&[
+            "--slo",
+            "p99<5ms",
+            "--rate",
+            "8000",
+            "--requests",
+            "600",
+            "--screen-requests",
+            "150",
+            "--faults",
+            "fail:0@0",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(out.contains(";faults=fail:0@0\""), "{out}");
+        let err = plan(&args(&["--spec", "slo=p99<5ms", "--faults", "fail:0@0"])).unwrap_err();
+        assert!(err.to_string().contains("drop --faults"), "{err}");
+        assert!(plan(&args(&["--slo", "p99<5ms", "--faults", "melt:0@1"])).is_err());
     }
 
     #[test]

@@ -136,6 +136,23 @@ impl Histogram {
         self.max_bits.fetch_max(v.to_bits(), Ordering::Relaxed);
     }
 
+    /// Folds a previously captured [`HistogramData`] into this histogram
+    /// — the write-side half of exact merge, used when a resumed run
+    /// restores a snapshot into a live registry. Counts add and extrema
+    /// take extrema, so absorbing a snapshot and then recording the
+    /// remaining samples yields the same state as one uninterrupted run.
+    pub fn absorb(&self, data: &HistogramData) {
+        for (bucket, &c) in self.buckets.iter().zip(&data.buckets) {
+            if c > 0 {
+                bucket.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.zeros.fetch_add(data.zeros, Ordering::Relaxed);
+        self.invalid.fetch_add(data.invalid, Ordering::Relaxed);
+        self.min_bits.fetch_min(data.min_bits, Ordering::Relaxed);
+        self.max_bits.fetch_max(data.max_bits, Ordering::Relaxed);
+    }
+
     /// A plain, mergeable copy of the current state.
     pub fn data(&self) -> HistogramData {
         let mut buckets = [0u64; HISTOGRAM_BUCKETS];
@@ -366,6 +383,27 @@ impl Registry {
             sketches,
         }
     }
+
+    /// Folds a previously captured snapshot into the live registry:
+    /// counters add, gauges overwrite (last-writer-wins, matching
+    /// [`Gauge::set`]), histograms and sketches merge exactly. Absorbing
+    /// a checkpoint's snapshot and then recording the rest of the run
+    /// produces the same final snapshot as one uninterrupted run —
+    /// every operation is the metric's own exact-merge monoid.
+    pub fn absorb(&self, snapshot: &MetricsSnapshot) {
+        for (name, v) in &snapshot.counters {
+            self.counter(name).add(*v);
+        }
+        for (name, v) in &snapshot.gauges {
+            self.gauge(name).set(*v);
+        }
+        for (name, data) in &snapshot.histograms {
+            self.histogram(name).absorb(data);
+        }
+        for (name, sketch) in &snapshot.sketches {
+            self.sketch(name).merge_from(sketch);
+        }
+    }
 }
 
 /// A point-in-time view of a [`Registry`], ordered by metric name.
@@ -388,6 +426,36 @@ impl MetricsSnapshot {
             && self.gauges.is_empty()
             && self.histograms.is_empty()
             && self.sketches.is_empty()
+    }
+
+    /// Exact merge of two snapshots: counters add, gauges take `other`'s
+    /// value when present (`other` is the later shard), histograms and
+    /// sketches merge per their own monoids. Metric names union; the
+    /// result stays name-ordered, so its JSON and digest are stable.
+    pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        fn merge_by_name<T: Clone>(
+            a: &[(String, T)],
+            b: &[(String, T)],
+            combine: impl Fn(&T, &T) -> T,
+        ) -> Vec<(String, T)> {
+            let mut out: BTreeMap<String, T> =
+                a.iter().map(|(n, v)| (n.clone(), v.clone())).collect();
+            for (name, v) in b {
+                match out.get_mut(name) {
+                    Some(existing) => *existing = combine(existing, v),
+                    None => {
+                        out.insert(name.clone(), v.clone());
+                    }
+                }
+            }
+            out.into_iter().collect()
+        }
+        MetricsSnapshot {
+            counters: merge_by_name(&self.counters, &other.counters, |a, b| a + b),
+            gauges: merge_by_name(&self.gauges, &other.gauges, |_, b| *b),
+            histograms: merge_by_name(&self.histograms, &other.histograms, |a, b| a.merge(b)),
+            sketches: merge_by_name(&self.sketches, &other.sketches, |a, b| a.merge(b)),
+        }
     }
 
     /// Order-sensitive digest over every metric, with the workspace's
@@ -596,6 +664,62 @@ mod tests {
         assert!(json.contains("\"counters\": {}"));
         assert!(json.contains("\"sketches\": {}"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn absorbing_a_snapshot_equals_an_uninterrupted_run() {
+        // Record half the samples, snapshot, absorb into a fresh
+        // registry, record the other half: the final snapshot must equal
+        // one registry that saw everything.
+        let samples = [0.0, 1e-6, 0.25, 3.0, 4.0, 7.5, 1e3];
+        let record = |r: &Registry, v: f64| {
+            r.counter("ops").add(1);
+            r.histogram("h").observe(v);
+            r.sketch("s").observe(v);
+            r.gauge("g").set(v);
+        };
+        let full = Registry::new();
+        let first = Registry::new();
+        for &v in &samples {
+            record(&full, v);
+        }
+        for &v in &samples[..3] {
+            record(&first, v);
+        }
+        // Resume: a fresh registry absorbs the checkpointed state, then
+        // the remaining samples land on it.
+        let resumed = Registry::new();
+        resumed.absorb(&first.snapshot());
+        for &v in &samples[3..] {
+            record(&resumed, v);
+        }
+        assert_eq!(resumed.snapshot().digest(), full.snapshot().digest());
+        assert_eq!(resumed.snapshot().to_json(), full.snapshot().to_json());
+    }
+
+    #[test]
+    fn snapshot_merge_unions_names_and_adds_counts() {
+        let a = Registry::new();
+        a.counter("shared").add(2);
+        a.counter("only_a").add(1);
+        a.histogram("h").observe(1.0);
+        let b = Registry::new();
+        b.counter("shared").add(3);
+        b.gauge("g").set(9.0);
+        b.histogram("h").observe(4.0);
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(
+            merged.counters,
+            vec![("only_a".to_string(), 1), ("shared".to_string(), 5)]
+        );
+        assert_eq!(merged.gauges, vec![("g".to_string(), 9.0)]);
+        let h = &merged.histograms[0].1;
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(4.0));
+        // Identity and commutativity of the count-carrying parts.
+        let empty = MetricsSnapshot::default();
+        assert_eq!(a.snapshot().merge(&empty), a.snapshot());
+        assert_eq!(merged.counters, b.snapshot().merge(&a.snapshot()).counters);
     }
 
     #[test]

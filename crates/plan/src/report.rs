@@ -75,6 +75,10 @@ pub struct PlanReport {
     pub slo_line: String,
     /// Whether screening was skipped (every candidate scored).
     pub exhaustive: bool,
+    /// Whether the search itself disabled screening because the screen
+    /// length was too close to the scoring length to pay for itself
+    /// (text rendering only — the JSON stays mode-independent).
+    pub screen_auto_disabled: bool,
     /// Candidates enumerated.
     pub candidates_total: usize,
     /// Candidates screened (0 in exhaustive mode).
@@ -218,8 +222,13 @@ impl PlanReport {
         out.push_str(&format!("plan: {}\n", self.spec_line));
         if self.exhaustive {
             out.push_str(&format!(
-                "searched {} candidates exhaustively ({} scored x {} replica(s)) — {} feasible\n",
+                "searched {} candidates exhaustively{} ({} scored x {} replica(s)) — {} feasible\n",
                 self.candidates_total,
+                if self.screen_auto_disabled {
+                    " (screening auto-disabled: screen > requests/4)"
+                } else {
+                    ""
+                },
                 self.scored,
                 self.replicas,
                 self.frontier.len()
@@ -316,6 +325,7 @@ mod tests {
             spec_line: "rate=1000;slo=p99<5ms;chips=albireo_9:C".to_string(),
             slo_line: "p99<5ms".to_string(),
             exhaustive: false,
+            screen_auto_disabled: false,
             candidates_total: 3,
             screened: 3,
             pruned: 1,

@@ -35,6 +35,22 @@
 //! byte-identical plan JSON on the golden spec (pruning only ever
 //! removes candidates that full scoring would also call infeasible).
 //!
+//! Screening also **auto-disables** when `screen × 4 > requests`: below
+//! that gap the screen pass costs nearly as much as the scoring it
+//! hopes to skip, and measured candidate throughput on the pruned path
+//! falls *below* exhaustive. The report's `screen_auto_disabled` flag
+//! (text rendering only) records when this fired.
+//!
+//! ## Fault-aware planning
+//!
+//! A spec may carry a `faults=` scenario ([`albireo_runtime::FaultSpec`]
+//! grammar). It compiles once per fleet *size* — rack/thermal ranges
+//! clip to the candidate's fleet — and every screen and scoring run
+//! executes under it, so the frontier ranks candidates by how they
+//! serve *through* the outage, not in a healthy vacuum. Screening
+//! soundness is unchanged: the screen run is still an exact prefix of
+//! scoring replica 0, faults included.
+//!
 //! ## Determinism
 //!
 //! The plan is a pure function of the spec. All candidates share the
@@ -133,11 +149,11 @@ pub(crate) fn enumerate(spec: &PlanSpec) -> Vec<Candidate> {
 fn run_candidate(
     spec: &PlanSpec,
     candidate: &Candidate,
+    fleet: &FleetConfig,
+    faults: &FaultScenario,
     requests: usize,
     seed: u64,
 ) -> ServiceReport {
-    let fleet = FleetConfig::parse(&candidate.fleet_spec, zoo::all_benchmarks())
-        .expect("candidate fleet specs are validated before the search fans out");
     let cfg = ServeConfig {
         workload: spec.workload.clone(),
         requests,
@@ -148,11 +164,11 @@ fn run_candidate(
         } else {
             AdmissionControl::bounded(spec.queue_capacity)
         },
-        faults: FaultScenario::none(),
+        faults: faults.clone(),
         record_cap: 0,
         autoscale: candidate.autoscale,
     };
-    simulate(&fleet, &cfg)
+    simulate(fleet, &cfg)
 }
 
 /// The per-replica numbers a candidate is judged and ranked on.
@@ -224,6 +240,23 @@ pub fn plan(
     }
 
     let candidates = enumerate(spec);
+    // Parse each candidate's fleet exactly once, up front. Re-parsing
+    // inside `run_candidate` charged every screen run, every scoring
+    // replica, *and* the label lookup for a spec parse apiece — pure
+    // overhead that dominated short-screen searches.
+    let fleets: Vec<FleetConfig> = candidates
+        .iter()
+        .map(|c| {
+            FleetConfig::parse(&c.fleet_spec, models.clone())
+                .expect("candidate fleet specs are built from validated chip kinds")
+        })
+        .collect();
+    // The spec's fault scenario clips rack/thermal ranges to the fleet,
+    // so it compiles per fleet *size* — once per size, shared by every
+    // candidate of that size.
+    let scenarios: Vec<FaultScenario> = (0..=spec.max_chips)
+        .map(|size| spec.faults.compile(size))
+        .collect();
     let seeds: Vec<u64> = (0..spec.replicas)
         .map(|r| {
             if r == 0 {
@@ -239,12 +272,25 @@ pub fn plan(
     // survivor list is a pure function of the spec (map_indexed is
     // order-preserving), so the scoring phase below sees the same jobs
     // in the same order at any thread count.
-    let screen_everything = exhaustive || spec.screen_requests == spec.requests;
+    // Screening only pays when the screen run is much shorter than the
+    // scoring run: below a 4x gap the screen pass costs nearly as much
+    // as the scoring it hopes to skip, and the measured throughput of
+    // the pruned path drops *below* exhaustive (the screen runs are
+    // pure overhead for every survivor). Auto-disable it there.
+    let screen_worthwhile = spec.screen_requests * 4 <= spec.requests;
+    let screen_everything = exhaustive || !screen_worthwhile;
     let (survivors, screened) = if screen_everything {
         ((0..candidates.len()).collect::<Vec<_>>(), 0)
     } else {
         let flags = par.map_indexed(candidates.len(), |i| {
-            let report = run_candidate(spec, &candidates[i], spec.screen_requests, seeds[0]);
+            let report = run_candidate(
+                spec,
+                &candidates[i],
+                &fleets[i],
+                &scenarios[candidates[i].chips],
+                spec.screen_requests,
+                seeds[0],
+            );
             screen_survives(spec, &report)
         });
         let survivors: Vec<usize> = (0..candidates.len()).filter(|&i| flags[i]).collect();
@@ -256,10 +302,13 @@ pub fn plan(
     // candidates on the same replica seeds so they are compared on
     // identical arrival sequences.
     let stats = par.map_indexed(survivors.len() * spec.replicas, |j| {
-        let candidate = &candidates[survivors[j / spec.replicas]];
+        let index = survivors[j / spec.replicas];
+        let candidate = &candidates[index];
         run_stats(&run_candidate(
             spec,
             candidate,
+            &fleets[index],
+            &scenarios[candidate.chips],
             spec.requests,
             seeds[j % spec.replicas],
         ))
@@ -273,9 +322,7 @@ pub fn plan(
         let candidate = &candidates[index];
         let runs = &stats[s * spec.replicas..(s + 1) * spec.replicas];
         let n = runs.len() as f64;
-        let fleet_label = FleetConfig::parse(&candidate.fleet_spec, zoo::all_benchmarks())
-            .expect("validated above")
-            .label();
+        let fleet_label = fleets[index].label();
         let mut digest = 0u64;
         for r in runs {
             digest = digest.rotate_left(13) ^ r.digest;
@@ -342,6 +389,7 @@ pub fn plan(
         spec_line: spec.to_string(),
         slo_line: spec.slo.to_string(),
         exhaustive: screen_everything,
+        screen_auto_disabled: !exhaustive && !screen_worthwhile,
         candidates_total: candidates.len(),
         screened,
         pruned,
@@ -354,6 +402,7 @@ pub fn plan(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use albireo_runtime::FaultSpec;
 
     #[test]
     fn multisets_enumerate_nondecreasing_sequences() {
@@ -427,6 +476,51 @@ mod tests {
         assert_eq!(pruned.frontier, exhaustive.frontier);
         assert_eq!(pruned.to_json(), exhaustive.to_json());
         assert_eq!(pruned.digest(), exhaustive.digest());
+    }
+
+    #[test]
+    fn screening_auto_disables_when_the_screen_is_too_long() {
+        // screen*4 > requests: the screen pass would cost nearly as
+        // much as scoring, so the search scores everything and says so.
+        let spec = PlanSpec::parse(
+            "rate=8000;requests=400;screen=150;slo=p99<5ms;chips=albireo_9:C;max-chips=2",
+        )
+        .unwrap();
+        let obs = Obs::disabled();
+        let auto = plan(&spec, Parallelism::serial(), &obs, false).unwrap();
+        assert!(auto.exhaustive, "auto-disable must imply exhaustive");
+        assert!(auto.screen_auto_disabled);
+        assert_eq!((auto.screened, auto.pruned), (0, 0));
+        assert!(auto.render_text().contains("screening auto-disabled"));
+        // An explicit exhaustive run is byte-identical and not blamed
+        // on the auto-disable rule.
+        let explicit = plan(&spec, Parallelism::serial(), &obs, true).unwrap();
+        assert!(!explicit.screen_auto_disabled);
+        assert_eq!(auto.to_json(), explicit.to_json());
+    }
+
+    #[test]
+    fn spec_faults_shift_the_winner_to_a_larger_fleet() {
+        // Healthy, two chips suffice at 8000 rps (see the minimum-fleet
+        // test). With chip 0 failed at t=0 and never repaired, every
+        // fleet runs one chip short — the planner must spend a third
+        // chip to stay feasible.
+        let healthy = PlanSpec::parse(
+            "rate=8000;requests=600;screen=150;slo=p99<5ms;chips=albireo_9:C;max-chips=3",
+        )
+        .unwrap();
+        let mut faulty = healthy.clone();
+        faulty.faults = FaultSpec::parse("fail:0@0").unwrap();
+        let obs = Obs::disabled();
+        let base = plan(&healthy, Parallelism::serial(), &obs, false).unwrap();
+        let degraded = plan(&faulty, Parallelism::serial(), &obs, false).unwrap();
+        assert_eq!(base.winner().expect("healthy winner").chips, 2);
+        assert_eq!(degraded.winner().expect("degraded winner").chips, 3);
+        assert!(
+            degraded.spec_line.ends_with(";faults=fail:0@0"),
+            "spec echo must carry the scenario: {}",
+            degraded.spec_line
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! processes are intentionally outside the grammar — a plan must be
 //! reproducible from its one-line spec alone.
 
-use albireo_runtime::{ArrivalProcess, AutoscalePolicy, BatchPolicy, ClassSpec, Workload};
+use albireo_runtime::{
+    ArrivalProcess, AutoscalePolicy, BatchPolicy, ClassSpec, FaultSpec, Workload,
+};
 use std::fmt;
 
 /// The service-level objective candidates must meet to be feasible.
@@ -156,6 +158,10 @@ impl fmt::Display for SloSpec {
 ///   `deadline_s:<SECONDS>:<MAX>`.
 /// * `queue-cap` — shared queue capacity, or `unbounded`.
 /// * `autoscale` — `|`-separated [`AutoscalePolicy`] specs.
+/// * `faults` — optional correlated-fault scenario every candidate is
+///   scored under ([`FaultSpec`] grammar: `fail:`, `recover:`,
+///   `degrade:`, `rack:`, `thermal:`, `crews:` clauses), compiled per
+///   candidate fleet size. Omitted = healthy fleet.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanSpec {
     /// The request stream every candidate serves.
@@ -180,6 +186,9 @@ pub struct PlanSpec {
     pub queue_capacity: usize,
     /// Autoscaling policies searched.
     pub autoscale: Vec<AutoscalePolicy>,
+    /// Correlated-fault scenario candidates are scored under (empty =
+    /// healthy fleet), compiled against each candidate's fleet size.
+    pub faults: FaultSpec,
 }
 
 /// Canonical exact serialization of a batching policy: `immediate`,
@@ -355,6 +364,7 @@ impl PlanSpec {
             policies: vec![BatchPolicy::Immediate],
             queue_capacity: 64,
             autoscale: vec![AutoscalePolicy::Static],
+            faults: FaultSpec::none(),
         }
     }
 
@@ -481,6 +491,11 @@ impl PlanSpec {
             autoscale.push(policy);
         }
 
+        let faults = match take("faults") {
+            Some(v) => FaultSpec::parse(&v)?,
+            None => FaultSpec::none(),
+        };
+
         if let Some((k, _)) = pairs.first() {
             return Err(format!("unknown plan spec key `{k}`"));
         }
@@ -501,6 +516,7 @@ impl PlanSpec {
             policies,
             queue_capacity,
             autoscale,
+            faults,
         };
         plan.validate()?;
         Ok(plan)
@@ -603,6 +619,11 @@ impl fmt::Display for PlanSpec {
         for (i, a) in self.autoscale.iter().enumerate() {
             write!(f, "{}{a}", if i > 0 { "|" } else { "" })?;
         }
+        // Appended last, and only when present, so fault-free spec lines
+        // (and their digests) are byte-identical to the pre-fault era.
+        if !self.faults.is_empty() {
+            write!(f, ";faults={}", self.faults)?;
+        }
         Ok(())
     }
 }
@@ -653,6 +674,26 @@ mod tests {
         assert_eq!(spec.autoscale.len(), 3);
         assert_eq!(spec.workload.classes[0].slo_ms, Some(5.0));
         assert_eq!(spec.workload.classes[1].slo_ms, None);
+        assert!(spec.faults.is_empty());
+        // A fault-free spec line never mentions faults (byte-compatible
+        // with pre-fault spec lines and their golden digests).
+        assert!(!spec.to_string().contains("faults"));
+    }
+
+    #[test]
+    fn plan_spec_faults_round_trip_and_sit_last() {
+        let line = "rate=2000;slo=p99<5ms;chips=albireo_9:C;\
+                    faults=thermal:0-2@0.01-0.03:2,fail:1@0.02,crews:2:0.05:7";
+        let spec = PlanSpec::parse(line).unwrap();
+        assert!(!spec.faults.is_empty());
+        let canon = spec.to_string();
+        assert!(
+            canon.ends_with(";faults=thermal:0-2@0.01-0.03:2,fail:1@0.02,crews:2:0.05:7"),
+            "faults must be the final key: {canon}"
+        );
+        assert_eq!(PlanSpec::parse(&canon).unwrap(), spec);
+        // The compiled scenario tracks the candidate fleet size.
+        assert!(spec.faults.compile(3).events().len() > spec.faults.compile(1).events().len());
     }
 
     #[test]
@@ -695,6 +736,8 @@ mod tests {
             "rate=2000;slo=p99<5ms;chips=albireo_9:C;arrival=bursty:8:0.01", // missing field
             "rate=2000;slo=p99<5ms;chips=albireo_9:C;arrival=warp",          // unknown shape
             "rate=2000;slo=p99<5ms;chips=edge=albireo_9:C",                  // aliased kind
+            "rate=2000;slo=p99<5ms;chips=albireo_9:C;faults=melt:0@1",       // unknown clause
+            "rate=2000;slo=p99<5ms;chips=albireo_9:C;faults=fail:0@-1",      // negative time
         ] {
             assert!(PlanSpec::parse(bad).is_err(), "`{bad}` should be rejected");
         }

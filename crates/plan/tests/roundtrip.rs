@@ -7,7 +7,9 @@
 //! plan reproducible from its one-line spec echo alone.
 
 use albireo_plan::{PlanSpec, SloSpec};
-use albireo_runtime::{ArrivalProcess, AutoscalePolicy, BatchPolicy, ClassSpec, Workload};
+use albireo_runtime::{
+    ArrivalProcess, AutoscalePolicy, BatchPolicy, ClassSpec, FaultSpec, Workload,
+};
 use proptest::prelude::*;
 
 fn slo_strategy() -> impl Strategy<Value = SloSpec> {
@@ -78,6 +80,47 @@ fn workload_strategy() -> impl Strategy<Value = Workload> {
         })
 }
 
+/// Fault scenarios built from generated clause strings (the grammar is
+/// the canonical form, so parse(join(clauses)) both constructs the spec
+/// and exercises the parser). Times render via `{}` — bit-exact through
+/// a Display/parse cycle like every other float in the spec line.
+fn faults_strategy() -> impl Strategy<Value = FaultSpec> {
+    let clause = prop_oneof![
+        (0usize..8, 0.0f64..5.0).prop_map(|(c, t)| format!("fail:{c}@{t}")),
+        (0usize..8, 0.0f64..5.0).prop_map(|(c, t)| format!("recover:{c}@{t}")),
+        (0usize..8, 0.0f64..5.0, 1usize..4).prop_map(|(c, t, n)| format!("degrade:{c}@{t}:{n}")),
+        (0usize..4, 0usize..4, 0.0f64..5.0)
+            .prop_map(|(a, b, t)| { format!("rack:{}-{}@{t}", a.min(b), a.max(b)) }),
+        (0usize..4, 0usize..4, 0.0f64..5.0, 1e-3f64..5.0, 1usize..4).prop_map(
+            |(a, b, start, len, n)| {
+                format!(
+                    "thermal:{}-{}@{start}-{}:{n}",
+                    a.min(b),
+                    a.max(b),
+                    start + len
+                )
+            }
+        ),
+    ];
+    (
+        prop::collection::vec(clause, 0..4),
+        prop_oneof![
+            2 => Just(None),
+            1 => (1usize..4, 1e-3f64..1.0, 0u64..1_000_000).prop_map(Some),
+        ],
+    )
+        .prop_map(|(mut clauses, crews)| {
+            if let Some((k, mean_s, seed)) = crews {
+                clauses.push(format!("crews:{k}:{mean_s}:{seed}"));
+            }
+            if clauses.is_empty() {
+                FaultSpec::none()
+            } else {
+                FaultSpec::parse(&clauses.join(",")).expect("generated clauses are valid")
+            }
+        })
+}
+
 fn plan_strategy() -> impl Strategy<Value = PlanSpec> {
     let search_axes = (
         // (kinds bitmask over 3 choices, max_chips)
@@ -104,8 +147,14 @@ fn plan_strategy() -> impl Strategy<Value = PlanSpec> {
         0u64..u64::MAX,
         1usize..4,
     );
-    (workload_strategy(), slo_strategy(), search_axes, run_shape).prop_map(
-        |(workload, slo, axes, shape)| {
+    (
+        workload_strategy(),
+        slo_strategy(),
+        search_axes,
+        run_shape,
+        faults_strategy(),
+    )
+        .prop_map(|(workload, slo, axes, shape, faults)| {
             let ((kind_mask, max_chips), policy_axes, scale_axes, queue) = axes;
             let (requests, screen_frac, seed, replicas) = shape;
             let all_kinds = ["albireo_9:C", "albireo_27:C", "albireo_9:A"];
@@ -151,9 +200,9 @@ fn plan_strategy() -> impl Strategy<Value = PlanSpec> {
                 policies,
                 queue_capacity: queue.unwrap_or(usize::MAX),
                 autoscale,
+                faults,
             }
-        },
-    )
+        })
 }
 
 proptest! {

@@ -29,11 +29,16 @@
 //! * [`policy`] — micro-batching policies and admission control;
 //! * [`autoscale`] — fleet provisioning: static idle-power accounting
 //!   and queue-depth-driven elastic spin-up/park with warm-up latency;
-//! * [`fault`] — timed chip/PLCG fault scenarios, including
-//!   classification of analog fault sets;
+//! * [`fault`] — timed chip/PLCG fault scenarios, correlated-failure
+//!   specs ([`fault::FaultSpec`]: rack groups, thermal epochs, repair
+//!   crews), and classification of analog fault sets;
 //! * [`sim`] — the discrete-event engine ([`sim::simulate`], plus
 //!   [`sim::simulate_observed`] recording spans/metrics into an
-//!   `albireo_obs::Obs` on the virtual clock);
+//!   `albireo_obs::Obs` on the virtual clock, and
+//!   [`sim::simulate_checkpointed`] / [`sim::resume_checkpointed`] for
+//!   interruptible runs);
+//! * [`snapshot`] — the versioned, self-digesting checkpoint format
+//!   (`albireo.snapshot/v1`) behind checkpoint/resume;
 //! * [`report`] — service metrics, text/CSV/JSON renderings, digests;
 //! * [`study`] — the replicated (fleet × rate × policy) sweep, fanned
 //!   deterministically through `albireo-parallel`.
@@ -55,15 +60,20 @@ pub mod policy;
 pub mod queue;
 pub mod report;
 pub mod sim;
+pub mod snapshot;
 pub mod study;
 pub mod workload;
 
 pub use autoscale::AutoscalePolicy;
-pub use fault::{FaultEvent, FaultKind, FaultScenario};
+pub use fault::{FaultEvent, FaultKind, FaultScenario, FaultSpec};
 pub use fleet::{ChipSpec, FleetConfig, ServiceCost, ServiceOracle};
 pub use policy::{AdmissionControl, BatchPolicy};
 pub use queue::{EventKey, EventQueue};
 pub use report::{ChipReport, ClassReport, RequestRecord, ServiceReport};
-pub use sim::{simulate, simulate_observed, trace_track_names, ServeConfig};
+pub use sim::{
+    resume_checkpointed, simulate, simulate_checkpointed, simulate_observed, trace_track_names,
+    ServeConfig, ServeOutcome,
+};
+pub use snapshot::{SimSnapshot, SNAPSHOT_SCHEMA};
 pub use study::{replicate, run_serving_study, ServingStudyReport, StudyOptions, StudyRun};
 pub use workload::{ArrivalProcess, ClassSpec, Request, RequestStream, Workload};

@@ -87,7 +87,7 @@ impl ChipReport {
 
 /// Per-class accumulator the engine fills while serving (one per entry
 /// in the workload's class table).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct ClassTotals {
     pub name: String,
     pub slo_ms: Option<f64>,
@@ -116,7 +116,7 @@ impl ClassTotals {
 /// Everything a finished run accumulated in streaming fashion — the
 /// engine→report handoff. O(1) in the number of requests except for the
 /// explicitly capped `records` sample.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct RunTotals {
     /// Arrivals actually streamed (equals the configured request count
     /// for generated processes; a short trace offers fewer).

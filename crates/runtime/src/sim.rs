@@ -50,8 +50,9 @@ use crate::fleet::{FleetConfig, ServiceOracle};
 use crate::policy::{AdmissionControl, BatchPolicy};
 use crate::queue::{EventKey, EventQueue};
 use crate::report::{ChipReport, ClassTotals, RequestRecord, RunTotals, ServiceReport};
+use crate::snapshot::SimSnapshot;
 use crate::workload::{Request, RequestStream, Workload};
-use albireo_obs::{track, ArgValue, Obs};
+use albireo_obs::{fnv1a, track, ArgValue, Obs};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -132,7 +133,7 @@ impl fmt::Display for ServeConfig {
 
 /// Queue-resident event payloads. Arrivals are streamed, never queued.
 #[derive(Debug, Clone, PartialEq)]
-enum EventKind {
+pub(crate) enum EventKind {
     Fault(FaultKind),
     Completion {
         chip: usize,
@@ -156,27 +157,27 @@ impl EventKind {
     }
 }
 
-#[derive(Debug, Clone)]
-struct ChipState {
-    online: bool,
-    plcgs_down: usize,
-    busy: bool,
-    busy_s: f64,
-    energy_j: f64,
-    served: u64,
-    batches: u64,
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ChipState {
+    pub(crate) online: bool,
+    pub(crate) plcgs_down: usize,
+    pub(crate) busy: bool,
+    pub(crate) busy_s: f64,
+    pub(crate) energy_j: f64,
+    pub(crate) served: u64,
+    pub(crate) batches: u64,
     /// Autoscaling: parked chips are deprovisioned (no power, no work).
-    parked: bool,
+    pub(crate) parked: bool,
     /// Autoscaling: warming chips draw idle power but cannot serve yet.
-    warming: bool,
+    pub(crate) warming: bool,
     /// Provisioned seconds accumulated over completed park cycles (the
     /// open cycle since `provisioned_at_s` is closed at park/end time).
-    provisioned_s: f64,
+    pub(crate) provisioned_s: f64,
     /// Start of the current provisioned interval (meaningful while not
     /// parked).
-    provisioned_at_s: f64,
+    pub(crate) provisioned_at_s: f64,
     /// Elastic spin-ups of this chip.
-    spin_ups: u64,
+    pub(crate) spin_ups: u64,
 }
 
 struct Sim<'a> {
@@ -428,6 +429,11 @@ impl<'a> Sim<'a> {
                     c.plcgs_down += count;
                 }
             }
+            FaultKind::PlcgRestore { chip, count } => {
+                if let Some(c) = self.chips.get_mut(chip) {
+                    c.plcgs_down = c.plcgs_down.saturating_sub(count);
+                }
+            }
         }
     }
 
@@ -549,7 +555,39 @@ impl<'a> Sim<'a> {
         self.try_dispatch(now);
     }
 
-    fn run(mut self) -> ServiceReport {
+    fn run(self) -> ServiceReport {
+        match self.run_checkpointed(None) {
+            ServeOutcome::Completed(report) => *report,
+            ServeOutcome::Halted { .. } => unreachable!("halting requires a checkpointer"),
+        }
+    }
+
+    /// Captures the full engine state at checkpoint boundary `at_s`.
+    /// Everything strictly before the boundary has been applied; events
+    /// at or after it are still pending.
+    fn capture(&self, at_s: f64, checkpoints: u64) -> SimSnapshot {
+        SimSnapshot {
+            fingerprint: config_fingerprint(self.fleet, self.cfg),
+            requests: self.cfg.requests,
+            seed: self.cfg.seed,
+            at_s,
+            checkpoints,
+            seq: self.seq,
+            next_arrival: self.next_arrival.clone(),
+            totals: self.totals.clone(),
+            queue: self.queue.iter().cloned().collect(),
+            events: self
+                .events
+                .sorted_entries()
+                .into_iter()
+                .map(|(k, kind)| (k.time_bits(), k.class(), k.seq(), kind))
+                .collect(),
+            peak_event_queue: self.events.peak_len(),
+            chips: self.chips.clone(),
+        }
+    }
+
+    fn run_checkpointed(mut self, mut ckpt: Option<Checkpointer<'_>>) -> ServeOutcome {
         loop {
             // Merge the arrival lookahead against the event queue on the
             // shared `(time, class)` key. Arrivals are the only class-2
@@ -565,6 +603,31 @@ impl<'a> Sim<'a> {
                 (None, Some(_)) => false,
                 (None, None) => break,
             };
+            // Emit any checkpoint boundary the clock is about to cross.
+            // Boundaries land *between* event instants: the snapshot sees
+            // every effect strictly before `boundary` and none at or
+            // after it, so a same-instant tie never splits.
+            if let Some(c) = ckpt.as_mut() {
+                let t = if take_arrival {
+                    self.next_arrival.as_ref().expect("checked above").arrival_s
+                } else {
+                    self.events.peek_key().expect("checked above").time_s()
+                };
+                loop {
+                    let boundary = (c.emitted + 1) as f64 * c.every_s;
+                    if t < boundary {
+                        break;
+                    }
+                    c.emitted += 1;
+                    let snap = self.capture(boundary, c.emitted);
+                    if !(c.on_checkpoint)(&snap) {
+                        return ServeOutcome::Halted {
+                            checkpoints: c.emitted,
+                            at_s: boundary,
+                        };
+                    }
+                }
+            }
             if take_arrival {
                 let req = self.next_arrival.take().expect("checked above");
                 self.next_arrival = self.pull_arrival();
@@ -614,7 +677,7 @@ impl<'a> Sim<'a> {
         if stranded > 0 && self.obs.is_enabled() {
             self.obs.counter("serve.shed").add(stranded);
         }
-        self.finish()
+        ServeOutcome::Completed(Box::new(self.finish()))
     }
 
     fn finish(mut self) -> ServiceReport {
@@ -707,6 +770,12 @@ pub fn simulate(fleet: &FleetConfig, cfg: &ServeConfig) -> ServiceReport {
 /// only reads simulator state — and a disabled `obs` reduces every
 /// record site to one branch.
 pub fn simulate_observed(fleet: &FleetConfig, cfg: &ServeConfig, obs: &Obs) -> ServiceReport {
+    new_sim(fleet, cfg, obs).run()
+}
+
+/// Builds a fresh simulation at virtual time zero: seeded stream, fault
+/// events queued, arrival lookahead primed.
+fn new_sim<'a>(fleet: &'a FleetConfig, cfg: &'a ServeConfig, obs: &'a Obs) -> Sim<'a> {
     assert!(!fleet.chips.is_empty(), "fleet must contain a chip");
     assert!(!fleet.models.is_empty(), "fleet must serve a network");
     // Chips beyond the elastic floor start parked; `min_chips` beyond the
@@ -756,7 +825,188 @@ pub fn simulate_observed(fleet: &FleetConfig, cfg: &ServeConfig, obs: &Obs) -> S
         sim.push(fault.at_s, EventKind::Fault(fault.kind));
     }
     sim.next_arrival = sim.pull_arrival();
-    sim.run()
+    sim
+}
+
+/// Periodic checkpoint emission state for [`Sim::run_checkpointed`].
+struct Checkpointer<'cb> {
+    /// Virtual seconds between checkpoint boundaries.
+    every_s: f64,
+    /// Boundaries emitted so far (resume continues the count).
+    emitted: u64,
+    /// Receives each snapshot; returning `false` halts the run.
+    on_checkpoint: &'cb mut dyn FnMut(&SimSnapshot) -> bool,
+}
+
+/// How a checkpointed serving run ended.
+#[derive(Debug)]
+pub enum ServeOutcome {
+    /// The run finished; the report is identical to [`simulate`]'s.
+    Completed(Box<ServiceReport>),
+    /// The checkpoint callback returned `false` at this boundary; the
+    /// snapshot it received is the resume point.
+    Halted {
+        /// Checkpoints emitted, including the halting one.
+        checkpoints: u64,
+        /// The boundary's virtual time, s.
+        at_s: f64,
+    },
+}
+
+/// FNV-1a over the fleet label and the full config — the identity a
+/// snapshot is bound to. Resume with anything else is refused.
+pub(crate) fn config_fingerprint(fleet: &FleetConfig, cfg: &ServeConfig) -> u64 {
+    fnv1a(format!("{}|{:?}", fleet.label(), cfg).as_bytes())
+}
+
+/// Runs one serving simulation, emitting a [`SimSnapshot`] at every
+/// multiple of `every_s` on the virtual clock. The callback returns
+/// `true` to keep running or `false` to halt at that boundary (after,
+/// e.g., persisting the snapshot). Reports from checkpointed runs are
+/// byte-identical to [`simulate`]'s — checkpoints only read state.
+pub fn simulate_checkpointed<F: FnMut(&SimSnapshot) -> bool>(
+    fleet: &FleetConfig,
+    cfg: &ServeConfig,
+    every_s: f64,
+    mut on_checkpoint: F,
+) -> ServeOutcome {
+    assert!(
+        every_s > 0.0 && every_s.is_finite(),
+        "checkpoint interval must be positive and finite"
+    );
+    let obs = Obs::disabled();
+    let sim = new_sim(fleet, cfg, &obs);
+    sim.run_checkpointed(Some(Checkpointer {
+        every_s,
+        emitted: 0,
+        on_checkpoint: &mut on_checkpoint,
+    }))
+}
+
+/// Resumes a run from a [`SimSnapshot`] captured by
+/// [`simulate_checkpointed`] under the *same* fleet and config.
+///
+/// The workload stream is re-seeded and fast-forwarded `offered` draws,
+/// then the regenerated lookahead is cross-checked bit for bit against
+/// the snapshot's — a mismatched workload, seed, or request count is
+/// an error, not a silently different run. `every_s > 0` continues
+/// periodic checkpoints on the original boundary grid (it must equal
+/// the interval the snapshot was taken on); `every_s == 0` runs to
+/// completion without further checkpoints.
+///
+/// The resumed run's [`ServiceReport`] — including its digest and JSON
+/// — is byte-identical to the uninterrupted run's.
+pub fn resume_checkpointed<F: FnMut(&SimSnapshot) -> bool>(
+    fleet: &FleetConfig,
+    cfg: &ServeConfig,
+    snapshot: &SimSnapshot,
+    every_s: f64,
+    mut on_checkpoint: F,
+) -> Result<ServeOutcome, String> {
+    if snapshot.requests != cfg.requests {
+        return Err(format!(
+            "snapshot was taken at {} requests, config asks for {}",
+            snapshot.requests, cfg.requests
+        ));
+    }
+    if snapshot.seed != cfg.seed {
+        return Err(format!(
+            "snapshot was taken with seed {}, config uses {}",
+            snapshot.seed, cfg.seed
+        ));
+    }
+    let expected = config_fingerprint(fleet, cfg);
+    if snapshot.fingerprint != expected {
+        return Err(format!(
+            "snapshot fingerprint {:016x} does not match this fleet/config ({expected:016x}) — \
+             resume needs the exact original fleet, workload, policy, and fault scenario",
+            snapshot.fingerprint
+        ));
+    }
+    if snapshot.chips.len() != fleet.chips.len() {
+        return Err(format!(
+            "snapshot holds {} chip(s), fleet has {}",
+            snapshot.chips.len(),
+            fleet.chips.len()
+        ));
+    }
+    let mut stream = cfg.workload.stream(cfg.requests, cfg.seed);
+    {
+        let classes = stream.classes();
+        if classes.len() != snapshot.totals.classes.len() {
+            return Err(format!(
+                "snapshot has {} request class(es), workload defines {}",
+                snapshot.totals.classes.len(),
+                classes.len()
+            ));
+        }
+        for (spec, have) in classes.iter().zip(&snapshot.totals.classes) {
+            if spec.name != have.name || spec.slo_ms != have.slo_ms {
+                return Err(format!(
+                    "request class `{}` does not match the snapshot's `{}`",
+                    spec.name, have.name
+                ));
+            }
+        }
+    }
+    // Fast-forward the stream past every arrival the snapshot consumed,
+    // then cross-check the regenerated lookahead.
+    for i in 0..snapshot.totals.offered {
+        if stream.next().is_none() {
+            return Err(format!(
+                "workload stream ended after {i} request(s) while replaying {} — \
+                 the workload does not match the snapshot",
+                snapshot.totals.offered
+            ));
+        }
+    }
+    let regenerated = stream.next();
+    if regenerated != snapshot.next_arrival {
+        return Err(
+            "replayed workload diverges from the snapshot's arrival lookahead — \
+             the workload or seed does not match"
+                .to_string(),
+        );
+    }
+    let ckpt = if every_s > 0.0 {
+        let grid_at = snapshot.checkpoints as f64 * every_s;
+        if grid_at.to_bits() != snapshot.at_s.to_bits() {
+            return Err(format!(
+                "checkpoint interval {} s is off the snapshot's grid (checkpoint {} at {} s) — \
+                 resume with the original --checkpoint-every",
+                every_s, snapshot.checkpoints, snapshot.at_s
+            ));
+        }
+        Some(Checkpointer {
+            every_s,
+            emitted: snapshot.checkpoints,
+            on_checkpoint: &mut on_checkpoint,
+        })
+    } else {
+        None
+    };
+    let entries = snapshot
+        .events
+        .iter()
+        .map(|(time_bits, class, seq, kind)| {
+            (EventKey::new(*time_bits, *class, *seq), kind.clone())
+        })
+        .collect();
+    let obs = Obs::disabled();
+    let sim = Sim {
+        fleet,
+        cfg,
+        obs: &obs,
+        oracle: ServiceOracle::new(),
+        events: EventQueue::from_sorted(entries, snapshot.peak_event_queue),
+        seq: snapshot.seq,
+        queue: snapshot.queue.iter().cloned().collect(),
+        chips: snapshot.chips.clone(),
+        stream,
+        next_arrival: snapshot.next_arrival.clone(),
+        totals: snapshot.totals.clone(),
+    };
+    Ok(sim.run_checkpointed(ckpt))
 }
 
 /// `(track, label)` pairs for every track a traced serving run uses —
@@ -1310,6 +1560,140 @@ mod tests {
         let line = format!("{cfg}");
         assert!(line.contains("autoscale elastic:4:0.0005:1"));
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn checkpoint_resume_reports_are_byte_identical() {
+        let fleet = small_fleet();
+        let mut cfg = ServeConfig::poisson(3000.0, 400, 42, 0);
+        cfg.faults = FaultScenario::none()
+            .with(0.02, FaultKind::ChipOffline { chip: 1 })
+            .with(0.05, FaultKind::ChipOnline { chip: 1 });
+        let baseline = simulate(&fleet, &cfg);
+        let every = 0.01;
+        let mut snaps: Vec<SimSnapshot> = Vec::new();
+        let out = simulate_checkpointed(&fleet, &cfg, every, |s| {
+            snaps.push(s.clone());
+            true
+        });
+        let ServeOutcome::Completed(full) = out else {
+            panic!("run must complete");
+        };
+        assert_eq!(*full, baseline, "checkpointing must not perturb the run");
+        assert!(snaps.len() >= 3, "expected several boundaries");
+        for snap in &snaps {
+            // Through the wire format, then to completion without further
+            // checkpoints: byte-identical report, digest, and JSON.
+            let restored = SimSnapshot::parse(&snap.to_text()).unwrap();
+            assert_eq!(&restored, snap);
+            let out = resume_checkpointed(&fleet, &cfg, &restored, 0.0, |_| true).unwrap();
+            let ServeOutcome::Completed(resumed) = out else {
+                panic!("resume must complete");
+            };
+            assert_eq!(*resumed, baseline);
+            assert_eq!(resumed.digest(), baseline.digest());
+            assert_eq!(resumed.to_json(), baseline.to_json());
+        }
+        // Resuming on the original cadence replays the remaining
+        // boundaries exactly.
+        let mut tail: Vec<SimSnapshot> = Vec::new();
+        let out = resume_checkpointed(&fleet, &cfg, &snaps[0], every, |s| {
+            tail.push(s.clone());
+            true
+        })
+        .unwrap();
+        assert!(matches!(out, ServeOutcome::Completed(_)));
+        assert_eq!(tail, snaps[1..]);
+    }
+
+    #[test]
+    fn halting_returns_the_boundary_and_resume_finishes_the_run() {
+        let fleet = small_fleet();
+        let cfg = ServeConfig::poisson(3000.0, 300, 7, 0);
+        let baseline = simulate(&fleet, &cfg);
+        let mut last = None;
+        let out = simulate_checkpointed(&fleet, &cfg, 0.02, |s| {
+            last = Some(s.clone());
+            s.checkpoints() < 2
+        });
+        let ServeOutcome::Halted { checkpoints, at_s } = out else {
+            panic!("expected a halt");
+        };
+        assert_eq!(checkpoints, 2);
+        assert_eq!(at_s, 0.04);
+        let snap = last.unwrap();
+        assert_eq!(snap.checkpoints(), 2);
+        assert!(snap.offered() > 0 && snap.offered() < 300);
+        let out = resume_checkpointed(&fleet, &cfg, &snap, 0.02, |_| true).unwrap();
+        let ServeOutcome::Completed(resumed) = out else {
+            panic!("resume must complete");
+        };
+        assert_eq!(*resumed, baseline);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_configurations() {
+        let fleet = small_fleet();
+        let cfg = ServeConfig::poisson(3000.0, 300, 42, 0);
+        let mut snap = None;
+        let _ = simulate_checkpointed(&fleet, &cfg, 0.02, |s| {
+            snap = Some(s.clone());
+            false
+        });
+        let snap = snap.unwrap();
+        let mut wrong_seed = cfg.clone();
+        wrong_seed.seed = 43;
+        assert!(resume_checkpointed(&fleet, &wrong_seed, &snap, 0.0, |_| true).is_err());
+        let mut wrong_requests = cfg.clone();
+        wrong_requests.requests = 400;
+        assert!(resume_checkpointed(&fleet, &wrong_requests, &snap, 0.0, |_| true).is_err());
+        let mut wrong_policy = cfg.clone();
+        wrong_policy.policy = BatchPolicy::SizeN { size: 4 };
+        let err = resume_checkpointed(&fleet, &wrong_policy, &snap, 0.0, |_| true).unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+        // An off-grid interval is refused; the original cadence works.
+        assert!(resume_checkpointed(&fleet, &cfg, &snap, 0.03, |_| true).is_err());
+        assert!(resume_checkpointed(&fleet, &cfg, &snap, 0.02, |_| true).is_ok());
+    }
+
+    #[test]
+    fn resume_covers_classes_autoscale_and_correlated_faults() {
+        use crate::fault::FaultSpec;
+        let fleet = small_fleet();
+        let mut cfg = ServeConfig::poisson(6000.0, 500, 11, 0);
+        cfg.workload = cfg.workload.with_classes(vec![
+            ClassSpec::with_slo("interactive", 3.0, 5.0),
+            ClassSpec::best_effort("batch", 1.0),
+        ]);
+        cfg.admission = AdmissionControl::bounded(64);
+        cfg.autoscale = AutoscalePolicy::Elastic {
+            up_depth: 4,
+            warmup_s: 200e-6,
+            min_chips: 1,
+        };
+        cfg.faults = FaultSpec::parse("thermal:0-1@0.01-0.03:2,fail:0@0.02,crews:1:0.02:9")
+            .unwrap()
+            .compile(fleet.chips.len());
+        let baseline = simulate(&fleet, &cfg);
+        let mut snaps: Vec<SimSnapshot> = Vec::new();
+        let out = simulate_checkpointed(&fleet, &cfg, 0.005, |s| {
+            snaps.push(s.clone());
+            true
+        });
+        let ServeOutcome::Completed(full) = out else {
+            panic!("run must complete");
+        };
+        assert_eq!(*full, baseline);
+        assert!(!snaps.is_empty());
+        for snap in &snaps {
+            let restored = SimSnapshot::parse(&snap.to_text()).unwrap();
+            let out = resume_checkpointed(&fleet, &cfg, &restored, 0.0, |_| true).unwrap();
+            let ServeOutcome::Completed(resumed) = out else {
+                panic!("resume must complete");
+            };
+            assert_eq!(*resumed, baseline);
+            assert_eq!(resumed.to_json(), baseline.to_json());
+        }
     }
 
     #[test]
