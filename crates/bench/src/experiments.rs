@@ -1181,6 +1181,10 @@ pub fn export_csv(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathB
     // for the regression tests in `tests/baseline_golden.rs`.
     write("golden_baseline_metrics.csv", golden_baseline_metrics_csv())?;
 
+    // Golden operating modes: direct vs Winograd vs GEMM on the serving
+    // zoo, for the regression tests in `tests/modes_golden.rs`.
+    write("golden_modes_metrics.csv", golden_modes_metrics_csv())?;
+
     Ok(written)
 }
 
@@ -1219,6 +1223,69 @@ pub fn golden_baseline_metrics_csv() -> String {
             "network",
             "accelerator",
             "cycles",
+            "latency_ms",
+            "energy_mj",
+            "edp_mj_ms",
+            "setup_ms",
+            "wavelengths",
+        ],
+        &rows,
+    )
+}
+
+/// The operating-mode golden-value artifact: the direct Albireo dataflow
+/// next to the Winograd F(2×2,3×3) and incoherent-GEMM modes on every
+/// serving-zoo network each one supports, costed through the shared
+/// [`Accelerator`] trait. `tests/modes_golden.rs` pins the mode cost
+/// models against the committed copy in `results/` and asserts the
+/// headline claims (Winograd shifts VGG-class nets, leaves MobileNet
+/// untouched; GEMM serves only the dense workloads).
+pub fn golden_modes_metrics_csv() -> String {
+    use albireo_core::report::to_csv;
+    use albireo_modes::{GemmMode, WinogradAccelerator};
+    let accels: Vec<Box<dyn Accelerator>> = vec![
+        Box::new(AlbireoAccelerator::albireo_9(
+            TechnologyEstimate::Conservative,
+        )),
+        Box::new(AlbireoAccelerator::albireo_27(
+            TechnologyEstimate::Conservative,
+        )),
+        Box::new(WinogradAccelerator::winograd_9(
+            TechnologyEstimate::Conservative,
+        )),
+        Box::new(WinogradAccelerator::winograd_27(
+            TechnologyEstimate::Conservative,
+        )),
+        Box::new(GemmMode::gemm_9(TechnologyEstimate::Conservative)),
+        Box::new(GemmMode::gemm_27(TechnologyEstimate::Conservative)),
+    ];
+    let mut rows = Vec::new();
+    for model in zoo::serving_models() {
+        for accel in &accels {
+            if !accel.supports(&model) {
+                continue;
+            }
+            let c = accel.cost(&model);
+            let macs: u64 = c.per_layer.iter().map(|l| l.macs).sum();
+            rows.push(vec![
+                c.network.clone(),
+                c.accelerator.clone(),
+                c.cycles.to_string(),
+                macs.to_string(),
+                format!("{:.6}", c.latency_s * 1e3),
+                format!("{:.6}", c.energy_j * 1e3),
+                format!("{:.6}", c.edp_mj_ms()),
+                format!("{:.6}", c.setup_s * 1e3),
+                c.wavelengths.to_string(),
+            ]);
+        }
+    }
+    to_csv(
+        &[
+            "network",
+            "accelerator",
+            "cycles",
+            "macs",
             "latency_ms",
             "energy_mj",
             "edp_mj_ms",

@@ -70,16 +70,18 @@ USAGE:
     albireo <command> [options]
 
 COMMANDS:
-    networks                          list the benchmark networks
+    networks                          list the serving model zoo
     evaluate <network>                run a network on the chip model
         --estimate C|M|A  --ng N  [--no-stride-penalty]  [--per-layer N]
         [--trace-out FILE]            per-layer Chrome/Perfetto trace
+                                      (plus a depth-first vs weight-stationary
+                                      dataflow diagnostic table)
     power      [--ng N] [--estimate C|M|A]    Table III power breakdown
     area       [--ng N]                       Fig. 9 area breakdown
     precision  [--k2 X] [--wavelengths N] [--laser-mw P]   Figs. 3/4 analysis
     trace      [--rows R] [--cols C] [--channels Z]        Fig. 7 dataflow
     sweep      --param ng|nd|nu --values A,B,C [--network NAME] [--json]
-    compare    [--network NAME]               photonic + electronic baselines
+    compare    [--network NAME]               baselines + winograd/gemm modes
     faults     [--dead-ring R,C,O] [--dead-channel C] [--stuck-mzm R,C,W]
     experiment <name>|all                     regenerate a paper experiment
     bench      [--thread-counts A,B,C] [--target-ms N] [--out FILE]
@@ -122,6 +124,16 @@ TRACING:
     --events-out FILE writes the same stream as JSONL. Fixed seed ⇒
     byte-identical files at any --threads value.
 
+FLEET CHIP KINDS (serve --fleet, plan --chips):
+    albireo_9, albireo_27      direct Albireo dataflow
+    winograd[_9|_27]           F(2x2,3x3) transform-domain convolution
+                               (stride-1 3x3 layers; direct fallback else)
+    gemm[_9|_27]               incoherent weight-stationary GEMM; serves
+                               dense/pointwise networks only
+    pixel, deap, ngN           photonic baselines / custom PLCG count
+    eyeriss, envision, unpu    reported numbers (no estimate tag)
+    Entries are `[alias=]kind[:C|M|A]`, joined with commas.
+
 CHECKPOINTING (serve):
     --checkpoint-every S snapshots the simulation every S simulated
     seconds to --checkpoint-out FILE (overwritten each time) and/or
@@ -140,10 +152,14 @@ fn parse_network(name: &str) -> Result<Model, CliError> {
         "vgg19" => Ok(zoo::vgg19()),
         "resnet34" => Ok(zoo::resnet34()),
         "mobilenet-0.5" | "mobilenet_half" => Ok(zoo::mobilenet_half()),
+        "mlp-mixer" | "mlp_mixer" | "mixer" => Ok(zoo::mlp_mixer()),
+        "transformer" | "transformer-enc" | "transformer_encoder_block" => {
+            Ok(zoo::transformer_encoder_block())
+        }
         "tiny" => Ok(zoo::tiny()),
         other => Err(CliError::Unknown(format!(
             "unknown network `{other}` (try: alexnet, vgg16, resnet18, mobilenet, \
-             vgg19, resnet34, mobilenet-0.5, tiny)"
+             vgg19, resnet34, mobilenet-0.5, mlp-mixer, transformer, tiny)"
         ))),
     }
 }
@@ -219,7 +235,7 @@ fn chip_from(args: &Args) -> Result<ChipConfig, CliError> {
 
 /// `albireo networks`
 pub fn networks() -> String {
-    let rows: Vec<Vec<String>> = zoo::all_benchmarks()
+    let rows: Vec<Vec<String>> = zoo::serving_models()
         .iter()
         .map(|m| {
             vec![
@@ -281,6 +297,41 @@ pub fn evaluate(args: &Args) -> Result<String, CliError> {
             &rows,
         ));
     }
+    // Dataflow diagnostic: the depth-first schedule the paper argues for
+    // vs a weight-stationary alternative, in converter updates and
+    // partial-sum traffic (see core::dataflow_alt).
+    let (df, ws) = albireo_core::dataflow_alt::compare_dataflows(&chip, estimate, &model);
+    let dataflow_rows = vec![
+        vec![
+            "depth-first".to_string(),
+            df.weight_dac_updates.to_string(),
+            df.input_dac_updates.to_string(),
+            df.partial_bytes.to_string(),
+            format_joules(df.energy_j),
+        ],
+        vec![
+            "weight-stationary".to_string(),
+            ws.weight_dac_updates.to_string(),
+            ws.input_dac_updates.to_string(),
+            ws.partial_bytes.to_string(),
+            format_joules(ws.energy_j),
+        ],
+    ];
+    out.push_str("\nDataflow comparison (converter + partial-sum traffic):\n");
+    out.push_str(&format_table(
+        &[
+            "dataflow",
+            "weight DAC updates",
+            "input DAC updates",
+            "partial bytes",
+            "energy",
+        ],
+        &dataflow_rows,
+    ));
+    out.push_str(&format!(
+        "  weight-stationary energy delta: {:+.1}% vs depth-first\n",
+        (ws.energy_j - df.energy_j) / df.energy_j * 100.0
+    ));
     out.push_str(&write_trace_outputs(
         args,
         &obs,
@@ -602,7 +653,10 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         return Err(CliError::Unknown("--replicas must be at least 1".into()));
     }
 
-    let models = zoo::all_benchmarks();
+    // The serving model table: the paper's four benchmarks at indices
+    // 0–3 (so existing mixes, goldens, and digests are unchanged) plus
+    // the dense extension workloads the winograd/gemm chips open up.
+    let models = zoo::serving_models();
     let fleet = FleetConfig::parse(args.get_or("fleet", "albireo_9:C,albireo_27:C"), models)
         .map_err(CliError::Unknown)?;
     let policy =
@@ -640,7 +694,8 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         if !fleet.supports(&fleet.models[idx]) {
             return Err(CliError::Unknown(format!(
                 "no chip in fleet `{}` supports network `{name}` \
-                 (reported-number chips only serve their published benchmarks)",
+                 (reported-number chips only serve their published benchmarks; \
+                 gemm chips only serve dense/pointwise networks)",
                 fleet.label()
             )));
         }
@@ -1009,7 +1064,7 @@ pub fn plan(args: &Args) -> Result<String, CliError> {
             // Equal-weight network mix by name over the model zoo (the
             // fleet varies per candidate, so unsupported networks
             // surface as infeasible candidates, not errors).
-            let models = zoo::all_benchmarks();
+            let models = zoo::serving_models();
             let mut mix = Vec::new();
             for name in args.get_or("networks", "alexnet").split(',') {
                 let name = name.trim();
@@ -1136,6 +1191,7 @@ pub fn plan(args: &Args) -> Result<String, CliError> {
 pub fn compare(args: &Args) -> Result<String, CliError> {
     use albireo_baselines::{reported_accelerators, Accelerator, DeapCnn, Pixel};
     use albireo_core::accel::AlbireoAccelerator;
+    use albireo_modes::{GemmMode, WinogradAccelerator};
 
     let network = parse_network(args.get_or("network", "vgg16"))?;
     let mut accels: Vec<Box<dyn Accelerator>> = vec![
@@ -1144,6 +1200,10 @@ pub fn compare(args: &Args) -> Result<String, CliError> {
         Box::new(AlbireoAccelerator::albireo_27(
             TechnologyEstimate::Conservative,
         )),
+        Box::new(WinogradAccelerator::winograd_27(
+            TechnologyEstimate::Conservative,
+        )),
+        Box::new(GemmMode::gemm_27(TechnologyEstimate::Conservative)),
     ];
     for acc in reported_accelerators() {
         accels.push(Box::new(acc));
@@ -1332,6 +1392,30 @@ mod tests {
     }
 
     #[test]
+    fn networks_lists_dense_extensions() {
+        let out = networks();
+        assert!(out.contains("MLP-Mixer"), "{out}");
+        assert!(out.contains("Transformer-Enc"), "{out}");
+    }
+
+    #[test]
+    fn evaluate_prints_dataflow_comparison() {
+        let out = evaluate(&args(&["alexnet"])).unwrap();
+        assert!(out.contains("Dataflow comparison"), "{out}");
+        assert!(out.contains("depth-first"), "{out}");
+        assert!(out.contains("weight-stationary"), "{out}");
+        assert!(out.contains("energy delta"), "{out}");
+    }
+
+    #[test]
+    fn evaluate_resolves_dense_network_aliases() {
+        for name in ["mlp-mixer", "mixer", "transformer", "transformer-enc"] {
+            let out = evaluate(&args(&[name])).unwrap();
+            assert!(out.contains("latency"), "{name}: {out}");
+        }
+    }
+
+    #[test]
     fn evaluate_happy_path() {
         let out = evaluate(&args(&["vgg16", "--estimate", "m", "--ng", "27"])).unwrap();
         assert!(out.contains("VGG16"));
@@ -1412,6 +1496,52 @@ mod tests {
         ] {
             assert!(out.contains(name), "missing {name} in {out}");
         }
+    }
+
+    #[test]
+    fn compare_includes_operating_modes() {
+        // Winograd supports every network (direct fallback); the GEMM
+        // mode only appears for dense/pointwise networks — compare's
+        // supports() filter hides it on spatial CNNs.
+        let cnn = compare(&args(&["--network", "vgg16"])).unwrap();
+        assert!(cnn.contains("Winograd"), "{cnn}");
+        assert!(!cnn.contains("GEMM"), "{cnn}");
+        let dense = compare(&args(&["--network", "mlp-mixer"])).unwrap();
+        assert!(dense.contains("GEMM"), "{dense}");
+        assert!(dense.contains("Winograd"), "{dense}");
+    }
+
+    #[test]
+    fn serve_rejects_fleet_that_cannot_serve_the_mix() {
+        // A gemm-only fleet has no chip that can schedule AlexNet's
+        // spatial convolutions: a typed usage error (exit 2), no panic.
+        let err = serve(&args(&[
+            "--fleet",
+            "gemm:C",
+            "--networks",
+            "alexnet",
+            "--requests",
+            "10",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("supports network"), "{err}");
+    }
+
+    #[test]
+    fn serve_heterogeneous_mode_fleet_serves_mixed_networks() {
+        let out = serve(&args(&[
+            "--fleet",
+            "albireo_9:C,winograd:C,gemm:C",
+            "--networks",
+            "vgg16,mlp-mixer",
+            "--requests",
+            "60",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert!(out.contains("goodput"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! Incoherent-MRR GEMM operating mode: dense matrix multiply as a
+//! first-class photonic schedule.
+//!
+//! Albireo's direct dataflow treats a fully-connected layer as a
+//! degenerate convolution: no parameter sharing means only one
+//! photodetector column per PLCU does useful work, and the `Nd`-wide
+//! multicast buys nothing. This mode re-schedules dense layers the way
+//! incoherent microring GEMM accelerators do (parameter anchors from
+//! Sri Vatsavai et al.'s comparative analysis, arXiv:2402.03149):
+//!
+//! * The array is a weight-stationary tile of `Kt × Mt` MRR weight
+//!   cells with `Kt = Nm·Nu` WDM input channels (the chip's existing
+//!   modulator count per group) and `Mt = Nd·Ng` parallel output lanes
+//!   (every photodetector column earns its keep).
+//! * A GEMM `C[M×N] = W[M×K] · X[K×N]` runs as `⌈M/Mt⌉·⌈K/Kt⌉` weight
+//!   tiles; each tile streams all `N` input columns at one column per
+//!   cycle: `cycles = ⌈M/Mt⌉ · ⌈K/Kt⌉ · N`.
+//! * Energy is converter-counted with the `core::dataflow_alt`
+//!   machinery rather than billed as an always-on Table III budget:
+//!   weight DACs update once per tile load (weight-stationary), input
+//!   DACs once per streamed element, ADCs once per output-lane read,
+//!   partial sums beyond the first K-tile spill one byte each way
+//!   through the global buffer, and the photonic floor (laser, MRR
+//!   thermal tuning, TIAs, SRAM static) integrates over the run.
+//!
+//! Layer coverage: [`LayerKind::FullyConnected`] is `(M, K, N) =
+//! (outputs, inputs, 1)` and [`LayerKind::Pointwise`] is `(kernels,
+//! channels, pixels)` — exactly the layers MLP-Mixer and transformer
+//! encoder blocks are made of. Spatial convolutions and depthwise
+//! layers are *not* schedulable (the mode has no im2col path), so
+//! [`supports`](Accelerator::supports) rejects CNN trunks and the
+//! fleet dispatcher routes them to direct or Winograd chips.
+
+use albireo_core::accel::{Accelerator, LayerCost, NetworkCost};
+use albireo_core::config::{ChipConfig, TechnologyEstimate};
+use albireo_core::dataflow_alt::dac_update_energy_j;
+use albireo_core::memory::MemoryModel;
+use albireo_core::power::PowerBreakdown;
+use albireo_nn::layer::{LayerInstance, LayerKind};
+use albireo_nn::Model;
+
+/// The GEMM dimensions `(M, K, N)` of a schedulable layer; `None` for
+/// pooling (free) and for kinds the mode cannot run.
+pub fn gemm_dims(layer: &LayerInstance) -> Option<(usize, usize, usize)> {
+    match layer.kind {
+        LayerKind::FullyConnected { outputs } => Some((outputs, layer.input.elements(), 1)),
+        LayerKind::Pointwise { kernels } => {
+            Some((kernels, layer.input.z, layer.output.y * layer.output.x))
+        }
+        _ => None,
+    }
+}
+
+/// The Albireo silicon re-scheduled as an incoherent weight-stationary
+/// GEMM engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GemmMode {
+    /// Display name (e.g. `gemm_9`).
+    pub name: String,
+    /// Chip geometry the tile sizes derive from.
+    pub chip: ChipConfig,
+    /// Device-technology estimate (sets clock and converter energies).
+    pub estimate: TechnologyEstimate,
+}
+
+impl GemmMode {
+    /// A GEMM-mode chip with an explicit name.
+    pub fn new(name: impl Into<String>, chip: ChipConfig, estimate: TechnologyEstimate) -> Self {
+        GemmMode {
+            name: name.into(),
+            chip,
+            estimate,
+        }
+    }
+
+    /// The 9-PLCG chip in GEMM mode.
+    pub fn gemm_9(estimate: TechnologyEstimate) -> Self {
+        Self::new("gemm_9", ChipConfig::albireo_9(), estimate)
+    }
+
+    /// The 27-PLCG chip in GEMM mode.
+    pub fn gemm_27(estimate: TechnologyEstimate) -> Self {
+        Self::new("gemm_27", ChipConfig::albireo_27(), estimate)
+    }
+
+    /// WDM input-channel tile height `Kt = Nm·Nu`.
+    pub fn k_tile(chip: &ChipConfig) -> usize {
+        chip.plcu.nm * chip.nu
+    }
+
+    /// Output-lane tile width `Mt = Nd·Ng`.
+    pub fn m_tile(chip: &ChipConfig) -> usize {
+        chip.plcu.nd * chip.ng
+    }
+
+    /// The always-on photonic floor while the GEMM array runs, W:
+    /// laser, MRR thermal tuning, TIAs, and SRAM static power.
+    /// Converters are *not* in the floor — they are counted per update.
+    fn floor_w(chip: &ChipConfig, estimate: TechnologyEstimate) -> f64 {
+        let b = PowerBreakdown::for_chip(chip, estimate);
+        b.laser_w + b.mrr_w + b.tia_w + b.cache_w
+    }
+}
+
+impl Accelerator for GemmMode {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn description(&self) -> String {
+        format!(
+            "Albireo-{} incoherent GEMM ({} est.)",
+            self.chip.ng,
+            self.estimate.suffix()
+        )
+    }
+
+    fn compute_groups(&self) -> usize {
+        self.chip.ng
+    }
+
+    /// Only dense layers schedule: every compute layer must be
+    /// fully-connected or pointwise (pooling runs in the digital path,
+    /// as everywhere else).
+    fn supports(&self, model: &Model) -> bool {
+        model.layers().iter().all(|l| {
+            !l.is_compute()
+                || matches!(
+                    l.kind,
+                    LayerKind::FullyConnected { .. } | LayerKind::Pointwise { .. }
+                )
+        })
+    }
+
+    /// Laser plus MRR thermal tuning, like every photonic design here.
+    fn idle_power_w(&self) -> f64 {
+        let b = PowerBreakdown::for_chip(&self.chip, self.estimate);
+        b.laser_w + b.mrr_w
+    }
+
+    fn cost_with_groups(&self, model: &Model, active_groups: usize) -> NetworkCost {
+        assert!(
+            active_groups > 0 && active_groups <= self.chip.ng,
+            "{}: active groups {active_groups} outside 1..={}",
+            self.name,
+            self.chip.ng
+        );
+        assert!(
+            self.supports(model),
+            "{}: {} has spatial conv/depthwise layers the GEMM mode cannot schedule",
+            self.name,
+            model.name()
+        );
+        let mut chip = self.chip;
+        chip.ng = active_groups;
+        let clock = self.estimate.clock_hz();
+        let k_tile = Self::k_tile(&chip) as u64;
+        let m_tile = Self::m_tile(&chip) as u64;
+        let peak = chip.peak_macs_per_cycle() as f64;
+        let e_dac = dac_update_energy_j(self.estimate);
+        let p = self.estimate.device_powers();
+        let e_adc = p.adc_w / p.sample_rate_hz;
+        let floor_w = Self::floor_w(&chip, self.estimate);
+        let mem = MemoryModel::paper();
+        let per_layer: Vec<LayerCost> = model
+            .layers()
+            .iter()
+            .map(|layer| {
+                let Some((m, k, n)) = gemm_dims(layer) else {
+                    // Pooling: free, like the direct schedule.
+                    return LayerCost {
+                        name: layer.name.clone(),
+                        cycles: 0,
+                        latency_s: 0.0,
+                        energy_j: 0.0,
+                        macs: 0,
+                        utilization: 0.0,
+                    };
+                };
+                let (m, k, n) = (m as u64, k as u64, n as u64);
+                let m_tiles = m.div_ceil(m_tile);
+                let k_tiles = k.div_ceil(k_tile);
+                let cycles = m_tiles * k_tiles * n;
+                let latency_s = cycles as f64 / clock;
+                // Weight-stationary converter traffic: one array load per
+                // weight tile, streaming inputs, one ADC read per output
+                // lane per cycle, byte-wide partial spills past the first
+                // K tile.
+                let weight_updates = m_tiles * k_tiles * m_tile * k_tile;
+                let input_updates = cycles * k_tile;
+                let adc_reads = cycles * m_tile;
+                let partial_bytes = 2 * m * n * k_tiles.saturating_sub(1);
+                let energy_j = (weight_updates + input_updates) as f64 * e_dac
+                    + adc_reads as f64 * e_adc
+                    + mem.buffer_access_energy_j(partial_bytes)
+                    + floor_w * latency_s;
+                let macs = layer.macs();
+                LayerCost {
+                    name: layer.name.clone(),
+                    cycles,
+                    latency_s,
+                    energy_j,
+                    macs,
+                    utilization: macs as f64 / (cycles as f64 * peak),
+                }
+            })
+            .collect();
+        let latency_s: f64 = per_layer.iter().map(|l| l.latency_s).sum();
+        let energy_j: f64 = per_layer.iter().map(|l| l.energy_j).sum();
+        NetworkCost {
+            accelerator: self.name.clone(),
+            network: model.name().to_string(),
+            cycles: per_layer.iter().map(|l| l.cycles).sum(),
+            latency_s,
+            energy_j,
+            power_w: if latency_s > 0.0 {
+                energy_j / latency_s
+            } else {
+                0.0
+            },
+            wavelengths: Self::k_tile(&chip),
+            // Weights stream tile by tile inside the run (they are part
+            // of the cycle count), so there is no per-batch programming
+            // pass — the PIXEL convention.
+            setup_s: 0.0,
+            setup_energy_j: 0.0,
+            per_layer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use albireo_core::accel::AlbireoAccelerator;
+    use albireo_nn::layer::VolumeShape;
+    use albireo_nn::zoo;
+
+    fn gemm() -> GemmMode {
+        GemmMode::gemm_9(TechnologyEstimate::Conservative)
+    }
+
+    fn fc_layer(outputs: usize, input: VolumeShape) -> LayerInstance {
+        LayerInstance {
+            name: "fc".into(),
+            kind: LayerKind::FullyConnected { outputs },
+            input,
+            output: VolumeShape::new(outputs, 1, 1),
+            is_branch: false,
+        }
+    }
+
+    #[test]
+    fn supports_dense_rejects_conv() {
+        let g = gemm();
+        assert!(g.supports(&zoo::mlp_mixer()));
+        assert!(g.supports(&zoo::transformer_encoder_block()));
+        assert!(!g.supports(&zoo::alexnet()));
+        assert!(!g.supports(&zoo::vgg16()));
+        assert!(!g.supports(&zoo::mobilenet()), "depthwise is not GEMM");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule")]
+    fn costing_an_unsupported_model_panics() {
+        let _ = gemm().cost(&zoo::alexnet());
+    }
+
+    #[test]
+    fn fc_tile_formula() {
+        // M = 4096, K = 9216, N = 1 on Albireo-9 (Mt = 5·9 = 45,
+        // Kt = 9·3 = 27): ⌈4096/45⌉·⌈9216/27⌉·1 = 92·342.
+        let li = fc_layer(4096, VolumeShape::new(256, 6, 6));
+        assert_eq!(gemm_dims(&li), Some((4096, 9216, 1)));
+        let mut b = albireo_nn::Model::builder("fc-only", VolumeShape::new(256, 6, 6));
+        b.push("fc", LayerKind::FullyConnected { outputs: 4096 })
+            .expect("fc geometry is valid");
+        let model = b.build().expect("fc-only builds");
+        let cost = gemm().cost(&model);
+        assert_eq!(cost.cycles, 92 * 342);
+    }
+
+    #[test]
+    fn dense_layers_beat_the_direct_schedule() {
+        // The direct dataflow wastes Nd−1 of every PLCU's output lanes
+        // on FC layers; GEMM mode recovers them, so the all-dense
+        // networks run ~Nd× fewer cycles.
+        let direct = AlbireoAccelerator::albireo_9(TechnologyEstimate::Conservative);
+        for model in [zoo::mlp_mixer(), zoo::transformer_encoder_block()] {
+            let d = direct.cost(&model);
+            let g = gemm().cost(&model);
+            assert!(
+                g.latency_s < d.latency_s,
+                "{}: {} vs {}",
+                model.name(),
+                g.latency_s,
+                d.latency_s
+            );
+            assert!(g.energy_j < d.energy_j);
+        }
+    }
+
+    #[test]
+    fn converter_energy_scales_with_work_not_wall_clock() {
+        // Power is derived (energy/latency), bounded below by the floor
+        // and above by the direct chip's Table III budget.
+        let g = gemm().cost(&zoo::mlp_mixer());
+        let floor = GemmMode::floor_w(&ChipConfig::albireo_9(), TechnologyEstimate::Conservative);
+        let table_iii =
+            PowerBreakdown::for_chip(&ChipConfig::albireo_9(), TechnologyEstimate::Conservative)
+                .total_w();
+        assert!(g.power_w > floor, "{} vs floor {floor}", g.power_w);
+        assert!(g.power_w < table_iii, "{} vs {table_iii}", g.power_w);
+    }
+
+    #[test]
+    fn weights_stream_so_setup_is_free() {
+        let g = gemm().cost(&zoo::mlp_mixer());
+        assert_eq!(g.setup_s, 0.0);
+        assert_eq!(g.setup_energy_j, 0.0);
+    }
+
+    #[test]
+    fn degradation_shrinks_the_output_tile() {
+        let g = gemm();
+        let healthy = g.cost(&zoo::mlp_mixer());
+        let degraded = g.cost_with_groups(&zoo::mlp_mixer(), 3);
+        assert!(degraded.latency_s > healthy.latency_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=")]
+    fn zero_groups_rejected() {
+        let _ = gemm().cost_with_groups(&zoo::mlp_mixer(), 0);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        for model in [zoo::mlp_mixer(), zoo::transformer_encoder_block()] {
+            for l in gemm().cost(&model).per_layer {
+                assert!(
+                    (0.0..=1.0 + 1e-9).contains(&l.utilization),
+                    "{}: {}",
+                    l.name,
+                    l.utilization
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wavelengths_are_the_wdm_input_channels() {
+        assert_eq!(gemm().cost(&zoo::mlp_mixer()).wavelengths, 27);
+    }
+}

@@ -1,0 +1,43 @@
+//! Alternative photonic operating modes — the same Albireo silicon, run
+//! under different dataflows.
+//!
+//! The base simulator models exactly one dataflow: Albireo's depth-first
+//! direct convolution (paper Algorithm 2). That choice is excellent for
+//! CNN trunks and indifferent-to-poor for everything else: a stride-1
+//! 3×3 convolution pays for all nine kernel taps even though a
+//! transform-domain schedule needs only four multiplies per output, and
+//! a fully-connected layer lights a single photodetector column per
+//! PLCU because there is no parameter sharing to multicast.
+//!
+//! This crate adds two operating modes behind the existing
+//! [`Accelerator`] trait, so everything downstream — `albireo compare`,
+//! the serving fleet, the capacity planner — can mix them freely with
+//! the direct-dataflow chips:
+//!
+//! * [`WinogradAccelerator`] — F(2×2, 3×3) tile-transform convolution
+//!   (Mehrabian et al., arXiv:1906.10487, adapted to the Albireo analog
+//!   model). Stride-1 3×3 layers run in the transform domain with 16
+//!   photonic multiplies per 2×2 output tile instead of 36 — a 2.25×
+//!   MAC reduction; every other layer falls back to the direct
+//!   schedule, so whole networks still evaluate. The input/output tile
+//!   transforms are pure add networks and are charged to the electronic
+//!   side.
+//! * [`GemmMode`] — an incoherent-MRR GEMM scheduler (parameter anchors
+//!   from Sri Vatsavai et al., arXiv:2402.03149): weight-stationary
+//!   tiles over the MRR transfer-function analog path, with converter
+//!   energy counted per update (the `core::dataflow_alt` accounting)
+//!   rather than as an always-on power budget. It makes
+//!   `FullyConnected` and `Pointwise` layers first-class — the layers
+//!   MLP-Mixer and transformer blocks are made of — and rejects conv
+//!   trunks it cannot schedule.
+//!
+//! Fleet specs accept both as chip kinds (`winograd_27:C`, `gemm:M`, …)
+//! and `albireo plan` searches over them, so a heterogeneous
+//! direct+Winograd+GEMM fleet is one spec line away.
+
+pub mod gemm;
+pub mod winograd;
+
+pub use albireo_core::accel::Accelerator;
+pub use gemm::GemmMode;
+pub use winograd::WinogradAccelerator;

@@ -496,6 +496,97 @@ pub fn mobilenet_half() -> Model {
     b.build().expect("MobileNet-0.5 builds")
 }
 
+/// MLP-Mixer (extension, dense workload): the channel-mixing trunk of a
+/// Mixer-S/16-class model on a 14×14 grid of 512-dim patch tokens —
+/// eight blocks of expand/contract pointwise MLPs (512 → 2048 → 512),
+/// then the classifier head. Token-mixing MLPs act across the spatial
+/// axis, which the volume vocabulary cannot express; they are ~7% of the
+/// model's MACs and are omitted. Every compute layer is pointwise or
+/// fully-connected, so this is the canonical GEMM-mode workload.
+pub fn mlp_mixer() -> Model {
+    let mut b = Model::builder("MLP-Mixer", VolumeShape::new(512, 14, 14));
+    for block in 0..8 {
+        b.push(
+            format!("block{block}.expand"),
+            LayerKind::Pointwise { kernels: 2048 },
+        )
+        .and_then(|b| {
+            b.push(
+                format!("block{block}.contract"),
+                LayerKind::Pointwise { kernels: 512 },
+            )
+        })
+        .expect("MLP-Mixer block geometry is valid");
+    }
+    b.push(
+        "pool",
+        LayerKind::AvgPool {
+            window: 14,
+            stride: 14,
+        },
+    )
+    .and_then(|b| b.push("head", LayerKind::FullyConnected { outputs: 1000 }))
+    .expect("MLP-Mixer head geometry is valid");
+    b.build().expect("MLP-Mixer builds")
+}
+
+/// One ViT-Base-class transformer encoder block (extension, dense
+/// workload) over 14×14 tokens of width 768: the QKV and output
+/// projections of the attention sublayer plus the 4× FFN, all expressed
+/// as pointwise (per-token dense) layers, with a pooled classifier head
+/// so the model is servable like the rest of the zoo. The attention
+/// score/context GEMMs (token × token) are data-dependent and are
+/// omitted — for 196 tokens they are ~9% of the block's MACs.
+pub fn transformer_encoder_block() -> Model {
+    let mut b = Model::builder("Transformer-Enc", VolumeShape::new(768, 14, 14));
+    b.push("attn.qkv", LayerKind::Pointwise { kernels: 2304 })
+        .and_then(|b| b.push("attn.proj", LayerKind::Pointwise { kernels: 768 }))
+        .and_then(|b| b.push("ffn.fc1", LayerKind::Pointwise { kernels: 3072 }))
+        .and_then(|b| b.push("ffn.fc2", LayerKind::Pointwise { kernels: 768 }))
+        .expect("Transformer-Enc geometry is valid");
+    b.push(
+        "pool",
+        LayerKind::AvgPool {
+            window: 14,
+            stride: 14,
+        },
+    )
+    .and_then(|b| b.push("head", LayerKind::FullyConnected { outputs: 1000 }))
+    .expect("Transformer-Enc head geometry is valid");
+    b.build().expect("Transformer-Enc builds")
+}
+
+/// The serving model table: the paper's four benchmarks (indices 0–3,
+/// matching [`all_benchmarks`] so existing mixes, goldens, and digests
+/// are unchanged) followed by the dense extension workloads MLP-Mixer
+/// (4) and Transformer-Enc (5). `albireo serve` and `albireo plan`
+/// resolve network names and mix indices against this table.
+pub fn serving_models() -> Vec<Model> {
+    let mut models = all_benchmarks();
+    models.push(mlp_mixer());
+    models.push(transformer_encoder_block());
+    models
+}
+
+/// Every public zoo constructor, paper benchmarks first. Kept in sync
+/// with the `pub fn … -> Model` set by a test that counts constructors
+/// in this file — adding a model without listing it here fails the
+/// build's test suite.
+pub fn catalog() -> Vec<Model> {
+    vec![
+        alexnet(),
+        vgg16(),
+        resnet18(),
+        mobilenet(),
+        vgg19(),
+        resnet34(),
+        mobilenet_half(),
+        mlp_mixer(),
+        transformer_encoder_block(),
+        tiny(),
+    ]
+}
+
 /// A tiny CNN for functional-simulation demos and tests: fits the analog
 /// engine's per-kernel limits and runs in milliseconds.
 pub fn tiny() -> Model {
@@ -560,5 +651,76 @@ mod extension_tests {
         let m = tiny();
         assert!(m.total_macs() < 100_000);
         assert_eq!(m.output_shape(), VolumeShape::new(5, 1, 1));
+    }
+
+    #[test]
+    fn mlp_mixer_is_all_dense() {
+        let m = mlp_mixer();
+        assert_eq!(m.output_shape(), VolumeShape::new(1000, 1, 1));
+        assert!(m.layers().iter().all(|l| !l.is_compute()
+            || matches!(
+                l.kind,
+                LayerKind::Pointwise { .. } | LayerKind::FullyConnected { .. }
+            )));
+        // 8 blocks × 2 × (512·2048) MACs per token × 196 tokens ≈ 3.3 G.
+        let g = m.total_macs() as f64 / 1e9;
+        assert!((3.0..3.6).contains(&g), "gmacs = {g}");
+    }
+
+    #[test]
+    fn transformer_block_is_all_dense() {
+        let m = transformer_encoder_block();
+        assert_eq!(m.output_shape(), VolumeShape::new(1000, 1, 1));
+        assert!(m.layers().iter().all(|l| !l.is_compute()
+            || matches!(
+                l.kind,
+                LayerKind::Pointwise { .. } | LayerKind::FullyConnected { .. }
+            )));
+        // qkv + proj + 4× FFN ≈ 8.25M MACs per token × 196 tokens ≈ 1.6 G
+        // (the proj consumes the full 2304-wide qkv output here, since
+        // the head split is not representable in the volume vocabulary).
+        let g = m.total_macs() as f64 / 1e9;
+        assert!((1.4..1.8).contains(&g), "gmacs = {g}");
+    }
+
+    #[test]
+    fn serving_models_extends_the_paper_four_in_place() {
+        let serving = serving_models();
+        let paper = all_benchmarks();
+        assert_eq!(serving.len(), 6);
+        for (i, m) in paper.iter().enumerate() {
+            assert_eq!(serving[i].name(), m.name(), "indices 0–3 must not move");
+        }
+        assert_eq!(serving[4].name(), "MLP-Mixer");
+        assert_eq!(serving[5].name(), "Transformer-Enc");
+    }
+
+    #[test]
+    fn catalog_lists_every_public_constructor() {
+        // Count the `pub fn … -> Model` constructors in this source file;
+        // the Vec<Model> listings don't match the pattern. A new model
+        // added without updating catalog() fails here.
+        let declared = include_str!("zoo.rs")
+            .lines()
+            .filter(|l| l.trim_start().starts_with("pub fn") && l.contains("-> Model"))
+            .count();
+        let models = catalog();
+        assert_eq!(
+            models.len(),
+            declared,
+            "a new `pub fn … -> Model` zoo constructor is missing from catalog()"
+        );
+        // Names are unique, and the aggregate listings are sub-views.
+        let mut names: Vec<&str> = models.iter().map(Model::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), models.len(), "catalog names must be unique");
+        for m in all_benchmarks().iter().chain(serving_models().iter()) {
+            assert!(
+                models.iter().any(|c| c.name() == m.name()),
+                "{} is listed but missing from catalog()",
+                m.name()
+            );
+        }
     }
 }

@@ -225,7 +225,11 @@ pub fn plan(
     exhaustive: bool,
 ) -> Result<PlanReport, String> {
     spec.validate()?;
-    let models = zoo::all_benchmarks();
+    // The serving model table: the paper's four benchmarks at indices
+    // 0–3 plus the dense extension workloads, so mixes can name
+    // MLP-Mixer/Transformer-Enc and chip kinds can include the
+    // winograd/gemm operating modes.
+    let models = zoo::serving_models();
     for &(network, _) in &spec.workload.mix {
         if network >= models.len() {
             return Err(format!(
@@ -235,7 +239,7 @@ pub fn plan(
         }
     }
     for kind in &spec.chip_kinds {
-        FleetConfig::parse(kind, zoo::all_benchmarks())
+        FleetConfig::parse(kind, zoo::serving_models())
             .map_err(|e| format!("chip kind `{kind}`: {e}"))?;
     }
 
@@ -249,6 +253,21 @@ pub fn plan(
         .map(|c| {
             FleetConfig::parse(&c.fleet_spec, models.clone())
                 .expect("candidate fleet specs are built from validated chip kinds")
+        })
+        .collect();
+    // Operating-mode chips are partial: a gemm-only candidate fleet
+    // cannot serve a CNN mix at all (support-aware dispatch would have
+    // no chip to route to). Such candidates are infeasible by
+    // construction and are dropped before any simulation — they can
+    // never reach the frontier, so pruned and exhaustive searches still
+    // agree byte for byte.
+    let supported: Vec<bool> = fleets
+        .iter()
+        .map(|fleet| {
+            spec.workload
+                .mix
+                .iter()
+                .all(|&(network, _)| fleet.supports(&models[network]))
         })
         .collect();
     // The spec's fault scenario clips rack/thermal ranges to the fleet,
@@ -280,9 +299,12 @@ pub fn plan(
     let screen_worthwhile = spec.screen_requests * 4 <= spec.requests;
     let screen_everything = exhaustive || !screen_worthwhile;
     let (survivors, screened) = if screen_everything {
-        ((0..candidates.len()).collect::<Vec<_>>(), 0)
+        ((0..candidates.len()).filter(|&i| supported[i]).collect(), 0)
     } else {
         let flags = par.map_indexed(candidates.len(), |i| {
+            if !supported[i] {
+                return false;
+            }
             let report = run_candidate(
                 spec,
                 &candidates[i],
@@ -537,6 +559,62 @@ mod tests {
             assert_eq!(serial.to_json(), parallel.to_json());
             assert_eq!(serial.to_csv(), parallel.to_csv());
         }
+    }
+
+    #[test]
+    fn mixed_mode_fleets_reach_the_frontier_on_cnn_plus_dense_mixes() {
+        // A mixed CNN + dense workload: VGG16 (index 1) and MLP-Mixer
+        // (index 4) in equal parts, with all three operating modes as
+        // candidate chip kinds. gemm-only fleets cannot serve VGG16 and
+        // must be dropped before simulation (never panicking the
+        // engine); heterogeneous fleets mixing modes are admitted, and
+        // at least one lands on the (energy, p99) frontier.
+        let spec = PlanSpec::parse(
+            "rate=800;requests=600;screen=100;slo=p99<8ms;mix=1:1,4:1;\
+             chips=albireo_9:C|winograd_9:C|gemm_9:C;max-chips=2",
+        )
+        .unwrap();
+        let report = plan(&spec, Parallelism::serial(), &Obs::disabled(), false).unwrap();
+        // 3 singletons + 6 unordered pairs of the 3 kinds.
+        assert_eq!(report.candidates_total, 9);
+        assert!(!report.frontier.is_empty(), "no feasible fleet found");
+        // The gemm-only fleets (gemm, gemm+gemm) never reach the
+        // frontier — they cannot serve half the mix.
+        for entry in &report.frontier {
+            assert!(
+                entry.fleet_label.contains("albireo") || entry.fleet_label.contains("winograd"),
+                "gemm-only fleet `{}` should have been dropped",
+                entry.fleet_label
+            );
+        }
+        // Both new modes are admitted as frontier citizens, and at
+        // least one frontier fleet mixes two different operating modes.
+        let labels: Vec<&str> = report
+            .frontier
+            .iter()
+            .map(|e| e.fleet_label.as_str())
+            .collect();
+        assert!(
+            labels.iter().any(|l| l.contains("winograd")),
+            "no winograd fleet on the frontier: {labels:?}"
+        );
+        assert!(
+            labels.iter().any(|l| l.contains("gemm")),
+            "no gemm fleet on the frontier: {labels:?}"
+        );
+        let kinds = |label: &str| {
+            let mut k: Vec<&str> = label
+                .split('+')
+                .map(|c| c.split('_').next().unwrap_or(c))
+                .collect();
+            k.sort_unstable();
+            k.dedup();
+            k.len()
+        };
+        assert!(
+            labels.iter().any(|l| kinds(l) >= 2),
+            "no mixed-mode fleet on the frontier: {labels:?}"
+        );
     }
 
     #[test]

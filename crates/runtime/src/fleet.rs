@@ -16,6 +16,7 @@
 use albireo_baselines::{reported_accelerators, DeapCnn, Pixel};
 use albireo_core::accel::{Accelerator, AlbireoAccelerator};
 use albireo_core::config::{ChipConfig, TechnologyEstimate};
+use albireo_modes::{GemmMode, WinogradAccelerator};
 use albireo_nn::{zoo, Model};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -108,6 +109,12 @@ impl FleetConfig {
     /// is `<chip>[:<estimate>]` with chip one of
     ///
     /// * `albireo_9`, `albireo_27`, `ng<N>` — Albireo chips;
+    /// * `winograd_9` (alias `winograd`), `winograd_27` — the same
+    ///   silicon running the Winograd F(2×2, 3×3) transform-domain
+    ///   conv dataflow;
+    /// * `gemm_9` (alias `gemm`), `gemm_27` — the incoherent-MRR GEMM
+    ///   mode (dense/pointwise layers only; conv trunks are routed to
+    ///   other chips by support-aware dispatch);
     /// * `pixel`, `deap` — the photonic baselines at the shared 60 W
     ///   budget built from the estimate's device powers;
     /// * `eyeriss`, `envision`, `unpu` — reported electronic designs
@@ -168,6 +175,24 @@ impl FleetConfig {
                     estimate,
                 ))),
                 "albireo_27" | "albireo27" => named(Arc::new(AlbireoAccelerator::new(
+                    chip_name,
+                    ChipConfig::albireo_27(),
+                    estimate,
+                ))),
+                "winograd" | "winograd_9" | "winograd9" => named(Arc::new(
+                    WinogradAccelerator::new(chip_name, ChipConfig::albireo_9(), estimate),
+                )),
+                "winograd_27" | "winograd27" => named(Arc::new(WinogradAccelerator::new(
+                    chip_name,
+                    ChipConfig::albireo_27(),
+                    estimate,
+                ))),
+                "gemm" | "gemm_9" | "gemm9" => named(Arc::new(GemmMode::new(
+                    chip_name,
+                    ChipConfig::albireo_9(),
+                    estimate,
+                ))),
+                "gemm_27" | "gemm27" => named(Arc::new(GemmMode::new(
                     chip_name,
                     ChipConfig::albireo_27(),
                     estimate,
@@ -429,6 +454,36 @@ mod tests {
         assert!(fleet.supports(&zoo::mobilenet()), "albireo covers the rest");
         // Estimate tags are meaningless for reported numbers.
         assert!(FleetConfig::parse("eyeriss:A", zoo::all_benchmarks()).is_err());
+    }
+
+    #[test]
+    fn parse_operating_mode_fleet() {
+        let fleet = FleetConfig::parse("albireo_9:C, winograd_27:A, gemm:M", zoo::serving_models())
+            .unwrap();
+        assert_eq!(fleet.chips.len(), 3);
+        assert_eq!(fleet.chips[1].name, "winograd_27_A");
+        assert_eq!(fleet.chips[1].accel.compute_groups(), 27);
+        assert_eq!(fleet.chips[2].name, "gemm_M");
+        // GEMM chips reject conv trunks; support-aware dispatch covers
+        // them via the direct/Winograd chips.
+        assert!(!fleet.chips[2].accel.supports(&zoo::vgg16()));
+        assert!(fleet.chips[2].accel.supports(&zoo::mlp_mixer()));
+        assert!(fleet.supports(&zoo::vgg16()));
+        assert!(fleet.supports(&zoo::mlp_mixer()));
+        // A gemm-only fleet cannot serve a CNN at all.
+        let dense_only = FleetConfig::parse("gemm_9, gemm_27:A", zoo::serving_models()).unwrap();
+        assert!(!dense_only.supports(&zoo::alexnet()));
+        assert!(dense_only.supports(&zoo::transformer_encoder_block()));
+    }
+
+    #[test]
+    fn winograd_fleet_chip_is_faster_on_vgg16() {
+        let fleet = FleetConfig::parse("albireo_9:C, winograd_9:C", zoo::serving_models()).unwrap();
+        let mut oracle = ServiceOracle::new();
+        let direct = oracle.cost(&fleet, 0, 9, 1);
+        let wino = oracle.cost(&fleet, 1, 9, 1);
+        assert!(wino.item_latency_s < direct.item_latency_s);
+        assert!(wino.item_energy_j < direct.item_energy_j);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Property tests pinning the fleet-spec grammar for the operating-mode
+//! chip kinds: every `winograd`/`gemm` alias parses to a chip whose name
+//! and geometry follow the `{kind}_{estimate}` convention, arbitrary
+//! heterogeneous specs round-trip through `fleet_spec()`-style
+//! reconstruction, and support-aware dispatch stays a clean boolean —
+//! a gemm-only fleet reports `supports == false` for spatial CNNs
+//! instead of panicking inside the engine.
+
+use albireo_nn::zoo;
+use albireo_runtime::FleetConfig;
+use proptest::prelude::*;
+
+/// One fleet entry: (kind index, spelled alias of that kind, estimate
+/// tag). The alias list covers every accepted spelling of each kind.
+fn entry() -> impl Strategy<Value = (usize, String, char)> {
+    let spellings: Vec<(usize, &str)> = vec![
+        (0, "winograd"),
+        (0, "winograd_9"),
+        (0, "winograd9"),
+        (1, "winograd_27"),
+        (1, "winograd27"),
+        (2, "gemm"),
+        (2, "gemm_9"),
+        (2, "gemm9"),
+        (3, "gemm_27"),
+        (3, "gemm27"),
+        (4, "albireo_9"),
+        (5, "albireo_27"),
+    ];
+    (
+        0..spellings.len(),
+        prop_oneof![Just('C'), Just('M'), Just('A')],
+    )
+        .prop_map(move |(i, est)| {
+            let (kind, spelled) = spellings[i];
+            (kind, spelled.to_string(), est)
+        })
+}
+
+fn fleet() -> impl Strategy<Value = Vec<(usize, String, char)>> {
+    prop::collection::vec(entry(), 1..5)
+}
+
+/// Expected compute-group count for a kind index: winograd/gemm reuse
+/// the Albireo-9/-27 geometry they are built on.
+fn expected_groups(kind: usize) -> usize {
+    match kind {
+        0 | 2 | 4 => 9,
+        _ => 27,
+    }
+}
+
+proptest! {
+    /// Every accepted spelling of the operating-mode chip kinds parses,
+    /// names the chip `{spelling}_{estimate}`, and carries the right
+    /// PLCG geometry through to the `Accelerator`.
+    #[test]
+    fn operating_mode_aliases_round_trip(entries in fleet()) {
+        let spec = entries
+            .iter()
+            .map(|(_, spelled, est)| format!("{spelled}:{est}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let parsed = FleetConfig::parse(&spec, zoo::serving_models()).unwrap();
+        prop_assert_eq!(parsed.chips.len(), entries.len());
+        for (chip, (kind, spelled, est)) in parsed.chips.iter().zip(&entries) {
+            prop_assert_eq!(chip.name.clone(), format!("{spelled}_{est}"));
+            prop_assert_eq!(chip.accel.compute_groups(), expected_groups(*kind));
+        }
+        // The parsed fleet's own chip names re-parse under aliases to an
+        // equivalent fleet (alias=kind:est round-trip).
+        let aliased = entries
+            .iter()
+            .enumerate()
+            .map(|(i, (_, spelled, est))| format!("m{i}={spelled}:{est}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let reparsed = FleetConfig::parse(&aliased, zoo::serving_models()).unwrap();
+        for (i, chip) in reparsed.chips.iter().enumerate() {
+            prop_assert_eq!(chip.name.clone(), format!("m{i}"));
+        }
+    }
+
+    /// Support-aware dispatch is a clean, total predicate: a fleet with
+    /// any direct or winograd chip supports every serving-zoo model,
+    /// while a gemm-only fleet supports exactly the dense networks —
+    /// never a panic either way.
+    #[test]
+    fn gemm_only_fleets_reject_spatial_cnns_cleanly(entries in fleet()) {
+        let spec = entries
+            .iter()
+            .map(|(_, spelled, est)| format!("{spelled}:{est}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let parsed = FleetConfig::parse(&spec, zoo::serving_models()).unwrap();
+        let gemm_only = entries.iter().all(|&(kind, _, _)| kind == 2 || kind == 3);
+        for model in &parsed.models {
+            // Indices 0–3 are the paper's spatial CNNs; the dense
+            // extension workloads are all-pointwise/FC by construction.
+            let dense = matches!(model.name(), "MLP-Mixer" | "Transformer-Enc");
+            if gemm_only && !dense {
+                prop_assert!(!parsed.supports(model), "{} should be unsupported", model.name());
+            } else {
+                prop_assert!(parsed.supports(model), "{} should be supported", model.name());
+            }
+        }
+    }
+}

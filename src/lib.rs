@@ -17,6 +17,10 @@
 //!   simulation.
 //! * [`baselines`] — the accelerators Albireo is compared against: PIXEL,
 //!   DEAP-CNN, and the reported numbers for Eyeriss, ENVISION, and UNPU.
+//! * [`modes`] — alternative photonic operating modes behind the same
+//!   trait: Winograd F(2×2, 3×3) transform-domain convolution and an
+//!   incoherent-MRR weight-stationary GEMM scheduler for dense/attention
+//!   workloads.
 //! * [`parallel`] — the deterministic parallel execution engine (chunked
 //!   thread pool + per-work-item seed splitting) every simulator layer
 //!   fans out through.
@@ -51,6 +55,7 @@
 
 pub use albireo_baselines as baselines;
 pub use albireo_core as core;
+pub use albireo_modes as modes;
 pub use albireo_nn as nn;
 pub use albireo_parallel as parallel;
 pub use albireo_photonics as photonics;
