@@ -10,6 +10,7 @@ use albireo_bench::sweep::{run_parallel_sweep, SweepOptions};
 fn main() {
     let mut options = SweepOptions::default();
     let mut out_path = "BENCH_parallel.json".to_string();
+    let mut profile_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -20,6 +21,7 @@ fn main() {
         };
         match arg.as_str() {
             "--out" => out_path = value("--out"),
+            "--profile" => profile_path = Some(value("--profile")),
             "--threads" => {
                 options.thread_counts = value("--threads")
                     .split(',')
@@ -43,7 +45,23 @@ fn main() {
             }
         }
     }
+    if profile_path.is_some() {
+        albireo_obs::profile::reset();
+        albireo_obs::profile::set_enabled(true);
+    }
     let report = run_parallel_sweep(&options);
+    if let Some(path) = &profile_path {
+        albireo_obs::profile::set_enabled(false);
+        let profile = albireo_obs::profile::take_report();
+        if let Err(e) = std::fs::write(path, profile.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "profile: {path} attributes {:.1}% of wall time to named phases",
+            profile.attributed_fraction() * 100.0
+        );
+    }
     if report.available_parallelism <= 1 {
         eprintln!(
             "warning: this machine exposes a single core (available_parallelism = 1); \

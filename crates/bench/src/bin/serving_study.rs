@@ -59,6 +59,7 @@ fn measure_obs_overhead(options: &StudyOptions) -> ObsOverhead {
         faults: FaultScenario::none(),
         record_cap: usize::MAX,
         autoscale: albireo_runtime::AutoscalePolicy::None,
+        alert: albireo_runtime::AlertPolicy::standard(),
     };
     let reps = 9;
     let median = |mut xs: Vec<f64>| {
@@ -197,6 +198,7 @@ fn main() {
     let mut out_dir = "results".to_string();
     let mut json_path = "BENCH_serving.json".to_string();
     let mut par = Parallelism::auto();
+    let mut profile_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -208,6 +210,7 @@ fn main() {
         match arg.as_str() {
             "--out-dir" => out_dir = value("--out-dir"),
             "--json" => json_path = value("--json"),
+            "--profile" => profile_path = Some(value("--profile")),
             "--threads" => {
                 let threads: usize = value("--threads").parse().unwrap_or_else(|_| {
                     eprintln!("error: bad --threads value");
@@ -217,10 +220,18 @@ fn main() {
             }
             other => {
                 eprintln!("error: unknown argument `{other}`");
-                eprintln!("usage: serving_study [--out-dir DIR] [--json PATH] [--threads N]");
+                eprintln!(
+                    "usage: serving_study [--out-dir DIR] [--json PATH] [--threads N] \
+                     [--profile PATH]"
+                );
                 std::process::exit(2);
             }
         }
+    }
+
+    if profile_path.is_some() {
+        albireo_obs::profile::reset();
+        albireo_obs::profile::set_enabled(true);
     }
 
     let golden_options = StudyOptions::golden();
@@ -322,6 +333,16 @@ fn main() {
         ),
     );
     std::fs::write(&json_path, json).expect("write BENCH_serving.json");
+
+    if let Some(path) = &profile_path {
+        albireo_obs::profile::set_enabled(false);
+        let profile = albireo_obs::profile::take_report();
+        std::fs::write(path, profile.to_json()).expect("write profile report");
+        eprintln!(
+            "profile: {path} attributes {:.1}% of wall time to named phases",
+            profile.attributed_fraction() * 100.0
+        );
+    }
 
     println!(
         "serving study: {} golden + {} heterogeneous runs = {} total",

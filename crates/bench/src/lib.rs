@@ -11,6 +11,7 @@
 //! ```
 
 pub mod experiments;
+pub mod perfdiff;
 pub mod sweep;
 
 pub use experiments::*;

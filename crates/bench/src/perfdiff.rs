@@ -1,0 +1,316 @@
+//! The perf-regression gate behind `albireo perf-diff`.
+//!
+//! Compares two performance JSON files — `BENCH_*.json` reports or
+//! `albireo.profile/v1` phase trees — metric by metric, and flags
+//! regressions beyond a relative threshold. Both files are flattened
+//! with [`albireo_obs::jsonv::Value::flatten_numbers`], which keys array
+//! rows by their `name`/`path`/`label`/`fleet` member, so rows still
+//! match when the two files order their entries differently.
+//!
+//! Only metrics with a known *direction* participate in the gate:
+//! wall-clock and latency leaves regress upward, throughput leaves
+//! regress downward. Everything else (counts, digests, energy models,
+//! configuration echoes) is direction-neutral and ignored — the gate
+//! judges measured performance, not simulated physics.
+
+use albireo_obs::jsonv;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Leaf names (the last `.`-separated path segment) where larger is
+/// slower: wall-clock phases, latency quantiles, per-call extremes.
+const LOWER_IS_BETTER: &[&str] = &[
+    "wall_ms",
+    "serial_wall_ms",
+    "p50_ms",
+    "p90_ms",
+    "p99_ms",
+    "p999_ms",
+    "mean_latency_ms",
+    "mean_wait_ms",
+    "total_ns",
+    "self_ns",
+    "max_ns",
+];
+
+/// Leaf names where larger is faster: throughput and speedup figures.
+const HIGHER_IS_BETTER: &[&str] = &[
+    "speedup",
+    "candidates_per_s",
+    "requests_per_s",
+    "goodput_rps",
+];
+
+/// One metric present in both files, with the gate's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Flattened metric path, e.g. `phases.sim.engine.total_ns`.
+    pub metric: String,
+    /// Value in the old (baseline) file.
+    pub old: f64,
+    /// Value in the new (candidate) file.
+    pub new: f64,
+    /// `new / old` (∞ when old is 0 and new is not).
+    pub ratio: f64,
+    /// Whether the change crosses the threshold in the slow direction.
+    pub regression: bool,
+}
+
+/// The comparison of two performance files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfDiff {
+    /// Every directional metric present in both files, path order.
+    pub rows: Vec<DiffRow>,
+    /// The relative threshold, percent.
+    pub threshold_pct: f64,
+    /// Directional metrics only the old file has (renamed or removed).
+    pub only_old: Vec<String>,
+    /// Directional metrics only the new file has.
+    pub only_new: Vec<String>,
+}
+
+/// Whether a flattened path names a directional metric, and if so which
+/// way it regresses. `Some(true)` means lower is better.
+fn direction(path: &str) -> Option<bool> {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    if LOWER_IS_BETTER.contains(&leaf) {
+        Some(true)
+    } else if HIGHER_IS_BETTER.contains(&leaf) {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn directional(values: BTreeMap<String, f64>) -> BTreeMap<String, (f64, bool)> {
+    values
+        .into_iter()
+        .filter_map(|(path, v)| direction(&path).map(|lower| (path, (v, lower))))
+        .collect()
+}
+
+impl PerfDiff {
+    /// Parses and compares two performance JSON texts. `threshold_pct`
+    /// is the relative slack: a lower-is-better metric regresses when
+    /// `new > old * (1 + pct/100)`, a higher-is-better one when
+    /// `new < old * (1 - pct/100)`.
+    pub fn compare(old: &str, new: &str, threshold_pct: f64) -> Result<PerfDiff, String> {
+        if !(threshold_pct.is_finite() && threshold_pct >= 0.0) {
+            return Err("threshold must be a non-negative percentage".into());
+        }
+        let old = jsonv::parse(old).map_err(|e| format!("old file: {e}"))?;
+        let new = jsonv::parse(new).map_err(|e| format!("new file: {e}"))?;
+        let old = directional(old.flatten_numbers());
+        let mut new = directional(new.flatten_numbers());
+        let slack = threshold_pct / 100.0;
+        let mut rows = Vec::new();
+        let mut only_old = Vec::new();
+        for (path, (o, lower)) in old {
+            let Some((n, _)) = new.remove(&path) else {
+                only_old.push(path);
+                continue;
+            };
+            let ratio = if o == 0.0 {
+                if n == 0.0 {
+                    1.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                n / o
+            };
+            let regression = if lower {
+                n > o * (1.0 + slack) + f64::EPSILON
+            } else {
+                n < o * (1.0 - slack) - f64::EPSILON
+            };
+            rows.push(DiffRow {
+                metric: path,
+                old: o,
+                new: n,
+                ratio,
+                regression,
+            });
+        }
+        Ok(PerfDiff {
+            rows,
+            threshold_pct,
+            only_old,
+            only_new: new.into_keys().collect(),
+        })
+    }
+
+    /// The rows that crossed the threshold in the slow direction.
+    pub fn regressions(&self) -> impl Iterator<Item = &DiffRow> {
+        self.rows.iter().filter(|r| r.regression)
+    }
+
+    /// Human-readable verdict: every regression with its ratio, a
+    /// summary count line, and any metrics present in only one file.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        let regressed: Vec<&DiffRow> = self.regressions().collect();
+        for r in &regressed {
+            let _ = writeln!(
+                s,
+                "REGRESSION {}  {:.6} -> {:.6}  ({:+.1}%)",
+                r.metric,
+                r.old,
+                r.new,
+                (r.ratio - 1.0) * 100.0
+            );
+        }
+        for path in &self.only_old {
+            let _ = writeln!(s, "missing in new: {path}");
+        }
+        for path in &self.only_new {
+            let _ = writeln!(s, "only in new: {path}");
+        }
+        let _ = writeln!(
+            s,
+            "{} metric(s) compared, {} regression(s) at threshold {}%",
+            self.rows.len(),
+            regressed.len(),
+            self.threshold_pct
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OLD: &str = r#"{
+        "schema": "albireo.bench.parallel_sweep/v1",
+        "rows": [
+            {"name": "analog_conv", "wall_ms": 100.0, "speedup": 3.5, "digest": 12345},
+            {"name": "gemm", "wall_ms": 50.0, "speedup": 2.0, "digest": 999}
+        ],
+        "combined_digest": 42
+    }"#;
+
+    fn with_wall(name_ms: &[(&str, f64, f64)]) -> String {
+        let rows: Vec<String> = name_ms
+            .iter()
+            .map(|(n, w, s)| {
+                format!("{{\"name\": \"{n}\", \"wall_ms\": {w}, \"speedup\": {s}, \"digest\": 1}}")
+            })
+            .collect();
+        format!("{{\"rows\": [{}]}}", rows.join(", "))
+    }
+
+    #[test]
+    fn identical_inputs_pass() {
+        let d = PerfDiff::compare(OLD, OLD, 10.0).unwrap();
+        assert_eq!(d.regressions().count(), 0);
+        assert_eq!(d.rows.len(), 4, "two directional metrics per row");
+        assert!(d.only_old.is_empty() && d.only_new.is_empty());
+        assert!(d.render_text().contains("0 regression(s)"));
+    }
+
+    #[test]
+    fn two_x_slowdown_regresses() {
+        let new = with_wall(&[("analog_conv", 200.0, 3.5), ("gemm", 50.0, 2.0)]);
+        let d = PerfDiff::compare(OLD, &new, 25.0).unwrap();
+        let reg: Vec<&DiffRow> = d.regressions().collect();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg[0].metric, "rows.analog_conv.wall_ms");
+        assert!((reg[0].ratio - 2.0).abs() < 1e-12);
+        assert!(d
+            .render_text()
+            .contains("REGRESSION rows.analog_conv.wall_ms"));
+    }
+
+    #[test]
+    fn speedup_drop_regresses_downward() {
+        let new = with_wall(&[("analog_conv", 100.0, 1.0), ("gemm", 50.0, 2.0)]);
+        let d = PerfDiff::compare(OLD, &new, 10.0).unwrap();
+        let reg: Vec<&DiffRow> = d.regressions().collect();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg[0].metric, "rows.analog_conv.speedup");
+    }
+
+    #[test]
+    fn threshold_gives_slack() {
+        let new = with_wall(&[("analog_conv", 108.0, 3.5), ("gemm", 50.0, 2.0)]);
+        assert_eq!(
+            PerfDiff::compare(OLD, &new, 10.0)
+                .unwrap()
+                .regressions()
+                .count(),
+            0
+        );
+        assert_eq!(
+            PerfDiff::compare(OLD, &new, 5.0)
+                .unwrap()
+                .regressions()
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn neutral_metrics_are_ignored() {
+        // Digest changes are not performance regressions.
+        let new = OLD
+            .replace("12345", "54321")
+            .replace("\"combined_digest\": 42", "\"combined_digest\": 43");
+        assert_eq!(
+            PerfDiff::compare(OLD, &new, 0.0)
+                .unwrap()
+                .regressions()
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn renamed_rows_are_reported_not_gated() {
+        let new = with_wall(&[("analog_conv2", 100.0, 3.5), ("gemm", 50.0, 2.0)]);
+        let d = PerfDiff::compare(OLD, &new, 10.0).unwrap();
+        assert_eq!(d.regressions().count(), 0);
+        assert_eq!(
+            d.only_old,
+            vec![
+                "rows.analog_conv.speedup".to_string(),
+                "rows.analog_conv.wall_ms".to_string(),
+            ]
+        );
+        assert_eq!(d.only_new.len(), 2);
+        assert!(d.render_text().contains("missing in new"));
+    }
+
+    #[test]
+    fn profile_reports_compare_phase_by_phase() {
+        let old = r#"{
+            "schema": "albireo.profile/v1",
+            "attributed_fraction": 0.97,
+            "roots": [{"name": "evaluate", "total_ns": 1000000, "self_ns": 5000, "coverage": 0.99}],
+            "phases": [
+                {"path": "evaluate", "calls": 1, "total_ns": 1000000, "self_ns": 5000, "min_ns": 1000000, "max_ns": 1000000},
+                {"path": "evaluate.tensor.im2col", "calls": 8, "total_ns": 400000, "self_ns": 400000, "min_ns": 10, "max_ns": 90000}
+            ]
+        }"#;
+        let slow = old.replace("\"total_ns\": 400000", "\"total_ns\": 900000");
+        let d = PerfDiff::compare(old, &slow, 25.0).unwrap();
+        let reg: Vec<&DiffRow> = d.regressions().collect();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg[0].metric, "phases.evaluate.tensor.im2col.total_ns");
+        assert_eq!(
+            PerfDiff::compare(old, old, 0.0)
+                .unwrap()
+                .regressions()
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn bad_inputs_error() {
+        assert!(PerfDiff::compare("not json", OLD, 10.0).is_err());
+        assert!(PerfDiff::compare(OLD, "{", 10.0).is_err());
+        assert!(PerfDiff::compare(OLD, OLD, -1.0).is_err());
+        assert!(PerfDiff::compare(OLD, OLD, f64::NAN).is_err());
+    }
+}

@@ -280,8 +280,10 @@ fn analog_conv_workload() -> Workload {
         name: "analog_conv",
         items: 16,
         run: Box::new(move |par| {
-            let mut engine =
-                AnalogEngine::new(&chip, AnalogSimConfig::default()).with_parallelism(par);
+            let mut engine = {
+                let _setup = albireo_obs::profile::scope("bench.setup");
+                AnalogEngine::new(&chip, AnalogSimConfig::default()).with_parallelism(par)
+            };
             let out = engine.conv2d(&input, &kernels, &ConvSpec::unit());
             out.as_slice().iter().fold(0u64, |d, &v| fold(d, v))
         }),
@@ -289,11 +291,14 @@ fn analog_conv_workload() -> Workload {
 }
 
 /// Times `reps` runs of `workload` under `par`, returning the averaged
-/// wall time in ms and the (rep-invariant) result digest.
+/// wall time in ms and the (rep-invariant) result digest. Each rep runs
+/// under a root profiler scope named after the workload, so `--profile`
+/// attributes the sweep's wall time per workload phase tree.
 fn measure(workload: &Workload, par: Parallelism, reps: u32) -> (f64, u64) {
     let mut digest = 0u64;
     let start = Instant::now();
     for _ in 0..reps {
+        let _root = albireo_obs::profile::scope(workload.name);
         digest = (workload.run)(par);
     }
     let wall_ms = start.elapsed().as_secs_f64() * 1e3 / reps as f64;

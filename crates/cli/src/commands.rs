@@ -26,15 +26,21 @@ pub enum CliError {
     Unknown(String),
     /// An output file could not be written.
     Io(String),
+    /// A quality gate tripped (`perf-diff` found a regression). The
+    /// command itself ran fine; the comparison failed. Exit 3 keeps the
+    /// verdict distinguishable from I/O (1) and usage (2) failures in
+    /// CI scripts.
+    Gate(String),
 }
 
 impl CliError {
     /// Process exit code: usage-class errors exit 2 (and print a usage
-    /// hint), runtime I/O failures exit 1.
+    /// hint), runtime I/O failures exit 1, tripped gates exit 3.
     pub fn exit_code(&self) -> i32 {
         match self {
             CliError::Args(_) | CliError::Unknown(_) => 2,
             CliError::Io(_) => 1,
+            CliError::Gate(_) => 3,
         }
     }
 
@@ -50,6 +56,7 @@ impl fmt::Display for CliError {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::Unknown(msg) => write!(f, "{msg}"),
             CliError::Io(msg) => write!(f, "{msg}"),
+            CliError::Gate(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -98,7 +105,8 @@ COMMANDS:
                                           thermal:A-B@T1-T2:N, crews:K:MEAN_S:SEED
         [--checkpoint-every SIM_S] [--checkpoint-out FILE] [--resume FILE]
         [--halt-after-checkpoints N] [--report-jsonl FILE]
-        [--trace-out FILE] [--events-out FILE]
+        [--trace-out FILE] [--events-out FILE] [--metrics-out FILE]
+        [--slo-target FRACTION]           burn-rate alert objective (default 0.999)
                                               multi-chip serving simulation
     plan       --slo \"p99<MS[,attain>=A][,shed<=S]\" [--rate RPS]
         [--chips ENTRY,...] [--max-chips N] [--networks A,B]
@@ -111,12 +119,18 @@ COMMANDS:
         [--faults SPEC]                   score candidates under a fault scenario
         [--spec LINE] [--exhaustive] [--json] [--out FILE] [--csv-out FILE]
                                               capacity planner / fleet optimizer
+    perf-diff <old.json> <new.json> [--threshold PCT]
+                                              perf-regression gate: compares
+                                              BENCH_*.json or profile reports;
+                                              exit 3 on regression (default 10%)
     help                                      show this message
 
 GLOBAL OPTIONS:
     --threads N    worker threads for parallel regions (0 = one per core)
     --wall-clock   stamp trace events with wall-clock ns (diagnostic only;
                    excluded from digests, traces stay seed-deterministic)
+    --profile FILE write an albireo.profile/v1 wall-clock phase report for
+                   the command (host-clock timings; never touches digests)
 
 TRACING:
     --trace-out FILE writes a Chrome trace_event JSON of the run on the
@@ -141,6 +155,15 @@ CHECKPOINTING (serve):
     --halt-after-checkpoints N stops cleanly after the Nth snapshot;
     --resume FILE restarts from a snapshot and produces a report
     byte-identical to the uninterrupted run (digests match).
+
+METRICS & ALERTS (serve):
+    --metrics-out FILE writes an OpenMetrics text export: one snapshot
+    for a plain run, a per-checkpoint time series with --checkpoint-every.
+    SLO classes (--classes name:w:slo_ms or --slo) are watched by
+    deterministic multi-window burn-rate rules (fast 5m/1h, slow 6h/3d
+    on the virtual clock) against the --slo-target objective; alert
+    fire/resolve transitions stream to --report-jsonl as
+    albireo.serve.alert/v1 lines and summarize in the serve report.
 ";
 
 fn parse_network(name: &str) -> Result<Model, CliError> {
@@ -176,14 +199,32 @@ fn parse_estimate(name: &str) -> Result<TechnologyEstimate, CliError> {
 }
 
 /// An `Obs` handle for a command run: enabled only when a trace export
-/// was requested, with wall-clock stamping behind `--wall-clock`.
+/// or an OpenMetrics export was requested, with wall-clock stamping
+/// behind `--wall-clock`.
 fn trace_obs(args: &Args) -> albireo_obs::Obs {
-    let enabled = args.get("trace-out").is_some() || args.get("events-out").is_some();
+    let enabled = args.get("trace-out").is_some()
+        || args.get("events-out").is_some()
+        || args.get("metrics-out").is_some();
     let obs = albireo_obs::Obs::new(enabled);
     if args.flag("wall-clock") {
         obs.set_wall_clock(true);
     }
     obs
+}
+
+/// Writes the `--metrics-out` OpenMetrics text export from an enabled
+/// `Obs`, returning a note line (empty when the flag is absent).
+fn write_metrics_out(args: &Args, obs: &albireo_obs::Obs) -> Result<String, CliError> {
+    let Some(path) = args.get("metrics-out") else {
+        return Ok(String::new());
+    };
+    let snapshot = obs.snapshot();
+    std::fs::write(path, albireo_obs::openmetrics::render(&snapshot))
+        .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+    Ok(format!(
+        "wrote {path}: OpenMetrics snapshot, digest {:016x}\n",
+        snapshot.digest()
+    ))
 }
 
 /// Drains `obs` and writes the requested trace exports (`--trace-out`
@@ -337,6 +378,7 @@ pub fn evaluate(args: &Args) -> Result<String, CliError> {
         &obs,
         &[(albireo_obs::track::ENGINE, "engine".to_string())],
     )?);
+    out.push_str(&write_metrics_out(args, &obs)?);
     Ok(out)
 }
 
@@ -794,6 +836,24 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         faults = faults.merged(parsed.compile(fleet.chips.len()));
     }
 
+    // Burn-rate alerting objective: `--slo-target 0.999` (the default)
+    // sets the per-class SLO objective the in-sim alert rules burn
+    // against; inert unless the workload defines SLO classes.
+    let alert = match args.get("slo-target") {
+        Some(raw) => {
+            let target: f64 = raw
+                .parse()
+                .map_err(|_| CliError::Unknown("--slo-target needs a fraction".into()))?;
+            if !(target.is_finite() && (0.0..1.0).contains(&target)) {
+                return Err(CliError::Unknown(
+                    "--slo-target must be in [0, 1), e.g. 0.999".into(),
+                ));
+            }
+            albireo_runtime::AlertPolicy::with_target(target)
+        }
+        None => albireo_runtime::AlertPolicy::standard(),
+    };
+
     let cfg = ServeConfig {
         workload: Workload {
             process,
@@ -807,6 +867,7 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         faults,
         record_cap,
         autoscale,
+        alert,
     };
     // Checkpoint/resume flags. `--checkpoint-every` runs the single
     // simulation through the checkpoint-boundary machinery; `--resume`
@@ -830,6 +891,14 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
     let resume_path = args.get("resume");
     let checkpoint_out = args.get("checkpoint-out");
     let report_jsonl = args.get("report-jsonl");
+    let metrics_out = args.get("metrics-out");
+    // Self-describing diagnostic header for traced/exported runs: the
+    // full `ServeConfig` display line plus the checkpoint cadence,
+    // which is a CLI-level knob living outside the config proper.
+    let config_header = match checkpoint_every {
+        Some(every) => format!("config: {cfg}, checkpoint every {every}s\n"),
+        None => format!("config: {cfg}\n"),
+    };
     let halt_after = args.get_parsed_or("halt-after-checkpoints", 0u64, "a checkpoint count")?;
     let checkpointing = checkpoint_every.is_some() || resume_path.is_some();
     if checkpointing {
@@ -876,6 +945,23 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
             }
             None => None,
         };
+        // Resume snapshots are parsed before the checkpoint callback is
+        // built: the alert-transition JSONL stream must continue from
+        // the count already written by the interrupted run, not replay
+        // the log from the top.
+        let resume_snapshot = match resume_path {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+                Some(SimSnapshot::parse(&text).map_err(CliError::Unknown)?)
+            }
+            None => None,
+        };
+        let mut alerts_written = resume_snapshot
+            .as_ref()
+            .map_or(0, |s| s.alert_events().len());
+        let mut metric_points: Vec<(f64, albireo_obs::MetricsSnapshot)> = Vec::new();
+        let want_metrics = metrics_out.is_some();
         let mut io_err: Option<String> = None;
         let on_checkpoint = |snap: &SimSnapshot| -> bool {
             if let Some(path) = checkpoint_out {
@@ -889,23 +975,28 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
                     io_err = Some(format!("cannot write progress line: {e}"));
                     return false;
                 }
+                for line in snap.alert_json_lines(alerts_written) {
+                    if let Err(e) = writeln!(file, "{line}") {
+                        io_err = Some(format!("cannot write alert line: {e}"));
+                        return false;
+                    }
+                }
+            }
+            alerts_written = snap.alert_events().len();
+            if want_metrics {
+                metric_points.push((snap.at_s(), snap.metrics_snapshot()));
             }
             halt_after == 0 || snap.checkpoints() < halt_after
         };
-        let outcome = match resume_path {
-            Some(path) => {
-                let text = std::fs::read_to_string(path)
-                    .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
-                let snapshot = SimSnapshot::parse(&text).map_err(CliError::Unknown)?;
-                resume_checkpointed(
-                    &fleet,
-                    &cfg,
-                    &snapshot,
-                    checkpoint_every.unwrap_or(0.0),
-                    on_checkpoint,
-                )
-                .map_err(CliError::Unknown)?
-            }
+        let outcome = match &resume_snapshot {
+            Some(snapshot) => resume_checkpointed(
+                &fleet,
+                &cfg,
+                snapshot,
+                checkpoint_every.unwrap_or(0.0),
+                on_checkpoint,
+            )
+            .map_err(CliError::Unknown)?,
             None => simulate_checkpointed(
                 &fleet,
                 &cfg,
@@ -916,14 +1007,34 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         if let Some(msg) = io_err {
             return Err(CliError::Io(msg));
         }
+        let metrics_note = match metrics_out {
+            Some(path) => {
+                std::fs::write(
+                    path,
+                    albireo_obs::openmetrics::render_series(&metric_points),
+                )
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+                Some((
+                    format!(
+                        "{config_header}wrote {path}: OpenMetrics series, {} point(s)\n",
+                        metric_points.len()
+                    ),
+                    metric_points
+                        .last()
+                        .map(|(_, s)| s.clone())
+                        .unwrap_or_default(),
+                ))
+            }
+            None => None,
+        };
         match outcome {
-            ServeOutcome::Completed(report) => (vec![*report], None),
+            ServeOutcome::Completed(report) => (vec![*report], metrics_note),
             ServeOutcome::Halted { checkpoints, at_s } => {
                 let note = checkpoint_out
                     .map(|p| format!("; resume with --resume {p}"))
                     .unwrap_or_default();
                 return Ok(format!(
-                    "halted after checkpoint {checkpoints} (t={at_s}s){note}\n"
+                    "{config_header}halted after checkpoint {checkpoints} (t={at_s}s){note}\n"
                 ));
             }
         }
@@ -937,7 +1048,13 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         let trace_note = if obs.is_enabled() {
             simulate_observed(&fleet, &cfg, &obs);
             let snapshot = obs.snapshot();
-            let note = write_trace_outputs(args, &obs, &trace_track_names(&fleet))?;
+            let mut note = config_header.clone();
+            note.push_str(&write_trace_outputs(
+                args,
+                &obs,
+                &trace_track_names(&fleet),
+            )?);
+            note.push_str(&write_metrics_out(args, &obs)?);
             Some((note, snapshot))
         } else {
             None
@@ -1349,11 +1466,70 @@ pub fn experiment(args: &Args) -> Result<String, CliError> {
 }
 
 /// Dispatches a subcommand, returning its printable output.
+/// `albireo perf-diff <old.json> <new.json> [--threshold PCT]` — the
+/// perf-regression gate: compares two performance JSON files
+/// (`BENCH_*.json` or `albireo.profile/v1` reports) metric by metric
+/// and exits 3 when any directional metric regresses past the
+/// threshold (default 10%).
+pub fn perf_diff(args: &Args) -> Result<String, CliError> {
+    let pos = args.positionals();
+    let [old_path, new_path] = pos else {
+        return Err(CliError::Unknown(
+            "perf-diff needs exactly two files: <old.json> <new.json>".into(),
+        ));
+    };
+    let threshold: f64 = args
+        .get_or("threshold", "10")
+        .parse()
+        .map_err(|_| CliError::Unknown("--threshold needs a percentage".into()))?;
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))
+    };
+    let diff =
+        albireo_bench::perfdiff::PerfDiff::compare(&read(old_path)?, &read(new_path)?, threshold)
+            .map_err(CliError::Unknown)?;
+    if diff.rows.is_empty() {
+        return Err(CliError::Unknown(format!(
+            "no comparable performance metrics between {old_path} and {new_path}"
+        )));
+    }
+    let text = diff.render_text();
+    if diff.regressions().next().is_some() {
+        return Err(CliError::Gate(format!(
+            "performance regression: {old_path} -> {new_path}\n{text}"
+        )));
+    }
+    Ok(text)
+}
+
 pub fn dispatch(command: &str, args: &Args) -> Result<String, CliError> {
     if args.get("threads").is_some() {
         let threads = args.get_parsed_or("threads", 0usize, "a thread count (0 = auto)")?;
         Parallelism::set_global(Parallelism::with_threads(threads));
     }
+    // `--profile <path>` wraps any command in the wall-clock profiler
+    // and writes the `albireo.profile/v1` phase report on success. The
+    // profiler reads the host clock, so the report itself is not
+    // deterministic — but it never touches simulation state, digests,
+    // or the command's own output.
+    let profile_out = args.get("profile").map(str::to_string);
+    if profile_out.is_some() {
+        albireo_obs::profile::reset();
+        albireo_obs::profile::set_enabled(true);
+    }
+    let result = dispatch_inner(command, args);
+    if let Some(path) = profile_out {
+        albireo_obs::profile::set_enabled(false);
+        let report = albireo_obs::profile::take_report();
+        if result.is_ok() {
+            std::fs::write(&path, report.to_json())
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+        }
+    }
+    result
+}
+
+fn dispatch_inner(command: &str, args: &Args) -> Result<String, CliError> {
     match command {
         "networks" => Ok(networks()),
         "evaluate" => evaluate(args),
@@ -1368,6 +1544,7 @@ pub fn dispatch(command: &str, args: &Args) -> Result<String, CliError> {
         "bench" => bench(args),
         "serve" => serve(args),
         "plan" => plan(args),
+        "perf-diff" => perf_diff(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Unknown(format!(
             "unknown command `{other}`; run `albireo help`"
@@ -1664,7 +1841,7 @@ mod tests {
     #[test]
     fn serve_json_carries_schema_and_digest() {
         let out = serve(&args(&["--requests", "80", "--json"])).unwrap();
-        assert!(out.contains("albireo.bench.serving/v3"));
+        assert!(out.contains("albireo.bench.serving/v4"));
         assert!(out.contains("\"digest\""));
         assert_eq!(out.matches('{').count(), out.matches('}').count());
     }
@@ -1812,7 +1989,7 @@ mod tests {
         // Deterministic across repeat runs.
         assert_eq!(out, run(&[]));
         let json = run(&["--json"]);
-        assert!(json.contains("albireo.bench.serving/v3"));
+        assert!(json.contains("albireo.bench.serving/v4"));
     }
 
     #[test]
@@ -2200,5 +2377,189 @@ mod tests {
         let err = serve(&args(&["--classes", "vip:2:5,vip:1"])).unwrap_err();
         assert!(err.to_string().contains("duplicate class name"), "{err}");
         assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn serve_slo_target_validates_and_reports_alerts() {
+        for bad in ["1.0", "-0.1", "nan", "many"] {
+            let err = serve(&args(&["--slo-target", bad])).unwrap_err();
+            assert!(err.to_string().contains("--slo-target"), "{err}");
+        }
+        // An overloaded bounded queue sheds SLO traffic: alerts fire and
+        // the v4 report carries the transition log.
+        let argv = [
+            "--requests",
+            "600",
+            "--rate",
+            "60000",
+            "--seed",
+            "7",
+            "--queue-cap",
+            "16",
+            "--classes",
+            "vip:3:5,batch:1",
+            "--json",
+        ];
+        let out = serve(&args(&argv)).unwrap();
+        assert!(out.contains("\"alerts\": {"), "{out}");
+        assert!(out.contains("\"type\": \"fire\""), "{out}");
+        assert!(out.contains("\"alerts_fired\""), "{out}");
+        // The alert objective never moves the run digest.
+        let digest_of = |extra: &[&str]| {
+            let mut v = argv.to_vec();
+            v.extend_from_slice(extra);
+            let out = serve(&args(&v)).unwrap();
+            let at = out.find("\"digest\"").unwrap();
+            out[at..].lines().next().unwrap().to_string()
+        };
+        assert_eq!(digest_of(&[]), digest_of(&["--slo-target", "0.9"]));
+    }
+
+    #[test]
+    fn serve_report_jsonl_streams_alert_transitions_once() {
+        let path = temp_path("serve_alerts.jsonl");
+        let p = path.to_str().unwrap().to_string();
+        serve(&args(&[
+            "--requests",
+            "600",
+            "--rate",
+            "60000",
+            "--seed",
+            "7",
+            "--queue-cap",
+            "16",
+            "--classes",
+            "vip:3:5,batch:1",
+            "--checkpoint-every",
+            "0.002",
+            "--report-jsonl",
+            &p,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let alert_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("albireo.serve.alert/v1"))
+            .collect();
+        assert!(!alert_lines.is_empty(), "{text}");
+        assert!(alert_lines[0].contains("\"class\": \"vip\""), "{text}");
+        assert!(alert_lines[0].contains("\"type\": \"fire\""), "{text}");
+        // Each transition appears exactly once even though every
+        // snapshot carries the full log.
+        let mut seen = std::collections::HashSet::new();
+        for line in &alert_lines {
+            let key = line.split("\"checkpoint\"").nth(1).map(|rest| {
+                let tail = rest.split_once(',').map(|(_, t)| t).unwrap_or(rest);
+                tail.to_string()
+            });
+            assert!(seen.insert(key), "duplicate transition: {line}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_metrics_out_writes_openmetrics() {
+        let path = temp_path("serve_metrics.txt");
+        let p = path.to_str().unwrap().to_string();
+        let base = ["--requests", "200", "--rate", "4000", "--seed", "7"];
+        let mut argv = base.to_vec();
+        argv.extend_from_slice(&["--metrics-out", &p]);
+        let out = serve(&args(&argv)).unwrap();
+        assert!(out.contains("config: poisson arrivals"), "{out}");
+        assert!(out.contains("OpenMetrics"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("# TYPE serve_completed counter"), "{text}");
+        assert!(text.ends_with("# EOF\n"), "{text}");
+        // The exported file never perturbs the report itself.
+        let baseline = serve(&args(&base)).unwrap();
+        let again = serve(&args(&argv)).unwrap();
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("config:") && !l.starts_with("wrote "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&baseline), strip(&again));
+        // Checkpointed runs export a timestamped series instead.
+        let mut argv = base.to_vec();
+        argv.extend_from_slice(&["--checkpoint-every", "0.01", "--metrics-out", &p]);
+        let out = serve(&args(&argv)).unwrap();
+        assert!(out.contains("OpenMetrics series"), "{out}");
+        assert!(out.contains("checkpoint every 0.01s"), "{out}");
+        let series = std::fs::read_to_string(&path).unwrap();
+        assert!(series.contains("serve_offered_total"), "{series}");
+        // Timestamped samples: `name value ts` triplets.
+        assert!(
+            series
+                .lines()
+                .any(|l| l.starts_with("serve_offered_total ")
+                    && l.split_whitespace().count() == 3),
+            "{series}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn profile_flag_writes_wall_clock_report() {
+        let path = temp_path("evaluate_profile.json");
+        let p = path.to_str().unwrap().to_string();
+        let out = dispatch(
+            "evaluate",
+            &args(&["tiny", "--profile", &p, "--threads", "2"]),
+        )
+        .unwrap();
+        assert!(out.contains("on Albireo"), "{out}");
+        let report = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            report.contains("\"schema\": \"albireo.profile/v1\""),
+            "{report}"
+        );
+        assert!(report.contains("\"attributed_fraction\""), "{report}");
+        // The analytic evaluate path runs through the instrumented
+        // parallel fan-out (tensor/photonics phases belong to the
+        // numeric bench workloads, not this command).
+        assert!(report.contains("parallel."), "{report}");
+        // Profiling never changes the command's own output.
+        let plain = dispatch("evaluate", &args(&["tiny", "--threads", "2"])).unwrap();
+        assert_eq!(out, plain);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn perf_diff_exit_code_contract() {
+        let old = temp_path("perf_old.json");
+        let new = temp_path("perf_new.json");
+        let o = old.to_str().unwrap().to_string();
+        let n = new.to_str().unwrap().to_string();
+        let row = |wall: f64| {
+            format!(
+                "{{\"rows\": [{{\"name\": \"analog_conv\", \"wall_ms\": {wall}, \
+                 \"speedup\": 3.0}}]}}"
+            )
+        };
+        std::fs::write(&old, row(100.0)).unwrap();
+        std::fs::write(&new, row(100.0)).unwrap();
+        // Identical inputs pass (exit 0).
+        let out = perf_diff(&args(&[&o, &n])).unwrap();
+        assert!(out.contains("0 regression(s)"), "{out}");
+        // A 2x slowdown trips the gate with exit code 3.
+        std::fs::write(&new, row(200.0)).unwrap();
+        let err = perf_diff(&args(&[&o, &n, "--threshold", "25"])).unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        assert!(!err.is_usage());
+        assert!(err.to_string().contains("REGRESSION"), "{err}");
+        assert!(err.to_string().contains("wall_ms"), "{err}");
+        // Usage and I/O failures stay distinguishable.
+        assert_eq!(perf_diff(&args(&[&o])).unwrap_err().exit_code(), 2);
+        assert_eq!(
+            perf_diff(&args(&[&o, "/nonexistent/x.json"]))
+                .unwrap_err()
+                .exit_code(),
+            1
+        );
+        std::fs::write(&new, "{}").unwrap();
+        assert_eq!(perf_diff(&args(&[&o, &n])).unwrap_err().exit_code(), 2);
+        std::fs::remove_file(&old).ok();
+        std::fs::remove_file(&new).ok();
     }
 }

@@ -290,7 +290,7 @@ fn serve_json_end_to_end() {
     let (stdout, _, ok) = run(&["serve", "--requests", "100", "--json"]);
     assert!(ok, "{stdout}");
     for key in [
-        "\"schema\": \"albireo.bench.serving/v3\"",
+        "\"schema\": \"albireo.bench.serving/v4\"",
         "\"latency_ms\"",
         "\"goodput_rps\"",
         "\"energy_per_request_mj\"",

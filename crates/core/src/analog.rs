@@ -503,6 +503,7 @@ impl AnalogEngine {
             input.iter().all(|&v| v >= 0.0),
             "optical inputs must be non-negative"
         );
+        let _prof = albireo_obs::profile::scope("analog.conv2d");
         let by = output_extent(ay, wy, spec.padding, spec.stride);
         let bx = output_extent(ax, wx, spec.padding, spec.stride);
         let a_max = input.max_abs();
@@ -545,6 +546,9 @@ impl AnalogEngine {
                             // Predicted crosstalk excess (signed rail power)
                             // for digital pre-compensation.
                             let mut excess = vec![0.0; cols];
+                            // One wall-clock scope per Nu-group: the MRR/MZM
+                            // transfer-function evaluation (row prep + rails).
+                            let rails_prof = albireo_obs::profile::scope("analog.rails");
                             for u in 0..group {
                                 let z = z0 + u;
                                 let rows: Vec<Vec<f64>> = (0..wy)
@@ -586,6 +590,8 @@ impl AnalogEngine {
                                     p_neg[d] += n;
                                 }
                             }
+                            drop(rails_prof);
+                            let _detect_prof = albireo_obs::profile::scope("analog.detect");
                             for d in 0..cols {
                                 let mut detected =
                                     self.detect(p_pos[d], p_neg[d], full_scale_terms, &mut rng);

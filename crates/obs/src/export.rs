@@ -17,7 +17,12 @@ use crate::span::{Event, Phase};
 /// Microseconds per virtual second in the Chrome export.
 const US_PER_S: f64 = 1.0e6;
 
-fn json_escape(s: &str) -> String {
+/// Escapes a string for embedding inside a JSON string literal. ASCII
+/// printables pass through; controls use the short escapes or `\uXXXX`;
+/// non-ASCII is `\uXXXX`-escaped (surrogate pairs beyond the BMP) so
+/// every exporter emits pure-ASCII, valid JSON regardless of what a
+/// span, counter, or class name contains.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -27,6 +32,12 @@ fn json_escape(s: &str) -> String {
             '\t' => out.push_str("\\t"),
             '\r' => out.push_str("\\r"),
             c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) > 0x7E => {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    out.push_str(&format!("\\u{:04x}", unit));
+                }
+            }
             c => out.push(c),
         }
     }
@@ -200,5 +211,83 @@ mod tests {
         buf.record(0, 1.0, Phase::Instant, "a\"b", Vec::new(), None);
         let trace = to_chrome_trace(&buf.drain_sorted(), &[]);
         assert!(trace.contains("a\\\"b"));
+    }
+
+    #[test]
+    fn hostile_names_round_trip_through_valid_json() {
+        // Quotes, backslashes, newlines, and non-ASCII in span/counter
+        // names must all come back intact through a real JSON parse.
+        let names = [
+            "plain",
+            "has\"quote",
+            "back\\slash",
+            "new\nline",
+            "unicode µs → latency 😀",
+        ];
+        let buf = TraceBuffer::default();
+        for (i, name) in names.iter().enumerate() {
+            buf.record(0, i as f64, Phase::Instant, name, Vec::new(), None);
+            buf.record(
+                1,
+                i as f64,
+                Phase::Counter,
+                name,
+                vec![("value", ArgValue::U64(i as u64))],
+                None,
+            );
+        }
+        let events = buf.drain_sorted();
+
+        for line in to_jsonl(&events).lines() {
+            let v = crate::jsonv::parse(line).expect("JSONL line parses");
+            let got = v.get("name").unwrap().as_str().unwrap();
+            assert!(names.contains(&got), "name mangled: {got:?}");
+        }
+
+        let trace = to_chrome_trace(&events, &[(0, "träck \"0\"".to_string())]);
+        assert!(trace.is_ascii(), "chrome trace must be ASCII-safe");
+        let v = crate::jsonv::parse(&trace).expect("chrome trace parses");
+        let records = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // One metadata record + one record per instant/counter event.
+        assert_eq!(records.len(), 1 + events.len());
+        let parsed_names: Vec<&str> = records
+            .iter()
+            .skip(1)
+            .map(|r| r.get("name").unwrap().as_str().unwrap())
+            .collect();
+        for name in names {
+            assert!(parsed_names.contains(&name), "missing {name:?}");
+        }
+        assert_eq!(
+            records[0]
+                .get("args")
+                .unwrap()
+                .get("name")
+                .unwrap()
+                .as_str(),
+            Some("träck \"0\"")
+        );
+    }
+
+    #[test]
+    fn metrics_snapshot_with_hostile_names_parses() {
+        let r = crate::Registry::new();
+        r.counter("ops \"quoted\"").add(1);
+        r.gauge("g\\err").set(0.5);
+        r.histogram("hist µ").observe(1.0);
+        r.sketch("sk\new").observe(2.0);
+        let json = r.snapshot().to_json();
+        assert!(json.is_ascii());
+        let v = crate::jsonv::parse(&json).expect("snapshot JSON parses");
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("ops \"quoted\"")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+        assert!(v.get("histograms").unwrap().get("hist µ").is_some());
+        assert!(v.get("sketches").unwrap().get("sk\new").is_some());
     }
 }

@@ -12,7 +12,9 @@
 //! * Timestamps are **virtual** — the DES clock in `albireo-runtime`
 //!   or the cumulative-latency clock in the core engine. Wall-clock
 //!   nanoseconds are opt-in ([`Obs::set_wall_clock`]) and excluded
-//!   from digests and event ordering.
+//!   from digests and event ordering. The second clock lives in
+//!   [`profile`]: an opt-in wall-clock phase profiler whose output is
+//!   likewise never folded into a digest (DESIGN.md §15).
 //! * The trace buffer drains in a total order keyed by
 //!   `(ts_bits, track, phase rank, seq)`; counters commute; snapshots
 //!   iterate by name. Same seed ⇒ byte-identical exports at any
@@ -47,14 +49,18 @@
 //! ```
 
 pub mod export;
+pub mod jsonv;
 pub mod metrics;
+pub mod openmetrics;
+pub mod profile;
 pub mod sketch;
 pub mod span;
 
-pub use export::{to_chrome_trace, to_jsonl};
+pub use export::{json_escape, to_chrome_trace, to_jsonl};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramData, MetricsSnapshot, Registry, SketchCell,
 };
+pub use profile::{PhaseStat, ProfileReport, PROFILE_SCHEMA};
 pub use sketch::{QuantileSketch, RELATIVE_ERROR_BOUND};
 pub use span::{events_digest, ArgValue, Event, Phase, TraceBuffer};
 

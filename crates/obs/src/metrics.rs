@@ -499,7 +499,8 @@ impl MetricsSnapshot {
         s.push_str("  \"counters\": {");
         for (i, (name, v)) in self.counters.iter().enumerate() {
             s.push_str(&format!(
-                "\n    \"{name}\": {v}{}",
+                "\n    \"{}\": {v}{}",
+                crate::export::json_escape(name),
                 sep(i, self.counters.len())
             ));
         }
@@ -511,7 +512,8 @@ impl MetricsSnapshot {
         s.push_str("  \"gauges\": {");
         for (i, (name, v)) in self.gauges.iter().enumerate() {
             s.push_str(&format!(
-                "\n    \"{name}\": {}{}",
+                "\n    \"{}\": {}{}",
+                crate::export::json_escape(name),
                 sci(*v),
                 sep(i, self.gauges.len())
             ));
@@ -524,8 +526,9 @@ impl MetricsSnapshot {
         s.push_str("  \"histograms\": {");
         for (i, (name, h)) in self.histograms.iter().enumerate() {
             s.push_str(&format!(
-                "\n    \"{name}\": {{\"count\": {}, \"zeros\": {}, \"invalid\": {}, \
+                "\n    \"{}\": {{\"count\": {}, \"zeros\": {}, \"invalid\": {}, \
                  \"min\": {}, \"max\": {}, \"mean_est\": {}, \"buckets\": [{}]}}{}",
+                crate::export::json_escape(name),
                 h.count(),
                 h.zeros,
                 h.invalid,
@@ -548,7 +551,8 @@ impl MetricsSnapshot {
         s.push_str("  \"sketches\": {");
         for (i, (name, sk)) in self.sketches.iter().enumerate() {
             s.push_str(&format!(
-                "\n    \"{name}\": {}{}",
+                "\n    \"{}\": {}{}",
+                crate::export::json_escape(name),
                 sk.to_json_fragment(),
                 sep(i, self.sketches.len())
             ));

@@ -20,7 +20,7 @@ fn observed(samples: &[f64]) -> HistogramData {
 }
 
 /// Arbitrary sample sets: finite magnitudes across the full bucket range
-/// plus the special cases (zero, negatives, NaN, infinity).
+/// plus the special cases (zero, subnormals, negatives, NaN, infinity).
 fn samples() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(
         prop_oneof![
@@ -29,6 +29,7 @@ fn samples() -> impl Strategy<Value = Vec<f64>> {
             1 => -1e9f64..0.0,
             1 => Just(f64::NAN),
             1 => Just(f64::INFINITY),
+            1 => (1u64..(1u64 << 52)).prop_map(f64::from_bits),
         ],
         0..64,
     )
@@ -145,6 +146,67 @@ proptest! {
         }
         for (track, d) in depth {
             prop_assert!(d == 0, "unbalanced spans on track {}", track);
+        }
+    }
+
+    /// Subnormal observations are *valid* samples: they clamp into the
+    /// bottom bucket (never `invalid`, never `zeros`) and set exact
+    /// extrema, so a duration of a few femtoseconds cannot silently
+    /// vanish from a histogram.
+    #[test]
+    fn subnormal_observations_land_in_the_bottom_bucket(
+        bits in 1u64..(1u64 << 52),
+    ) {
+        let v = f64::from_bits(bits); // every such pattern is subnormal
+        prop_assert!(v > 0.0 && !v.is_normal());
+        let h = Histogram::default();
+        h.observe(v);
+        let d = h.data();
+        prop_assert_eq!(d.count(), 1);
+        prop_assert_eq!(d.zeros, 0);
+        prop_assert_eq!(d.invalid, 0);
+        prop_assert_eq!(bucket_index(v), 0);
+        prop_assert_eq!(d.buckets[0], 1);
+        prop_assert_eq!(d.min(), Some(v));
+        prop_assert_eq!(d.max(), Some(v));
+        prop_assert!(d.mean_estimate() > 0.0 && d.mean_estimate().is_finite());
+    }
+
+    /// Zero-duration observations count in `zeros` (not any bucket) and
+    /// participate in extrema; negative durations land in `invalid` and
+    /// must not poison count, extrema, or the mean estimate.
+    #[test]
+    fn zeros_and_negative_durations_stay_segregated(
+        zeros in 0usize..5,
+        negatives in prop::collection::vec(-1e12f64..0.0, 0..5),
+        positives in prop::collection::vec(1e-9f64..1e9, 0..5),
+    ) {
+        let h = Histogram::default();
+        for _ in 0..zeros {
+            h.observe(0.0);
+        }
+        for &v in negatives.iter().chain(&positives) {
+            h.observe(v);
+        }
+        let d = h.data();
+        prop_assert_eq!(d.zeros, zeros as u64);
+        prop_assert_eq!(d.invalid, negatives.len() as u64);
+        prop_assert_eq!(d.count(), (zeros + positives.len()) as u64);
+        prop_assert!(d.buckets.iter().sum::<u64>() == positives.len() as u64);
+        if zeros > 0 {
+            prop_assert_eq!(d.min(), Some(0.0));
+        } else if let Some(min) = d.min() {
+            // Negatives never become the minimum.
+            prop_assert!(min > 0.0);
+        }
+        if let Some(max) = d.max() {
+            prop_assert!(max >= 0.0);
+        }
+        let mean = d.mean_estimate();
+        prop_assert!(mean.is_finite() && mean >= 0.0);
+        // A histogram of only zeros and rejects reports a zero mean.
+        if positives.is_empty() {
+            prop_assert_eq!(mean, 0.0);
         }
     }
 }

@@ -148,4 +148,58 @@ proptest! {
             prop_assert!(s.quantile(1.0) >= min || s.zeros() > 0);
         }
     }
+
+    /// The `record_cap` contract from the serving runtime, stated at the
+    /// sketch level: the per-request record list is truncated at the cap
+    /// but the sketch observes *every* sample, as the capped prefix
+    /// merged with the overflow suffix. That split must be invisible —
+    /// same state, same digest, bitwise-identical quantiles — wherever
+    /// the cap lands (including 0 and past the end).
+    #[test]
+    fn record_cap_truncation_is_invisible_to_the_sketch(
+        a in samples(),
+        cap in 0usize..100,
+    ) {
+        let cap = cap.min(a.len());
+        let whole = observed(&a);
+        let kept = observed(&a[..cap]);
+        let overflow = observed(&a[cap..]);
+        let rebuilt = kept.merge(&overflow);
+        prop_assert_eq!(&rebuilt, &whole);
+        prop_assert_eq!(rebuilt.digest(), whole.digest());
+        for q in [0.0, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            prop_assert!(
+                rebuilt.quantile(q).to_bits() == whole.quantile(q).to_bits(),
+                "quantile {} differs under cap {}", q, cap
+            );
+        }
+        prop_assert_eq!(rebuilt.to_json_fragment(), whole.to_json_fragment());
+    }
+
+    /// Subnormal and zero observations are valid sketch samples:
+    /// subnormals clamp into bucket 0 (never `invalid`), zeros stay in
+    /// their exact slot, and extrema remain exact.
+    #[test]
+    fn subnormals_and_zeros_are_valid_samples(
+        bits in 1u64..(1u64 << 52),
+        zeros in 0usize..4,
+    ) {
+        let v = f64::from_bits(bits); // all such patterns are subnormal
+        let mut s = QuantileSketch::new();
+        s.observe(v);
+        for _ in 0..zeros {
+            s.observe(0.0);
+        }
+        prop_assert_eq!(s.count(), 1 + zeros as u64);
+        prop_assert_eq!(s.zeros(), zeros as u64);
+        prop_assert_eq!(s.invalid(), 0);
+        prop_assert_eq!(s.max(), Some(v));
+        prop_assert_eq!(s.min(), Some(if zeros > 0 { 0.0 } else { v }));
+        prop_assert_eq!(albireo_obs::sketch::bucket_index(v), 0);
+        // The monoid laws hold on the edge population too.
+        let doubled = s.merge(&s);
+        prop_assert_eq!(doubled.count(), 2 * s.count());
+        prop_assert_eq!(doubled.min(), s.min());
+        prop_assert_eq!(s.merge(&QuantileSketch::new()), s.clone());
+    }
 }

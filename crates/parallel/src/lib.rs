@@ -35,7 +35,14 @@
 //! pays exactly one enabled-check branch per region (never per item),
 //! and the counts are exact at any thread count because each worker's
 //! chunk size is a pure function of `(n, workers)`.
+//!
+//! When the wall-clock profiler is enabled
+//! ([`albireo_obs::profile::set_enabled`]), each parallel region also
+//! times its dispatch+join on the caller (`parallel.join`) and each
+//! worker band on its own thread (`parallel.chunk`); both are excluded
+//! from every determinism digest.
 
+use albireo_obs::profile;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Sentinel meaning "one thread per available core".
@@ -150,10 +157,15 @@ impl Parallelism {
         out.resize_with(n, || None);
         let chunk = n.div_ceil(workers);
         record_region("map", n, workers, chunk);
+        // Caller-side: dispatch + join wait; worker-side: each band is
+        // its own wall-clock profile root (concurrent time must not
+        // nest under the caller, which already measures the join).
+        let _join = profile::scope("parallel.join");
         std::thread::scope(|scope| {
             for (w, slots) in out.chunks_mut(chunk).enumerate() {
                 let f = &f;
                 scope.spawn(move || {
+                    let _chunk = profile::scope("parallel.chunk");
                     let base = w * chunk;
                     for (j, slot) in slots.iter_mut().enumerate() {
                         *slot = Some(f(base + j));
@@ -198,10 +210,12 @@ impl Parallelism {
         }
         let chunk = n.div_ceil(workers);
         record_region("fill", n, workers, chunk);
+        let _join = profile::scope("parallel.join");
         std::thread::scope(|scope| {
             for (w, band) in data.chunks_mut(chunk * item_len).enumerate() {
                 let f = &f;
                 scope.spawn(move || {
+                    let _chunk = profile::scope("parallel.chunk");
                     let base = w * chunk;
                     for (j, item) in band.chunks_mut(item_len).enumerate() {
                         f(base + j, item);

@@ -283,6 +283,7 @@ impl Microring {
     /// This regenerates Fig. 4a.
     pub fn drop_spectrum(&self, span: f64, points: usize) -> Vec<(f64, f64)> {
         assert!(points >= 2, "need at least two sample points");
+        let _prof = albireo_obs::profile::scope("photonics.mrr.spectrum");
         (0..points)
             .map(|i| {
                 let frac = i as f64 / (points - 1) as f64;
@@ -298,6 +299,7 @@ impl Microring {
         if n_channels < 2 {
             return 0.0;
         }
+        let _prof = albireo_obs::profile::scope("photonics.mrr.crosstalk");
         let spacing = self.fsr() / n_channels as f64;
         (1..n_channels)
             .map(|j| self.drop_at_phase(self.phase_detuning(j as f64 * spacing)))

@@ -99,6 +99,7 @@ impl Mzm {
     /// (Fig. 2b): the same weight applies to all channels because the MZM is
     /// wavelength-independent.
     pub fn multiply_wdm(&self, p_in: &[f64]) -> Vec<f64> {
+        let _prof = albireo_obs::profile::scope("photonics.mzm.multiply_wdm");
         let gain = self.weight() * self.insertion_loss().linear();
         p_in.iter().map(|p| p * gain).collect()
     }

@@ -167,6 +167,7 @@ fn run_candidate(
         faults: faults.clone(),
         record_cap: 0,
         autoscale: candidate.autoscale,
+        alert: albireo_runtime::AlertPolicy::standard(),
     };
     simulate(fleet, &cfg)
 }

@@ -29,6 +29,9 @@
 //! * [`policy`] — micro-batching policies and admission control;
 //! * [`autoscale`] — fleet provisioning: static idle-power accounting
 //!   and queue-depth-driven elastic spin-up/park with warm-up latency;
+//! * [`alerts`] — deterministic multi-window SLO burn-rate alerting on
+//!   the virtual clock (fire/resolve transitions in the serving report
+//!   and the `--report-jsonl` stream);
 //! * [`fault`] — timed chip/PLCG fault scenarios, correlated-failure
 //!   specs ([`fault::FaultSpec`]: rack groups, thermal epochs, repair
 //!   crews), and classification of analog fault sets;
@@ -53,6 +56,7 @@
 //! study results — and their digests — are bit-identical at any thread
 //! count. DESIGN.md §8 states the full contract.
 
+pub mod alerts;
 pub mod autoscale;
 pub mod fault;
 pub mod fleet;
@@ -64,6 +68,7 @@ pub mod snapshot;
 pub mod study;
 pub mod workload;
 
+pub use alerts::{AlertEvent, AlertPolicy, AlertRule, BurnRule};
 pub use autoscale::AutoscalePolicy;
 pub use fault::{FaultEvent, FaultKind, FaultScenario, FaultSpec};
 pub use fleet::{ChipSpec, FleetConfig, ServiceCost, ServiceOracle};

@@ -108,6 +108,7 @@ impl<T> EventQueue<T> {
     /// Inserts an event. O(1) when keys arrive in nondecreasing order,
     /// O(log₄ n) otherwise.
     pub fn push(&mut self, key: EventKey, item: T) {
+        let _prof = albireo_obs::profile::scope("runtime.queue.push");
         if self.run.back().is_none_or(|(back, _)| key >= *back) {
             self.run.push_back((key, item));
         } else {
@@ -129,6 +130,7 @@ impl<T> EventQueue<T> {
 
     /// Removes and returns the smallest-keyed event.
     pub fn pop(&mut self) -> Option<(EventKey, T)> {
+        let _prof = albireo_obs::profile::scope("runtime.queue.pop");
         let from_run = match (self.run.front(), self.heap.first()) {
             (Some((r, _)), Some((h, _))) => r < h,
             (Some(_), None) => true,

@@ -7,7 +7,7 @@
 //! `digest.rotate_left(7) ^ bits` (order-sensitive, so it also certifies
 //! *dispatch order*, not just the multiset of results), and the JSON is
 //! hand-rolled against a versioned schema string
-//! (`albireo.bench.serving/v3`). The full field list is documented in
+//! (`albireo.bench.serving/v4`). The full field list is documented in
 //! DESIGN.md §8 and §11.
 //!
 //! ## Streaming accumulation
@@ -22,6 +22,7 @@
 //! started from zero. Reports therefore stay byte-identical to the
 //! record-materializing implementation while holding O(1) state.
 
+use crate::alerts::{AlertBook, AlertEvent, AlertPolicy};
 use crate::fleet::FleetConfig;
 use crate::sim::ServeConfig;
 use albireo_core::report::json;
@@ -139,6 +140,8 @@ pub(crate) struct RunTotals {
     pub records: Vec<RequestRecord>,
     /// Per-class accumulators (empty when no classes configured).
     pub classes: Vec<ClassTotals>,
+    /// Burn-rate alerting ledger (disabled unless a class has an SLO).
+    pub alerts: AlertBook,
 }
 
 /// Per-tenant-class service metrics, reported alongside the run totals.
@@ -167,6 +170,10 @@ pub struct ClassReport {
     /// up here even when completed latencies look healthy. `None` when
     /// the class is best-effort; vacuously 1.0 when nothing was offered.
     pub slo_attainment: Option<f64>,
+    /// Burn-rate alerts fired for this class over the run.
+    pub alerts_fired: u64,
+    /// Whether a burn-rate alert was still firing when the run ended.
+    pub alert_active: bool,
 }
 
 fn fold(digest: u64, bits: u64) -> u64 {
@@ -189,7 +196,17 @@ impl RunTotals {
             peak_event_queue: 0,
             records: Vec::new(),
             classes,
+            alerts: AlertBook::disabled(),
         }
+    }
+
+    /// [`RunTotals::new`] with burn-rate alerting armed for every class
+    /// that carries an SLO (a no-op book otherwise).
+    pub(crate) fn with_alerts(classes: Vec<ClassTotals>, policy: AlertPolicy) -> RunTotals {
+        let slos: Vec<Option<f64>> = classes.iter().map(|c| c.slo_ms).collect();
+        let mut t = RunTotals::new(classes);
+        t.alerts = AlertBook::for_classes(policy, &slos);
+        t
     }
 }
 
@@ -255,8 +272,17 @@ pub struct ServiceReport {
     /// The first `record_cap` per-request records, in dispatch order —
     /// a bounded sample; the digest always covers *every* record.
     pub records: Vec<RequestRecord>,
+    /// Burn-rate alert policy description (see
+    /// [`AlertPolicy::label`]).
+    pub alert_policy: String,
+    /// Fire/resolve transitions in virtual-time order (capped at the
+    /// engine's event cap; `alert_events_dropped` counts the overflow).
+    pub alert_events: Vec<AlertEvent>,
+    /// Transitions beyond the event cap.
+    pub alert_events_dropped: u64,
     /// The run digest, computed incrementally during the run (records
-    /// are not required to recompute it).
+    /// are not required to recompute it). Alert state is deliberately
+    /// outside the digest: alerting observes the run, never alters it.
     digest: u64,
 }
 
@@ -306,7 +332,8 @@ impl ServiceReport {
         let classes = totals
             .classes
             .iter()
-            .map(|ct| ClassReport {
+            .enumerate()
+            .map(|(ci, ct)| ClassReport {
                 name: ct.name.clone(),
                 slo_ms: ct.slo_ms,
                 completed: ct.completed,
@@ -328,6 +355,8 @@ impl ServiceReport {
                         1.0
                     }
                 }),
+                alerts_fired: totals.alerts.fired(ci),
+                alert_active: totals.alerts.active(ci),
             })
             .collect();
 
@@ -375,6 +404,9 @@ impl ServiceReport {
             classes,
             per_chip,
             records: totals.records,
+            alert_policy: totals.alerts.policy.label(),
+            alert_events: totals.alerts.events,
+            alert_events_dropped: totals.alerts.dropped,
             digest: d,
         }
     }
@@ -450,9 +482,50 @@ impl ServiceReport {
                 _ => "  best-effort".to_string(),
             };
             out.push_str(&format!(
-                "  class {:<12} completed {:>8}  shed {:>6}  p50 {:.6}  p99 {:.6}{}\n",
-                c.name, c.completed, c.shed, c.p50_ms, c.p99_ms, slo
+                "  class {:<12} completed {:>8}  shed {:>6}  p50 {:.6}  p99 {:.6}{}{}\n",
+                c.name,
+                c.completed,
+                c.shed,
+                c.p50_ms,
+                c.p99_ms,
+                slo,
+                match (c.alerts_fired, c.alert_active) {
+                    (0, _) => String::new(),
+                    (n, true) => format!("  {n} alert(s), FIRING"),
+                    (n, false) => format!("  {n} alert(s), resolved"),
+                }
             ));
+        }
+        if !self.alert_events.is_empty() || self.alert_events_dropped > 0 {
+            out.push_str(&format!(
+                "  alerts {} transition(s)  {} dropped  policy {}\n",
+                self.alert_events.len(),
+                self.alert_events_dropped,
+                self.alert_policy
+            ));
+            const SHOWN: usize = 16;
+            for e in self.alert_events.iter().take(SHOWN) {
+                let class = self
+                    .classes
+                    .get(e.class)
+                    .map(|c| c.name.as_str())
+                    .unwrap_or("?");
+                out.push_str(&format!(
+                    "    {} {:<8} {:<12} at {:.6} s  burn short {:.2} long {:.2}\n",
+                    if e.fire { "FIRE   " } else { "resolve" },
+                    e.rule.label(),
+                    class,
+                    e.at_s,
+                    e.burn_short,
+                    e.burn_long
+                ));
+            }
+            if self.alert_events.len() > SHOWN {
+                out.push_str(&format!(
+                    "    ... {} more transition(s)\n",
+                    self.alert_events.len() - SHOWN
+                ));
+            }
         }
         for c in &self.per_chip {
             out.push_str(&format!(
@@ -519,13 +592,14 @@ impl ServiceReport {
     }
 
     /// Hand-rolled JSON digest of the run (schema
-    /// `albireo.bench.serving/v3`, documented in DESIGN.md §8/§11; v3
-    /// adds the per-chip autoscaling fields). Does not embed per-request
-    /// records; the digest covers them.
+    /// `albireo.bench.serving/v4`, documented in DESIGN.md §8/§11/§15;
+    /// v3 added the per-chip autoscaling fields, v4 the per-class
+    /// burn-rate alert summary and the `alerts` transition log). Does
+    /// not embed per-request records; the digest covers them.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"albireo.bench.serving/v3\",\n");
+        s.push_str("  \"schema\": \"albireo.bench.serving/v4\",\n");
         s.push_str(&format!("  \"fleet\": \"{}\",\n", self.fleet_label));
         s.push_str(&format!("  \"policy\": \"{}\",\n", self.policy_label));
         s.push_str(&format!("  \"arrival\": \"{}\",\n", self.arrival_label));
@@ -599,7 +673,8 @@ impl ServiceReport {
             s.push_str(&format!(
                 "    {{\"name\": \"{}\", \"slo_ms\": {}, \"completed\": {}, \"shed\": {}, \
                  \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \"p999_ms\": {}, \
-                 \"mean_latency_ms\": {}, \"slo_attainment\": {}}}{}\n",
+                 \"mean_latency_ms\": {}, \"slo_attainment\": {}, \
+                 \"alerts_fired\": {}, \"alert_active\": {}}}{}\n",
                 c.name,
                 slo_ms,
                 c.completed,
@@ -610,6 +685,8 @@ impl ServiceReport {
                 json::num(c.p999_ms),
                 json::num(c.mean_latency_ms),
                 attained,
+                c.alerts_fired,
+                c.alert_active,
                 json::sep(i, self.classes.len())
             ));
         }
@@ -632,6 +709,30 @@ impl ServiceReport {
             ));
         }
         s.push_str("  ],\n");
+        s.push_str("  \"alerts\": {\n");
+        s.push_str(&format!("    \"policy\": \"{}\",\n", self.alert_policy));
+        s.push_str("    \"events\": [\n");
+        for (i, e) in self.alert_events.iter().enumerate() {
+            let class = self
+                .classes
+                .get(e.class)
+                .map(|c| c.name.as_str())
+                .unwrap_or("?");
+            s.push_str(&format!(
+                "      {{\"class\": \"{}\", \"rule\": \"{}\", \"type\": \"{}\", \
+                 \"at_s\": {}, \"burn_short\": {}, \"burn_long\": {}}}{}\n",
+                class,
+                e.rule.label(),
+                if e.fire { "fire" } else { "resolve" },
+                json::num(e.at_s),
+                json::num(e.burn_short),
+                json::num(e.burn_long),
+                json::sep(i, self.alert_events.len())
+            ));
+        }
+        s.push_str("    ],\n");
+        s.push_str(&format!("    \"dropped\": {}\n", self.alert_events_dropped));
+        s.push_str("  },\n");
         s.push_str(&format!("  \"digest\": \"{}\"\n", self.digest_hex()));
         s.push_str("}\n");
         s
@@ -674,7 +775,7 @@ mod tests {
         assert!(report.render_text().contains(&hex));
         assert!(report.csv_row().ends_with(&hex));
         let json = report.to_json();
-        assert!(json.contains("albireo.bench.serving/v3"));
+        assert!(json.contains("albireo.bench.serving/v4"));
         assert!(json.contains(&hex));
         assert_eq!(
             ServiceReport::csv_header().split(',').count(),

@@ -44,6 +44,7 @@
 //! serviceable chip are counted as shed, so total chip loss degrades
 //! goodput instead of erroring.
 
+use crate::alerts::AlertPolicy;
 use crate::autoscale::AutoscalePolicy;
 use crate::fault::{FaultKind, FaultScenario};
 use crate::fleet::{FleetConfig, ServiceOracle};
@@ -55,6 +56,7 @@ use crate::workload::{Request, RequestStream, Workload};
 use albireo_obs::{fnv1a, track, ArgValue, Obs};
 use std::collections::VecDeque;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// Event class of streamed arrivals in the total order (between
 /// completions and timers).
@@ -85,6 +87,10 @@ pub struct ServeConfig {
     /// power); `Static`/`Elastic` charge idle power and, for `Elastic`,
     /// spin chips up and down on queue depth.
     pub autoscale: AutoscalePolicy,
+    /// Burn-rate alerting policy applied to every SLO-carrying request
+    /// class. Inert on classless (or SLO-free) workloads — such runs
+    /// keep their historical reports and snapshots byte for byte.
+    pub alert: AlertPolicy,
 }
 
 impl ServeConfig {
@@ -100,6 +106,7 @@ impl ServeConfig {
             faults: FaultScenario::none(),
             record_cap: usize::MAX,
             autoscale: AutoscalePolicy::None,
+            alert: AlertPolicy::standard(),
         }
     }
 }
@@ -124,6 +131,31 @@ impl fmt::Display for ServeConfig {
             capacity,
             self.faults.len(),
         )?;
+        if let (Some(first), Some(last)) = (
+            self.faults.sorted_events().first().map(|e| e.at_s),
+            self.faults.sorted_events().last().map(|e| e.at_s),
+        ) {
+            write!(f, " in [{first:.3}, {last:.3}] s")?;
+        }
+        if !self.workload.classes.is_empty() {
+            let mut names = String::new();
+            for (i, c) in self.workload.classes.iter().enumerate() {
+                if i > 0 {
+                    names.push('+');
+                }
+                names.push_str(&c.name);
+                if let Some(slo) = c.slo_ms {
+                    let _ = write!(names, "<{slo}ms");
+                }
+            }
+            write!(f, ", classes {names}")?;
+            if self.workload.classes.iter().any(|c| c.slo_ms.is_some()) {
+                write!(f, ", alerts {}", self.alert.label())?;
+            }
+        }
+        if self.record_cap != usize::MAX {
+            write!(f, ", record cap {}", self.record_cap)?;
+        }
         if self.autoscale != AutoscalePolicy::None {
             write!(f, ", autoscale {}", self.autoscale)?;
         }
@@ -327,8 +359,15 @@ impl<'a> Sim<'a> {
             cs.completed += 1;
             cs.latency_sum_ms += latency_ms;
             cs.latency_ms.observe(latency_ms);
-            if cs.slo_ms.is_some_and(|slo| latency_ms <= slo) {
+            let hit = cs.slo_ms.is_some_and(|slo| latency_ms <= slo);
+            if hit {
                 cs.slo_hits += 1;
+            }
+            if cs.slo_ms.is_some() {
+                // The outcome is known at dispatch (depth-first batch
+                // execution fixes finish times then), so the alert clock
+                // advances monotonically with the event clock.
+                t.alerts.observe(req.class, start_s, !hit);
             }
         }
         if t.records.len() < self.cfg.record_cap {
@@ -507,11 +546,15 @@ impl<'a> Sim<'a> {
     }
 
     /// Records one shed request (admission rejection or end-of-run
-    /// stranding) in the totals.
-    fn shed_request(&mut self, class: usize) {
+    /// stranding) in the totals. A shed request misses its SLO by
+    /// definition, so it burns the class's error budget at `at_s`.
+    fn shed_request(&mut self, class: usize, at_s: f64) {
         self.totals.shed += 1;
         if let Some(cs) = self.totals.classes.get_mut(class) {
             cs.shed += 1;
+            if cs.slo_ms.is_some() {
+                self.totals.alerts.observe(class, at_s, true);
+            }
         }
     }
 
@@ -520,7 +563,7 @@ impl<'a> Sim<'a> {
         self.totals.offered += 1;
         self.totals.last_arrival_s = now;
         if self.queue.len() >= self.cfg.admission.queue_capacity {
-            self.shed_request(req.class);
+            self.shed_request(req.class, now);
             if self.obs.is_enabled() {
                 self.obs.record_instant(
                     track::DISPATCH,
@@ -671,8 +714,11 @@ impl<'a> Sim<'a> {
         // degraded, no event left to free one) are shed, not an error:
         // the service degrades to whatever the surviving fleet completed.
         let stranded = self.queue.len() as u64;
+        // Stranded sheds are scored at the run's end instant — it is ≥
+        // every prior event time, so the alert clock stays monotone.
+        let end_s = self.totals.max_finish_s.max(self.totals.last_arrival_s);
         while let Some(r) = self.queue.pop_front() {
-            self.shed_request(r.class);
+            self.shed_request(r.class, end_s);
         }
         if stranded > 0 && self.obs.is_enabled() {
             self.obs.counter("serve.shed").add(stranded);
@@ -819,7 +865,7 @@ fn new_sim<'a>(fleet: &'a FleetConfig, cfg: &'a ServeConfig, obs: &'a Obs) -> Si
             .collect(),
         stream,
         next_arrival: None,
-        totals: RunTotals::new(classes),
+        totals: RunTotals::with_alerts(classes, cfg.alert),
     };
     for fault in cfg.faults.sorted_events() {
         sim.push(fault.at_s, EventKind::Fault(fault.kind));
@@ -1560,6 +1606,137 @@ mod tests {
         let line = format!("{cfg}");
         assert!(line.contains("autoscale elastic:4:0.0005:1"));
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn display_header_covers_the_full_config() {
+        // Golden diagnostic header: every newer serve dimension (fault
+        // span, classes with SLOs, alert policy, record cap, autoscale)
+        // shows up, on one line, exactly once.
+        let mut cfg = ServeConfig::poisson(3000.0, 300, 42, 0);
+        let base = format!("{cfg}");
+        assert_eq!(
+            base,
+            "poisson arrivals @ 3000 rps, 300 requests, seed 42, \
+             policy immediate, queue 64, 0 fault(s)",
+            "the classic header must stay byte-stable"
+        );
+        cfg.workload = cfg.workload.with_classes(vec![
+            ClassSpec::with_slo("interactive", 3.0, 5.0),
+            ClassSpec::best_effort("batch", 1.0),
+        ]);
+        cfg.faults = FaultScenario::none()
+            .with(0.02, FaultKind::ChipOffline { chip: 1 })
+            .with(0.05, FaultKind::ChipOnline { chip: 1 });
+        cfg.record_cap = 64;
+        cfg.autoscale = AutoscalePolicy::Static;
+        let line = format!("{cfg}");
+        assert_eq!(
+            line,
+            "poisson arrivals @ 3000 rps, 300 requests, seed 42, \
+             policy immediate, queue 64, 2 fault(s) in [0.020, 0.050] s, \
+             classes interactive<5ms+batch, \
+             alerts slo 0.999 fast 300/3600x14.4 slow 21600/259200x6, \
+             record cap 64, autoscale static"
+        );
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn burn_rate_alerts_fire_deterministically() {
+        // An overloaded bounded queue sheds interactive traffic: every
+        // shed burns the error budget, so the burn-rate rules fire.
+        let fleet = small_fleet();
+        let mut cfg = ServeConfig::poisson(60_000.0, 800, 42, 0);
+        cfg.workload = cfg.workload.with_classes(vec![
+            ClassSpec::with_slo("interactive", 3.0, 5.0),
+            ClassSpec::best_effort("batch", 1.0),
+        ]);
+        cfg.admission = AdmissionControl::bounded(16);
+        let a = simulate(&fleet, &cfg);
+        assert!(a.shed > 0, "the scenario must overload the fleet");
+        assert!(
+            !a.alert_events.is_empty(),
+            "sustained SLO misses must fire an alert"
+        );
+        assert!(a.classes[0].alerts_fired > 0);
+        assert!(a.alert_events[0].fire);
+        assert_eq!(
+            a.classes[1].alerts_fired, 0,
+            "best-effort classes never alert"
+        );
+        let json = a.to_json();
+        assert!(json.contains("\"alerts\": {"));
+        assert!(json.contains("\"rule\": \"fast\""));
+        assert!(a.render_text().contains("FIRE"));
+        // Bit-stable across repetitions, and the digest ignores the
+        // alerting policy entirely.
+        let b = simulate(&fleet, &cfg);
+        assert_eq!(a.alert_events, b.alert_events);
+        assert_eq!(a.to_json(), b.to_json());
+        let mut relaxed = cfg.clone();
+        relaxed.alert = AlertPolicy::with_target(0.5);
+        let c = simulate(&fleet, &relaxed);
+        assert_eq!(a.digest(), c.digest(), "policy must not move the digest");
+        assert_ne!(a.alert_events, c.alert_events);
+    }
+
+    #[test]
+    fn alert_state_survives_interrupt_and_resume_byte_exactly() {
+        let fleet = small_fleet();
+        let mut cfg = ServeConfig::poisson(60_000.0, 800, 42, 0);
+        cfg.workload = cfg.workload.with_classes(vec![
+            ClassSpec::with_slo("interactive", 3.0, 5.0),
+            ClassSpec::best_effort("batch", 1.0),
+        ]);
+        cfg.admission = AdmissionControl::bounded(16);
+        let baseline = simulate(&fleet, &cfg);
+        assert!(!baseline.alert_events.is_empty());
+        let mut snaps: Vec<SimSnapshot> = Vec::new();
+        let out = simulate_checkpointed(&fleet, &cfg, 0.002, |s| {
+            snaps.push(s.clone());
+            true
+        });
+        let ServeOutcome::Completed(full) = out else {
+            panic!("run must complete");
+        };
+        assert_eq!(*full, baseline, "checkpointing must not perturb alerts");
+        assert!(snaps.len() >= 2);
+        assert!(
+            snaps.iter().any(|s| !s.totals.alerts.events.is_empty()),
+            "some boundary must land after the first alert"
+        );
+        for snap in &snaps {
+            let text = snap.to_text();
+            assert!(text.contains("\nalerts "), "alert section present");
+            let restored = SimSnapshot::parse(&text).unwrap();
+            assert_eq!(&restored, snap, "alert state round-trips the wire");
+            let out = resume_checkpointed(&fleet, &cfg, &restored, 0.0, |_| true).unwrap();
+            let ServeOutcome::Completed(resumed) = out else {
+                panic!("resume must complete");
+            };
+            assert_eq!(resumed.alert_events, baseline.alert_events);
+            assert_eq!(resumed.to_json(), baseline.to_json());
+        }
+    }
+
+    #[test]
+    fn classless_snapshots_keep_the_prealerting_wire_format() {
+        let fleet = small_fleet();
+        let cfg = ServeConfig::poisson(3000.0, 200, 42, 0);
+        let mut snaps = Vec::new();
+        simulate_checkpointed(&fleet, &cfg, 0.01, |s| {
+            snaps.push(s.to_text());
+            true
+        });
+        assert!(!snaps.is_empty());
+        for text in &snaps {
+            assert!(
+                !text.contains("\nalerts "),
+                "classless snapshots must not grow an alert section"
+            );
+            SimSnapshot::parse(text).unwrap();
+        }
     }
 
     #[test]

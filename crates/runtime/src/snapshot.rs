@@ -23,6 +23,9 @@
 //! not match the offered configuration. The format is documented in
 //! DESIGN.md §13.
 
+use crate::alerts::{
+    AlertBook, AlertEvent, AlertPolicy, AlertRule, BurnRule, ClassAlertState, WindowCounts,
+};
 use crate::fault::FaultKind;
 use crate::report::{ClassTotals, RequestRecord, RunTotals};
 use crate::sim::{ChipState, EventKind};
@@ -117,6 +120,77 @@ impl SimSnapshot {
     /// The configuration fingerprint this snapshot was captured under.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// Burn-rate alert transitions recorded up to this boundary, in
+    /// fire order (empty when the workload has no SLO classes).
+    pub fn alert_events(&self) -> &[AlertEvent] {
+        &self.totals.alerts.events
+    }
+
+    /// `albireo.serve.alert/v1` JSON lines (no trailing newlines) for
+    /// every alert transition with index `>= from`, each tagged with
+    /// this boundary's checkpoint number. Streaming callers pass the
+    /// count they have already written, so a transition is emitted
+    /// exactly once even though the snapshot carries the full log.
+    pub fn alert_json_lines(&self, from: usize) -> Vec<String> {
+        let name = |class: usize| -> &str {
+            self.totals
+                .classes
+                .get(class)
+                .map_or("?", |ct| ct.name.as_str())
+        };
+        self.totals
+            .alerts
+            .events
+            .iter()
+            .skip(from)
+            .map(|e| {
+                format!(
+                    "{{\"schema\": \"albireo.serve.alert/v1\", \"checkpoint\": {}, \
+                     \"class\": \"{}\", \"rule\": \"{}\", \"type\": \"{}\", \
+                     \"at_s\": {}, \"burn_short\": {}, \"burn_long\": {}}}",
+                    self.checkpoints,
+                    name(e.class),
+                    e.rule.label(),
+                    if e.fire { "fire" } else { "resolve" },
+                    json::num(e.at_s),
+                    json::num(e.burn_short),
+                    json::num(e.burn_long),
+                )
+            })
+            .collect()
+    }
+
+    /// Derives an obs [`albireo_obs::MetricsSnapshot`] from the
+    /// snapshot's streaming accumulators — the OpenMetrics view of the
+    /// run at this checkpoint boundary. Counters are cumulative since
+    /// the start of the run; gauges are point-in-time.
+    pub fn metrics_snapshot(&self) -> albireo_obs::MetricsSnapshot {
+        let r = albireo_obs::Registry::new();
+        r.counter("serve.offered").add(self.totals.offered);
+        r.counter("serve.completed").add(self.totals.rec_count);
+        r.counter("serve.shed").add(self.totals.shed);
+        r.gauge("serve.at_s").set(self.at_s);
+        r.gauge("serve.queue_depth").set(self.queue.len() as f64);
+        r.gauge("serve.pending_events")
+            .set(self.events.len() as f64);
+        r.sketch("serve.latency_ms")
+            .merge_from(&self.totals.latency_ms);
+        for (ci, ct) in self.totals.classes.iter().enumerate() {
+            if ct.slo_ms.is_none() {
+                continue;
+            }
+            r.counter(&format!("serve.class.{}.alerts_fired", ct.name))
+                .add(self.totals.alerts.fired(ci));
+            r.gauge(&format!("serve.class.{}.alert_active", ct.name))
+                .set(if self.totals.alerts.active(ci) {
+                    1.0
+                } else {
+                    0.0
+                });
+        }
+        r.snapshot()
     }
 
     /// One `albireo.serve.progress/v1` JSON line summarizing the run at
@@ -266,6 +340,56 @@ impl SimSnapshot {
                 c.provisioned_at_s.to_bits(),
                 c.spin_ups,
             );
+        }
+        // Burn-rate alert state — present only when the run tracks an
+        // SLO class, so classless snapshots stay byte-identical to the
+        // pre-alerting format (still `albireo.snapshot/v1`; parsers
+        // treat the section as optional).
+        if self.totals.alerts.is_active() {
+            let b = &self.totals.alerts;
+            let p = &b.policy;
+            let active: Vec<(usize, &ClassAlertState)> = b
+                .states
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.as_ref().map(|st| (i, st)))
+                .collect();
+            let _ = writeln!(
+                out,
+                "alerts {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {} {} {}",
+                p.target.to_bits(),
+                p.fast.short_s.to_bits(),
+                p.fast.long_s.to_bits(),
+                p.fast.factor.to_bits(),
+                p.slow.short_s.to_bits(),
+                p.slow.long_s.to_bits(),
+                p.slow.factor.to_bits(),
+                active.len(),
+                b.events.len(),
+                b.dropped,
+            );
+            for (class, st) in active {
+                let _ = writeln!(
+                    out,
+                    "astate {} {} {}",
+                    class, st.fast_firing as u8, st.slow_firing as u8
+                );
+                for w in [&st.fast_short, &st.fast_long, &st.slow_short, &st.slow_long] {
+                    write_window(&mut out, w);
+                }
+            }
+            for e in &b.events {
+                let _ = writeln!(
+                    out,
+                    "aevent {} {} {} {:016x} {:016x} {:016x}",
+                    e.class,
+                    e.rule.label(),
+                    e.fire as u8,
+                    e.at_s.to_bits(),
+                    e.burn_short.to_bits(),
+                    e.burn_long.to_bits(),
+                );
+            }
         }
         let digest = fnv1a(out.as_bytes());
         let _ = writeln!(out, "digest {digest:016x}");
@@ -440,6 +564,74 @@ impl SimSnapshot {
                 spin_ups: p_u64(tok(&mut t, "chip spin_ups")?)?,
             });
         }
+        // Optional burn-rate alert section (absent on classless runs
+        // and on snapshots from pre-alerting builds).
+        if let Some(rest) = cur.maybe_tagged("alerts") {
+            let mut t = rest.split_whitespace();
+            let policy = AlertPolicy {
+                target: f64::from_bits(p_hex(tok(&mut t, "alert target")?)?),
+                fast: BurnRule {
+                    short_s: f64::from_bits(p_hex(tok(&mut t, "fast short")?)?),
+                    long_s: f64::from_bits(p_hex(tok(&mut t, "fast long")?)?),
+                    factor: f64::from_bits(p_hex(tok(&mut t, "fast factor")?)?),
+                },
+                slow: BurnRule {
+                    short_s: f64::from_bits(p_hex(tok(&mut t, "slow short")?)?),
+                    long_s: f64::from_bits(p_hex(tok(&mut t, "slow long")?)?),
+                    factor: f64::from_bits(p_hex(tok(&mut t, "slow factor")?)?),
+                },
+            };
+            let n_states = p_usize(tok(&mut t, "alert states")?)?;
+            let n_events = p_usize(tok(&mut t, "alert events")?)?;
+            let dropped = p_u64(tok(&mut t, "alert dropped")?)?;
+            let mut states: Vec<Option<ClassAlertState>> = vec![None; totals.classes.len()];
+            for _ in 0..n_states {
+                let rest = cur.tagged("astate")?;
+                let mut t = rest.split_whitespace();
+                let class = p_usize(tok(&mut t, "astate class")?)?;
+                if class >= states.len() {
+                    return Err(format!(
+                        "alert state for class {class} outside the {}-class table",
+                        states.len()
+                    ));
+                }
+                let mut st = ClassAlertState::new(&policy);
+                st.fast_firing = p_u64(tok(&mut t, "astate fast")?)? != 0;
+                st.slow_firing = p_u64(tok(&mut t, "astate slow")?)? != 0;
+                for w in [
+                    &mut st.fast_short,
+                    &mut st.fast_long,
+                    &mut st.slow_short,
+                    &mut st.slow_long,
+                ] {
+                    parse_window(cur.tagged("awin")?, w)?;
+                }
+                states[class] = Some(st);
+            }
+            let mut events = Vec::with_capacity(n_events);
+            for _ in 0..n_events {
+                let rest = cur.tagged("aevent")?;
+                let mut t = rest.split_whitespace();
+                events.push(AlertEvent {
+                    class: p_usize(tok(&mut t, "aevent class")?)?,
+                    rule: match tok(&mut t, "aevent rule")? {
+                        "fast" => AlertRule::Fast,
+                        "slow" => AlertRule::Slow,
+                        other => return Err(format!("unknown alert rule `{other}`")),
+                    },
+                    fire: p_u64(tok(&mut t, "aevent fire")?)? != 0,
+                    at_s: f64::from_bits(p_hex(tok(&mut t, "aevent at")?)?),
+                    burn_short: f64::from_bits(p_hex(tok(&mut t, "aevent burn_short")?)?),
+                    burn_long: f64::from_bits(p_hex(tok(&mut t, "aevent burn_long")?)?),
+                });
+            }
+            totals.alerts = AlertBook {
+                policy,
+                states,
+                events,
+                dropped,
+            };
+        }
         Ok(SimSnapshot {
             fingerprint,
             requests,
@@ -455,6 +647,42 @@ impl SimSnapshot {
             chips,
         })
     }
+}
+
+/// One trailing-window ring as `awin <cur> <k> slot:total:miss ...`
+/// (nonzero slots only; bucket width is derived from the policy).
+fn write_window(out: &mut String, w: &WindowCounts) {
+    let nonzero: Vec<(usize, u64, u64)> = w
+        .total
+        .iter()
+        .zip(&w.miss)
+        .enumerate()
+        .filter(|(_, (&t, _))| t > 0)
+        .map(|(i, (&t, &m))| (i, t, m))
+        .collect();
+    let _ = write!(out, "awin {} {}", w.cur, nonzero.len());
+    for (slot, total, miss) in nonzero {
+        let _ = write!(out, " {slot}:{total}:{miss}");
+    }
+    out.push('\n');
+}
+
+/// Fills a policy-initialized [`WindowCounts`] from its `awin` line.
+fn parse_window(rest: &str, w: &mut WindowCounts) -> Result<(), String> {
+    let mut t = rest.split_whitespace();
+    w.cur = p_u64(tok(&mut t, "awin cur")?)?;
+    let n = p_usize(tok(&mut t, "awin slots")?)?;
+    for _ in 0..n {
+        let triple = tok(&mut t, "awin slot")?;
+        let mut parts = triple.split(':');
+        let slot = p_usize(tok(&mut parts, "awin slot index")?)?;
+        if slot >= w.total.len() {
+            return Err(format!("awin slot {slot} outside the ring"));
+        }
+        w.total[slot] = p_u64(tok(&mut parts, "awin total")?)?;
+        w.miss[slot] = p_u64(tok(&mut parts, "awin miss")?)?;
+    }
+    Ok(())
 }
 
 fn write_sketch(out: &mut String, s: &QuantileSketch) {
@@ -518,6 +746,22 @@ impl<'a> Cursor<'a> {
         line.strip_prefix(tag)
             .and_then(|r| r.strip_prefix(' '))
             .ok_or_else(|| format!("line {}: expected `{tag} ...`, found `{line}`", self.lineno))
+    }
+
+    /// Consumes the next line only if it carries `tag` — for optional
+    /// trailing sections. Returns `None` (without advancing) at end of
+    /// input or on a different tag.
+    fn maybe_tagged(&mut self, tag: &str) -> Option<&'a str> {
+        let mut ahead = self.lines.clone();
+        let line = ahead.next()?;
+        let rest = if line == tag {
+            Some("")
+        } else {
+            line.strip_prefix(tag).and_then(|r| r.strip_prefix(' '))
+        }?;
+        self.lines = ahead;
+        self.lineno += 1;
+        Some(rest)
     }
 }
 

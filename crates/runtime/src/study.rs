@@ -247,6 +247,7 @@ pub fn run_serving_study(options: &StudyOptions, par: Parallelism) -> ServingStu
             faults: crate::fault::FaultScenario::none(),
             record_cap: usize::MAX,
             autoscale: crate::autoscale::AutoscalePolicy::None,
+            alert: crate::alerts::AlertPolicy::standard(),
         };
         StudyRun {
             cell,

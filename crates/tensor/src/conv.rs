@@ -96,6 +96,7 @@ pub fn conv2d_with(
     spec: &ConvSpec,
     par: Parallelism,
 ) -> Tensor3 {
+    let _prof = albireo_obs::profile::scope("tensor.conv2d");
     let (az, ay, ax) = input.dims();
     let (wm, wz, wy, wx) = kernels.dims();
     assert_eq!(wz, az, "kernel depth {wz} must equal input depth {az}");

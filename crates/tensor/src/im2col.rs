@@ -80,6 +80,7 @@ impl Matrix {
     /// Panics if the inner dimensions differ.
     pub fn matmul_with(&self, rhs: &Matrix, par: Parallelism) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let _prof = albireo_obs::profile::scope("tensor.gemm");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         par.fill_slices(&mut out.data, rhs.cols.max(1), |i, row| {
             for k in 0..self.cols {
@@ -99,6 +100,7 @@ impl Matrix {
 /// Unrolls the input volume into the im2col matrix: one column per output
 /// position, one row per (channel, ky, kx) kernel tap.
 pub fn im2col(input: &Tensor3, kernel_y: usize, kernel_x: usize, spec: &ConvSpec) -> Matrix {
+    let _prof = albireo_obs::profile::scope("tensor.im2col");
     let (az, ay, ax) = input.dims();
     let by = output_extent(ay, kernel_y, spec.padding, spec.stride);
     let bx = output_extent(ax, kernel_x, spec.padding, spec.stride);
